@@ -1,0 +1,48 @@
+# Development entry points for the capacity-planning reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench tables figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus the ablations (reduced sizes).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-size reproduction of the evaluation tables (42 days, Table 1 splits).
+tables:
+	$(GO) run ./cmd/benchtables -table 2a
+	$(GO) run ./cmd/benchtables -table 2b
+
+figures:
+	$(GO) run ./cmd/benchtables -fig 1
+	$(GO) run ./cmd/benchtables -fig 2
+	$(GO) run ./cmd/benchtables -fig 3
+	$(GO) run ./cmd/benchtables -fig 6
+	$(GO) run ./cmd/benchtables -fig 7
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/olap
+	$(GO) run ./examples/oltp
+	$(GO) run ./examples/thresholds
+	$(GO) run ./examples/fleet
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/transactions
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

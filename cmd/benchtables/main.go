@@ -1,0 +1,25 @@
+// Command benchtables regenerates the paper's tables and figures from
+// the simulator substrate and prints them in the paper's layout. This is
+// the reproduction entry point: compare its output shape with the
+// published Table 2 and Figures 1–3, 6, 7 (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchtables -table 2a
+//	benchtables -fig 7
+//	benchtables -all
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Benchtables(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}

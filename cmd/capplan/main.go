@@ -1,0 +1,26 @@
+// Command capplan is the end-to-end capacity-planning service of §8: it
+// simulates a monitored clustered database, collects metrics through the
+// agent into the central repository, runs the learning engine on every
+// instance/metric, stores champions in the model store, and renders the
+// prediction view of the proposed UI (Figure 8) as ASCII charts — plus a
+// threshold early-warning check ("predict when a threshold is likely to
+// be breached").
+//
+// Usage:
+//
+//	capplan -exp oltp -days 42 -technique sarimax -threshold-cpu 80
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Capplan(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capplan:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,23 @@
+// Command tsfit fits a forecasting model to a CSV time series (as
+// produced by wgen or any "timestamp,value" export) and prints the
+// report, baselines, leaderboard and forecast — the Figure 4 pipeline on
+// one series.
+//
+// Usage:
+//
+//	tsfit -in cdbm011_cpu.csv -technique sarimax -horizon 24
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Tsfit(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tsfit:", err)
+		os.Exit(1)
+	}
+}

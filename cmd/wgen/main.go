@@ -1,0 +1,23 @@
+// Command wgen generates the paper's experimental workloads (Figures 2
+// and 3) to CSV files: it simulates the clustered database, runs the
+// monitoring agent, aggregates hourly in the repository, and exports one
+// file per instance/metric.
+//
+// Usage:
+//
+//	wgen -exp olap -days 42 -out ./data
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Wgen(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wgen:", err)
+		os.Exit(1)
+	}
+}

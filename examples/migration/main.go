@@ -1,0 +1,82 @@
+// Cloud-migration capacity planning (§8): "If I need to migrate to a new
+// platform, such as a Cloud architecture, what resource capacity do I
+// need in the next 6 months to a year?"
+//
+// The example aggregates two years of simulated weekly peak-CPU history,
+// runs the weekly Table 1 policy (92 observations → 88 train + 4 test),
+// then extends the champion 26 weeks ahead and sizes the target cloud
+// shape from the upper prediction bound.
+//
+// Run: go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Two years of weekly peak CPU for a steadily growing estate: trend
+	// + yearly season (budget cycles) + noise.
+	const weeks = 104
+	values := workload.Synthetic(workload.SyntheticOpts{
+		N: weeks, Level: 45, Trend: 0.28, // ~+1.2 %/month
+		Periods: []int{52}, Amps: []float64{6},
+		Noise: 2.0, Seed: 17,
+	})
+	start := time.Date(2024, 7, 1, 0, 0, 0, 0, time.UTC)
+	series := timeseries.New("estate/peak-cpu", start, timeseries.Weekly, values)
+
+	engine, err := core.NewEngine(core.Options{
+		Technique: core.TechniqueSARIMAX,
+		Horizon:   26, // half a year of weekly steps
+		Level:     0.95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Run(series)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("weekly split   : %d train + %d test (Table 1 weekly row)\n", res.TrainLen, res.TestLen)
+	fmt.Printf("champion       : %s (hold-out RMSE %.2f)\n\n", res.Champion.Label, res.TestScore.RMSE)
+
+	fc := res.Forecast
+	peak := math.Inf(-1)
+	peakAt := 0
+	for k, v := range fc.Upper {
+		if v > peak {
+			peak = v
+			peakAt = k
+		}
+	}
+	fmt.Printf("6-month outlook:\n")
+	fmt.Printf("  current level         : %.1f%% of today's capacity\n", values[len(values)-1])
+	fmt.Printf("  mean at +26 weeks     : %.1f%%\n", fc.Mean[25])
+	fmt.Printf("  95%%-upper peak        : %.1f%% (week of %s)\n", peak, fc.TimeAt(peakAt).Format("2006-01-02"))
+
+	// Size the cloud shape with 20% headroom over the upper bound.
+	needed := peak * 1.2
+	fmt.Printf("\nmigration sizing:\n")
+	fmt.Printf("  provision %.0f%% of today's capacity (upper bound +20%% headroom)\n", needed)
+	if needed > 100 {
+		fmt.Printf("  → the target shape must be %.1f× the current one\n", needed/100)
+	} else {
+		fmt.Printf("  → the estate fits in the current shape with room to spare\n")
+	}
+
+	fmt.Println()
+	fmt.Print(chart.Forecast(values[weeks-52:], fc.Mean, fc.Lower, fc.Upper, chart.Options{
+		Title:  "estate/peak-cpu — last year + 26-week forecast",
+		Height: 14,
+	}))
+}

@@ -1,0 +1,62 @@
+// Experiment One (§7.1): the OLAP workload — 40 users running TPC-H-like
+// IO-heavy queries on a two-node cluster, with a nightly midnight backup
+// shock on node 1.
+//
+// The example rebuilds the workload with the simulator substrate, runs
+// the three model families of Table 2(a) on cdbm011's CPU, and shows the
+// paper's Figure 6 comparison: ARIMA captures the pattern, SARIMAX
+// improves on it, and SARIMAX with exogenous shocks + Fourier terms is
+// the most accurate.
+//
+// Run: go run ./examples/olap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chart"
+	"repro/internal/experiments"
+)
+
+func main() {
+	opt := experiments.Options{Days: 28, Seed: 11, MaxCandidates: 10}
+
+	fmt.Println("simulating Experiment One: OLAP cluster, 28 days, nightly backups ...")
+	ds, err := experiments.Build(experiments.OLAP, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload view (Figure 2): note the midnight spike on cdbm011
+	// (the backup node) that is absent on cdbm012.
+	for _, key := range []string{"cdbm011/logical_iops", "cdbm012/logical_iops"} {
+		ser := ds.Series[key]
+		week := ser.Values[len(ser.Values)-168:]
+		fmt.Printf("\n%s (last week):\n  %s\n", key, chart.Sparkline(week))
+	}
+
+	// Figure 6: the three families on CPU.
+	fmt.Println("\nfitting the three model families on cdbm011/cpu ...")
+	charts, err := experiments.Figure6(ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-24s %-44s %s\n", "family", "champion", "hold-out RMSE")
+	for _, c := range charts {
+		fmt.Printf("%-24s %-44s %.4f\n", c.Family, c.Champion, c.RMSE)
+	}
+	best := charts[0]
+	for _, c := range charts[1:] {
+		if c.RMSE < best.RMSE {
+			best = c
+		}
+	}
+	fmt.Printf("\nbest family: %s\n", best.Family)
+	fmt.Print(chart.Forecast(best.TrainTail, best.Forecast, nil, nil, chart.Options{
+		Title:  fmt.Sprintf("cdbm011/cpu — %s (test window)", best.Champion),
+		Height: 12,
+	}))
+	fmt.Printf("actual  : %s\n", chart.Sparkline(best.Actual))
+	fmt.Printf("forecast: %s\n", chart.Sparkline(best.Forecast))
+}

@@ -1,0 +1,90 @@
+// Proactive threshold monitoring (§8, §9): instead of alerting when a
+// threshold is already breached, predict the breach ahead of time —
+// "consider a performance problem that begins weeks earlier but suddenly
+// hits a threshold … The approach proposed in this paper could advise
+// through a prediction that there is likely to be an issue soon."
+//
+// The example grows an OLTP workload towards CPU saturation, forecasts
+// 72 hours ahead, and reports when the prediction interval first crosses
+// the SLA threshold.
+//
+// Run: go run ./examples/thresholds
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+const slaCPU = 78.0 // percent
+
+func main() {
+	// A workload creeping towards saturation: strong growth + season.
+	values := workload.Synthetic(workload.SyntheticOpts{
+		N: 1008, Level: 35, Trend: 0.025, // +0.6 %/day
+		Periods: []int{24}, Amps: []float64{14},
+		Noise: 1.0, Seed: 99,
+	})
+	start := time.Date(2026, 5, 25, 0, 0, 0, 0, time.UTC)
+	series := timeseries.New("prod-db/cpu", start, timeseries.Hourly, values)
+
+	engine, err := core.NewEngine(core.Options{
+		Technique: core.TechniqueSARIMAX,
+		Horizon:   72,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Run(series)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fc := res.Forecast
+
+	fmt.Printf("champion: %s (hold-out RMSE %.2f)\n", res.Champion.Label, res.TestScore.RMSE)
+	fmt.Printf("current CPU: %.1f%%  SLA threshold: %.0f%%\n\n", values[len(values)-1], slaCPU)
+
+	// Three escalation levels, from "possible" to "expected".
+	firstUpper, firstMean, firstLower := -1, -1, -1
+	for k := range fc.Mean {
+		if firstUpper < 0 && fc.Upper[k] >= slaCPU {
+			firstUpper = k
+		}
+		if firstMean < 0 && fc.Mean[k] >= slaCPU {
+			firstMean = k
+		}
+		if firstLower < 0 && fc.Lower[k] >= slaCPU {
+			firstLower = k
+		}
+	}
+	report := func(label string, k int) {
+		if k < 0 {
+			fmt.Printf("  %-34s not within 72 h\n", label)
+			return
+		}
+		fmt.Printf("  %-34s in %2d h (%s)\n", label, k+1, fc.TimeAt(k).Format("Mon 15:04"))
+	}
+	fmt.Println("breach forecast:")
+	report("possible (upper bound crosses):", firstUpper)
+	report("likely   (mean crosses):", firstMean)
+	report("expected (lower bound crosses):", firstLower)
+
+	fmt.Println()
+	tail := values[len(values)-96:]
+	fmt.Print(chart.Forecast(tail, fc.Mean, fc.Lower, fc.Upper, chart.Options{
+		Title:  "prod-db/cpu — 72 h forecast vs SLA",
+		Height: 14,
+	}))
+	if firstUpper >= 0 {
+		fmt.Printf("\n⚠ recommendation: plan capacity before %s — the %0.f%% SLA is inside the 95%% interval.\n",
+			fc.TimeAt(firstUpper).Format("Monday 15:04"), slaCPU)
+	} else {
+		fmt.Println("\n✓ no action needed this window.")
+	}
+}

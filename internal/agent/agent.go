@@ -1,0 +1,107 @@
+// Package agent implements the paper's monitoring agent (§5.1): "The
+// Agent specifically executes commands on the hosts that retrieve the
+// metric values from the database and polls these metrics at regular
+// intervals." Polls can fail — "the agent may have been at fault and may
+// not have executed or polled the value from the database target" — which
+// this package models with deterministic fault injection so the
+// learning engine's interpolation branch is exercised.
+package agent
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dbsim"
+	"repro/internal/metricstore"
+)
+
+// Config tunes one agent.
+type Config struct {
+	// Interval is the polling cadence; the paper uses 15 minutes.
+	Interval time.Duration
+	// FailureRate is the probability in [0, 1) that a scheduled poll is
+	// missed (maintenance cycles, faults). Deterministic per (target,
+	// metric, tick) given Seed.
+	FailureRate float64
+	// Seed drives fault injection.
+	Seed uint64
+}
+
+// Agent polls a simulated cluster and delivers samples to a repository.
+type Agent struct {
+	cfg     Config
+	cluster *dbsim.Cluster
+	store   *metricstore.Store
+}
+
+// New validates the configuration and builds an Agent.
+func New(cfg Config, cluster *dbsim.Cluster, store *metricstore.Store) (*Agent, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("agent: interval must be positive")
+	}
+	if cfg.FailureRate < 0 || cfg.FailureRate >= 1 {
+		return nil, fmt.Errorf("agent: failure rate %v outside [0,1)", cfg.FailureRate)
+	}
+	if cluster == nil || store == nil {
+		return nil, fmt.Errorf("agent: nil cluster or store")
+	}
+	return &Agent{cfg: cfg, cluster: cluster, store: store}, nil
+}
+
+// Collect polls every (instance, metric) pair from `from` (inclusive) to
+// `to` (exclusive) at the configured interval, delivering successful polls
+// to the repository. It returns the number of samples delivered and the
+// number of missed polls.
+func (a *Agent) Collect(from, to time.Time) (delivered, missed int, err error) {
+	if !to.After(from) {
+		return 0, 0, fmt.Errorf("agent: empty collection window")
+	}
+	instances := a.cluster.Instances()
+	for t := from; t.Before(to); t = t.Add(a.cfg.Interval) {
+		tick := uint64(t.Unix())
+		for node, name := range instances {
+			for _, metric := range dbsim.AllMetrics {
+				if a.pollFails(uint64(node), uint64(metric), tick) {
+					missed++
+					continue
+				}
+				v, serr := a.cluster.Sample(node, metric, t)
+				if serr != nil {
+					return delivered, missed, fmt.Errorf("agent: sample failed: %w", serr)
+				}
+				a.store.Put(metricstore.Sample{
+					Target: name,
+					Metric: metric.String(),
+					At:     t,
+					Value:  v,
+				})
+				delivered++
+			}
+		}
+	}
+	return delivered, missed, nil
+}
+
+// pollFails decides deterministically whether a poll is missed.
+func (a *Agent) pollFails(node, metric, tick uint64) bool {
+	if a.cfg.FailureRate == 0 {
+		return false
+	}
+	h := mix(a.cfg.Seed^0xa5a5a5a5, node<<8|metric, tick)
+	u := float64(h>>11) / float64(1<<53)
+	return u < a.cfg.FailureRate
+}
+
+func mix(a, b, c uint64) uint64 {
+	x := a ^ 0x9e3779b97f4a7c15
+	x = sm(x + b)
+	x = sm(x + c)
+	return sm(x)
+}
+
+func sm(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,145 @@
+package agent
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dbsim"
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+var epoch = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+
+func testCluster(t *testing.T) *dbsim.Cluster {
+	t.Helper()
+	c, err := dbsim.New(dbsim.Config{
+		InstanceNames:  []string{"cdbm011", "cdbm012"},
+		BaselineCPUPct: 5, BaselineMemMB: 500, BaselineIOPS: 1000,
+		Workload: dbsim.Workload{
+			BaseUsers: 100, DailyAmplitude: 0.5, PeakHour: 14,
+			Profile:   dbsim.SessionProfile{CPUPct: 0.1, MemMB: 3, IOPS: 40},
+			NoiseFrac: 0.01,
+		},
+		Start: epoch, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	c := testCluster(t)
+	st := metricstore.New()
+	if _, err := New(Config{Interval: 0}, c, st); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	if _, err := New(Config{Interval: time.Minute, FailureRate: 1}, c, st); err == nil {
+		t.Fatal("failure rate 1 should fail")
+	}
+	if _, err := New(Config{Interval: time.Minute}, nil, st); err == nil {
+		t.Fatal("nil cluster should fail")
+	}
+	if _, err := New(Config{Interval: time.Minute}, c, nil); err == nil {
+		t.Fatal("nil store should fail")
+	}
+}
+
+func TestCollectDeliversAllSamples(t *testing.T) {
+	c := testCluster(t)
+	st := metricstore.New()
+	a, err := New(Config{Interval: 15 * time.Minute}, c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One day: 96 polls × 2 instances × 3 metrics.
+	delivered, missed, err := a.Collect(epoch, epoch.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missed != 0 {
+		t.Fatalf("missed = %d with zero failure rate", missed)
+	}
+	want := 96 * 2 * 3
+	if delivered != want {
+		t.Fatalf("delivered = %d, want %d", delivered, want)
+	}
+	if got := st.Count(metricstore.Key{Target: "cdbm011", Metric: "cpu"}); got != 96 {
+		t.Fatalf("cdbm011/cpu samples = %d, want 96", got)
+	}
+}
+
+func TestCollectFaultInjection(t *testing.T) {
+	c := testCluster(t)
+	st := metricstore.New()
+	a, err := New(Config{Interval: 15 * time.Minute, FailureRate: 0.1, Seed: 3}, c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, missed, err := a.Collect(epoch, epoch.Add(10*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := delivered + missed
+	rate := float64(missed) / float64(total)
+	if rate < 0.05 || rate > 0.15 {
+		t.Fatalf("miss rate = %v, want ~0.1", rate)
+	}
+	// Gaps must appear as NaN buckets in the aggregated series.
+	ser, err := st.Series(metricstore.Key{Target: "cdbm011", Metric: "cpu"},
+		timeseries.Hourly, epoch, epoch.Add(10*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 240 {
+		t.Fatalf("series len = %d", ser.Len())
+	}
+}
+
+func TestCollectDeterministicFaults(t *testing.T) {
+	c := testCluster(t)
+	st1 := metricstore.New()
+	st2 := metricstore.New()
+	a1, _ := New(Config{Interval: 15 * time.Minute, FailureRate: 0.2, Seed: 5}, c, st1)
+	a2, _ := New(Config{Interval: 15 * time.Minute, FailureRate: 0.2, Seed: 5}, c, st2)
+	d1, m1, _ := a1.Collect(epoch, epoch.Add(48*time.Hour))
+	d2, m2, _ := a2.Collect(epoch, epoch.Add(48*time.Hour))
+	if d1 != d2 || m1 != m2 {
+		t.Fatalf("fault injection not deterministic: %d/%d vs %d/%d", d1, m1, d2, m2)
+	}
+}
+
+func TestCollectEmptyWindow(t *testing.T) {
+	c := testCluster(t)
+	st := metricstore.New()
+	a, _ := New(Config{Interval: time.Minute}, c, st)
+	if _, _, err := a.Collect(epoch, epoch); err == nil {
+		t.Fatal("empty window should fail")
+	}
+}
+
+// TestEndToEndPipeline walks the full §5.1 path: simulate → poll → store →
+// aggregate hourly → interpolate gaps.
+func TestEndToEndPipeline(t *testing.T) {
+	c := testCluster(t)
+	st := metricstore.New()
+	a, _ := New(Config{Interval: 15 * time.Minute, FailureRate: 0.05, Seed: 11}, c, st)
+	if _, _, err := a.Collect(epoch, epoch.Add(7*24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	ser, err := st.Series(metricstore.Key{Target: "cdbm012", Metric: "logical_iops"},
+		timeseries.Hourly, epoch, epoch.Add(7*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ser.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	if ser.HasMissing() {
+		t.Fatal("gaps remain after interpolation")
+	}
+	if ser.Len() != 168 {
+		t.Fatalf("series len = %d, want 168", ser.Len())
+	}
+}

@@ -1,0 +1,189 @@
+// Package apptier simulates the application layer of the paper's N-tier
+// architecture (Figure 5): a web application whose transactions are
+// "groups of clicks" (§8) served by application servers in front of the
+// clustered database. It produces per-transaction response-time series so
+// the learning engine can do what §8 describes for OATS: "predict if a
+// transaction is beginning to slow down to aid pro-active monitoring of
+// the application layer".
+//
+// The response-time model is a standard open queueing approximation:
+// each click's latency is its service time inflated by 1/(1−ρ) where ρ is
+// the app-server utilisation driven by the connected-user process, plus
+// the database time for its queries. Sampling is deterministic in
+// (transaction, click, time) given the seed, like dbsim.
+package apptier
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dbsim"
+)
+
+// Click is one web request within a transaction.
+type Click struct {
+	// Name identifies the request, e.g. "login", "search".
+	Name string
+	// ServiceMs is the base app-server processing time in milliseconds.
+	ServiceMs float64
+	// DBQueries is the number of database round-trips the click makes.
+	DBQueries int
+	// DBMsPerQuery is the base database time per round-trip.
+	DBMsPerQuery float64
+}
+
+// Transaction is a named sequence of clicks — the §8 "groups of clicks
+// that make up a transaction in a web page".
+type Transaction struct {
+	Name   string
+	Clicks []Click
+}
+
+// TotalBaseMs returns the transaction's zero-load response time.
+func (t Transaction) TotalBaseMs() float64 {
+	var s float64
+	for _, c := range t.Clicks {
+		s += c.ServiceMs + float64(c.DBQueries)*c.DBMsPerQuery
+	}
+	return s
+}
+
+// Config assembles an application tier in front of a simulated cluster.
+type Config struct {
+	// Cluster is the database the app talks to; its connected-user
+	// process drives app-server load.
+	Cluster *dbsim.Cluster
+	// Servers is the number of app servers sharing the load.
+	Servers int
+	// CapacityUsersPerServer is the user count at which one server
+	// saturates (ρ = 1).
+	CapacityUsersPerServer float64
+	// Transactions lists the monitored transactions.
+	Transactions []Transaction
+	// DBLoadFactor couples database utilisation into query latency: at
+	// factor f, DB time scales by (1 + f·dbCPU/100).
+	DBLoadFactor float64
+	// NoiseFrac is the multiplicative response-time noise.
+	NoiseFrac float64
+	// Seed drives the noise.
+	Seed uint64
+}
+
+// Tier is a simulated application tier.
+type Tier struct {
+	cfg Config
+}
+
+// New validates the configuration and builds a Tier.
+func New(cfg Config) (*Tier, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("apptier: nil cluster")
+	}
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("apptier: need at least one app server")
+	}
+	if cfg.CapacityUsersPerServer <= 0 {
+		return nil, fmt.Errorf("apptier: capacity must be positive")
+	}
+	if len(cfg.Transactions) == 0 {
+		return nil, fmt.Errorf("apptier: no transactions configured")
+	}
+	for i, tx := range cfg.Transactions {
+		if len(tx.Clicks) == 0 {
+			return nil, fmt.Errorf("apptier: transaction %d (%q) has no clicks", i, tx.Name)
+		}
+	}
+	if cfg.DBLoadFactor < 0 || cfg.NoiseFrac < 0 {
+		return nil, fmt.Errorf("apptier: negative factor")
+	}
+	return &Tier{cfg: cfg}, nil
+}
+
+// Transactions returns the monitored transaction names.
+func (a *Tier) Transactions() []string {
+	out := make([]string, len(a.cfg.Transactions))
+	for i, tx := range a.cfg.Transactions {
+		out[i] = tx.Name
+	}
+	return out
+}
+
+// Utilisation returns the app-server utilisation ρ in [0, 0.97] at t.
+// The request arrival rate is connected users × the intraday activity
+// cycle — idle logged-on sessions do not load the app servers.
+func (a *Tier) Utilisation(t time.Time) float64 {
+	users := a.cfg.Cluster.ConnectedUsers(t) * a.cfg.Cluster.ActivityFactor(t)
+	rho := users / (float64(a.cfg.Servers) * a.cfg.CapacityUsersPerServer)
+	if rho > 0.97 {
+		rho = 0.97 // queueing model blows up at 1; real servers shed load
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return rho
+}
+
+// ResponseTime returns transaction tx's end-to-end response time in
+// milliseconds at time t. Deterministic in (tx, t) given the seed.
+func (a *Tier) ResponseTime(txIdx int, t time.Time) (float64, error) {
+	if txIdx < 0 || txIdx >= len(a.cfg.Transactions) {
+		return 0, fmt.Errorf("apptier: transaction %d out of range", txIdx)
+	}
+	tx := a.cfg.Transactions[txIdx]
+	rho := a.Utilisation(t)
+	inflate := 1 / (1 - rho)
+
+	// Database latency factor from node-average CPU.
+	dbFactor := 1.0
+	if a.cfg.DBLoadFactor > 0 {
+		instances := a.cfg.Cluster.Instances()
+		var cpu float64
+		for node := range instances {
+			v, err := a.cfg.Cluster.Sample(node, dbsim.CPU, t)
+			if err != nil {
+				return 0, err
+			}
+			cpu += v
+		}
+		cpu /= float64(len(instances))
+		dbFactor = 1 + a.cfg.DBLoadFactor*cpu/100
+	}
+
+	var total float64
+	for _, c := range tx.Clicks {
+		app := c.ServiceMs * inflate
+		db := float64(c.DBQueries) * c.DBMsPerQuery * dbFactor
+		total += app + db
+	}
+	if a.cfg.NoiseFrac > 0 {
+		tick := uint64(t.Unix())
+		z := noise(a.cfg.Seed, uint64(txIdx), tick)
+		total *= 1 + a.cfg.NoiseFrac*z
+	}
+	if total < 0 {
+		total = 0
+	}
+	return total, nil
+}
+
+// noise maps (seed, tx, tick) to an approximately standard normal value.
+func noise(seed, tx, tick uint64) float64 {
+	x := seed ^ 0x6a09e667f3bcc909
+	x = mix(x + tx)
+	x = mix(x + tick)
+	u := mix(x)
+	var s float64
+	for i := 0; i < 4; i++ {
+		part := (u >> (i * 16)) & 0xffff
+		s += float64(part)/65535 - 0.5
+	}
+	return s * math.Sqrt(3)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,166 @@
+package apptier
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dbsim"
+	"repro/internal/workload"
+)
+
+var epoch = workload.DefaultStart
+
+func testTier(t *testing.T, growth float64) *Tier {
+	t.Helper()
+	cfg := workload.OLTPConfig(3)
+	cfg.Workload.UserGrowthPerDay = growth
+	cluster, err := dbsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := New(Config{
+		Cluster:                cluster,
+		Servers:                4,
+		CapacityUsersPerServer: 200,
+		Transactions: []Transaction{
+			{Name: "checkout", Clicks: []Click{
+				{Name: "cart", ServiceMs: 30, DBQueries: 3, DBMsPerQuery: 5},
+				{Name: "pay", ServiceMs: 80, DBQueries: 5, DBMsPerQuery: 8},
+			}},
+			{Name: "search", Clicks: []Click{
+				{Name: "query", ServiceMs: 20, DBQueries: 2, DBMsPerQuery: 12},
+			}},
+		},
+		DBLoadFactor: 0.5,
+		NoiseFrac:    0.03,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := workload.OLTPConfig(1)
+	cluster, err := dbsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := []Transaction{{Name: "t", Clicks: []Click{{Name: "c", ServiceMs: 1}}}}
+	cases := []Config{
+		{Cluster: nil, Servers: 1, CapacityUsersPerServer: 10, Transactions: tx},
+		{Cluster: cluster, Servers: 0, CapacityUsersPerServer: 10, Transactions: tx},
+		{Cluster: cluster, Servers: 1, CapacityUsersPerServer: 0, Transactions: tx},
+		{Cluster: cluster, Servers: 1, CapacityUsersPerServer: 10},
+		{Cluster: cluster, Servers: 1, CapacityUsersPerServer: 10,
+			Transactions: []Transaction{{Name: "empty"}}},
+		{Cluster: cluster, Servers: 1, CapacityUsersPerServer: 10, Transactions: tx, NoiseFrac: -1},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestResponseTimeDeterministic(t *testing.T) {
+	tier := testTier(t, 0)
+	ts := epoch.Add(30 * time.Hour)
+	a, err := tier.ResponseTime(0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tier.ResponseTime(0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("response time not deterministic")
+	}
+	if _, err := tier.ResponseTime(5, ts); err == nil {
+		t.Fatal("bad transaction index should fail")
+	}
+}
+
+func TestResponseTimeAboveBase(t *testing.T) {
+	tier := testTier(t, 0)
+	base := Transaction{Name: "checkout", Clicks: []Click{
+		{Name: "cart", ServiceMs: 30, DBQueries: 3, DBMsPerQuery: 5},
+		{Name: "pay", ServiceMs: 80, DBQueries: 5, DBMsPerQuery: 8},
+	}}.TotalBaseMs()
+	rt, err := tier.ResponseTime(0, epoch.Add(14*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load inflation means observed latency exceeds the zero-load base.
+	if rt <= base {
+		t.Fatalf("rt = %v, want > base %v", rt, base)
+	}
+}
+
+func TestTransactionSlowsUnderGrowth(t *testing.T) {
+	// §8 OATS scenario: a growing user base slowly degrades latency.
+	tier := testTier(t, 100) // +100 users/day
+	early, err := tier.ResponseTime(0, epoch.Add(14*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := tier.ResponseTime(0, epoch.Add((29*24+14)*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late <= early*1.1 {
+		t.Fatalf("no slow-down under growth: early=%v late=%v", early, late)
+	}
+}
+
+func TestUtilisationBounded(t *testing.T) {
+	cfg := workload.OLTPConfig(5)
+	cfg.Workload.BaseUsers = 1e6 // swamp the servers
+	cluster, err := dbsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := New(Config{
+		Cluster: cluster, Servers: 2, CapacityUsersPerServer: 100,
+		Transactions: []Transaction{{Name: "t", Clicks: []Click{{Name: "c", ServiceMs: 10}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := tier.Utilisation(epoch.Add(time.Hour)); rho > 0.97 {
+		t.Fatalf("utilisation = %v, must cap at 0.97", rho)
+	}
+	rt, err := tier.ResponseTime(0, epoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt > 10/(1-0.97)*1.5 {
+		t.Fatalf("saturated latency unbounded: %v", rt)
+	}
+}
+
+func TestDailyCycleInLatency(t *testing.T) {
+	tier := testTier(t, 0)
+	peak, err := tier.ResponseTime(1, epoch.Add(11*time.Hour)) // peak hour
+	if err != nil {
+		t.Fatal(err)
+	}
+	trough, err := tier.ResponseTime(1, epoch.Add(3*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DB coupling makes peak-hour latency higher.
+	if peak <= trough {
+		t.Fatalf("no daily latency cycle: peak=%v trough=%v", peak, trough)
+	}
+}
+
+func TestTransactionsNames(t *testing.T) {
+	tier := testTier(t, 0)
+	names := tier.Transactions()
+	if len(names) != 2 || names[0] != "checkout" || names[1] != "search" {
+		t.Fatalf("names = %v", names)
+	}
+}

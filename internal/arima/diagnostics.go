@@ -1,0 +1,80 @@
+package arima
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Diagnostics bundles the residual checks a Box-Jenkins fit should pass:
+// no remaining autocorrelation (Ljung-Box) and approximate normality
+// (Jarque-Bera; the §4.1 residual assumption).
+type Diagnostics struct {
+	// LjungBox tests residual whiteness at min(2·s, n/5) lags.
+	LjungBox stats.LjungBoxResult
+	// JarqueBera tests residual normality.
+	JarqueBera stats.JarqueBeraResult
+	// ResidualMean and ResidualStd summarise the innovations.
+	ResidualMean, ResidualStd float64
+	// Clean is true when both tests pass at the 1% level — the model has
+	// extracted the structure it claims to.
+	Clean bool
+}
+
+// Diagnose runs the residual checks on a fitted model.
+func (m *Model) Diagnose() Diagnostics {
+	warm := m.Spec.MaxARLag()
+	resid := m.Residuals
+	if warm < len(resid) {
+		resid = resid[warm:]
+	}
+	lags := 10
+	if m.Spec.S > 0 {
+		lags = 2 * m.Spec.S
+	}
+	if lags > len(resid)/5 {
+		lags = len(resid) / 5
+	}
+	if lags < 1 {
+		lags = 1
+	}
+	fitted := m.Spec.NumARMAParams()
+	if fitted >= lags {
+		fitted = lags - 1
+	}
+	d := Diagnostics{
+		LjungBox:     stats.LjungBox(resid, lags, fitted),
+		JarqueBera:   stats.JarqueBera(resid),
+		ResidualMean: stats.Mean(resid),
+		ResidualStd:  stats.StdDev(resid),
+	}
+	const alpha = 0.01
+	lbOK := !(d.LjungBox.PValue < alpha) // NaN p-values count as pass (too few lags)
+	jbOK := !(d.JarqueBera.PValue < alpha)
+	d.Clean = lbOK && jbOK
+	return d
+}
+
+// String renders the diagnostics for reports.
+func (d Diagnostics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "residuals: mean %.4g, std %.4g\n", d.ResidualMean, d.ResidualStd)
+	fmt.Fprintf(&sb, "Ljung-Box(%d): Q=%.2f p=%.3f", d.LjungBox.Lags, d.LjungBox.Stat, d.LjungBox.PValue)
+	if d.LjungBox.PValue < 0.01 {
+		sb.WriteString(" — residual autocorrelation remains")
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "Jarque-Bera: JB=%.2f p=%.3f (skew %.2f, ex.kurt %.2f)",
+		d.JarqueBera.Stat, d.JarqueBera.PValue, d.JarqueBera.Skew, d.JarqueBera.Kurtosis)
+	if d.JarqueBera.PValue < 0.01 {
+		sb.WriteString(" — non-normal residuals")
+	}
+	sb.WriteString("\n")
+	if d.Clean {
+		sb.WriteString("verdict: clean fit\n")
+	} else {
+		sb.WriteString("verdict: structure remains — consider a richer model\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package arima
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiagnoseCleanFit(t *testing.T) {
+	// Correctly specified AR(1): residuals are white and normal.
+	y := simulateARMA(2000, []float64{0.7}, nil, 0, 1, 81)
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagnose()
+	if !d.Clean {
+		t.Fatalf("correct model flagged dirty: %s", d)
+	}
+	if math.Abs(d.ResidualMean) > 0.1 {
+		t.Fatalf("residual mean = %v", d.ResidualMean)
+	}
+	if math.Abs(d.ResidualStd-1) > 0.1 {
+		t.Fatalf("residual std = %v, want ~1", d.ResidualStd)
+	}
+}
+
+func TestDiagnoseUnderfitDetected(t *testing.T) {
+	// Strong AR(2) fitted as MA(1): Ljung-Box must flag leftover
+	// structure.
+	y := simulateARMA(3000, []float64{0.9, -0.5}, nil, 0, 1, 82)
+	m, err := Fit(Spec{Q: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Diagnose()
+	if d.LjungBox.PValue > 0.01 {
+		t.Fatalf("underfit not detected: LB p=%v", d.LjungBox.PValue)
+	}
+	if d.Clean {
+		t.Fatal("underfit flagged clean")
+	}
+	if !strings.Contains(d.String(), "structure remains") {
+		t.Fatal("verdict missing from report")
+	}
+}
+
+func TestDiagnoseStringContents(t *testing.T) {
+	y := simulateARMA(800, []float64{0.5}, nil, 0, 1, 83)
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Diagnose().String()
+	for _, want := range []string{"Ljung-Box", "Jarque-Bera", "residuals", "verdict"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("diagnostics report missing %q:\n%s", want, s)
+		}
+	}
+}

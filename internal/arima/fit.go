@@ -1,0 +1,409 @@
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/optimize"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Model is a fitted SARIMA(X) model.
+type Model struct {
+	Spec Spec
+
+	// AR, MA, SAR, SMA hold the estimated coefficients (φ, θ, Φ, Θ).
+	AR, MA, SAR, SMA []float64
+	// Intercept is the constant term of the differenced series (only
+	// estimated when d + D = 0).
+	Intercept float64
+	// Beta holds the exogenous regression coefficients, one per regressor
+	// column (the paper's equation (6) β's).
+	Beta []float64
+
+	// Sigma2 is the innovation variance estimated from the CSS.
+	Sigma2 float64
+	// LogLik is the Gaussian conditional log-likelihood.
+	LogLik float64
+	// AIC is −2·LogLik + 2·k, the Akaike information criterion.
+	AIC float64
+	// BIC is −2·LogLik + k·log(n).
+	BIC float64
+
+	// Residuals are the in-sample one-step innovations on the differenced
+	// scale (length n − d − s·D, with the first maxARLag entries zero).
+	Residuals []float64
+
+	// y is the training series on the original scale.
+	y []float64
+	// exog is the training regressor matrix (may be nil).
+	exog [][]float64
+	// w is the differenced regression-error series the ARMA part models.
+	w []float64
+
+	// Converged reports whether the optimiser met its tolerances.
+	Converged bool
+}
+
+// FitMethod selects the estimation objective.
+type FitMethod int
+
+const (
+	// MethodCSS minimises the Box-Jenkins conditional sum of squares —
+	// fast and the default (the classic route the paper's §4.1 follows).
+	MethodCSS FitMethod = iota
+	// MethodMLE maximises the exact Gaussian likelihood via the Kalman
+	// filter (what statsmodels' SARIMAX does). Slower, slightly more
+	// accurate on short series; see BenchmarkAblationCSSvsMLE.
+	MethodMLE
+)
+
+// FitOptions tunes estimation.
+type FitOptions struct {
+	// MaxIter bounds optimiser iterations; 0 means the optimiser default.
+	MaxIter int
+	// TolF forwards to Nelder-Mead.
+	TolF float64
+	// Method selects CSS (default) or exact-likelihood estimation.
+	Method FitMethod
+}
+
+// errTooShort is returned when the series cannot support the model order.
+var errTooShort = errors.New("arima: series too short for model order")
+
+// Fit estimates a SARIMA model for y with optional exogenous regressors.
+// exog is a list of columns, each of length len(y) (nil for none) — the
+// paper's shock pulses and Fourier terms enter here. The exogenous effect
+// is modelled as regression with SARIMA errors: y = X·β + n, n ~ SARIMA.
+func Fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(y)
+	for i, col := range exog {
+		if len(col) != n {
+			return nil, fmt.Errorf("arima: exog column %d has length %d, want %d", i, len(col), n)
+		}
+	}
+	lost := spec.LostObservations()
+	minN := lost + spec.MaxARLag() + spec.MaxMALag() + spec.NumARMAParams() + len(exog) + 10
+	if n < minN {
+		return nil, fmt.Errorf("%w: need >= %d observations for %v, have %d", errTooShort, minN, spec, n)
+	}
+
+	// Initial β by OLS of y on exog (two-step start for the joint fit).
+	beta0 := make([]float64, len(exog))
+	if len(exog) > 0 {
+		design := stats.DesignMatrix(false, append([][]float64{stats.Ones(n)}, exog...)...)
+		res, err := stats.OLS(design, y)
+		if err != nil {
+			return nil, fmt.Errorf("arima: exogenous regression failed: %w", err)
+		}
+		copy(beta0, res.Coef[1:])
+	}
+
+	// Differenced error series for the warm start.
+	makeW := func(beta []float64) []float64 {
+		nSeries := y
+		if len(beta) > 0 {
+			nSeries = make([]float64, n)
+			copy(nSeries, y)
+			for j, col := range exog {
+				b := beta[j]
+				for t := range nSeries {
+					nSeries[t] -= b * col[t]
+				}
+			}
+		}
+		return timeseries.Difference(nSeries, spec.D, spec.SD, spec.S)
+	}
+	w0 := makeW(beta0)
+
+	estimateIntercept := spec.D == 0 && spec.SD == 0
+
+	// Hannan-Rissanen warm start for the non-seasonal φ, θ.
+	phi0, theta0 := hannanRissanen(w0, spec.P, spec.Q)
+
+	// Parameter packing:
+	// [intercept?][φ×p][θ×q][Φ×P][Θ×Q][β×r]
+	nParams := spec.NumARMAParams() + len(exog)
+	if estimateIntercept {
+		nParams++
+	}
+	x0 := make([]float64, 0, nParams)
+	if estimateIntercept {
+		x0 = append(x0, stats.Mean(w0))
+	}
+	x0 = append(x0, phi0...)
+	x0 = append(x0, theta0...)
+	for i := 0; i < spec.SP; i++ {
+		x0 = append(x0, 0.1)
+	}
+	for i := 0; i < spec.SQ; i++ {
+		x0 = append(x0, 0.1)
+	}
+	x0 = append(x0, beta0...)
+
+	unpack := func(x []float64) (c float64, ar, ma, sar, sma, beta []float64) {
+		i := 0
+		if estimateIntercept {
+			c = x[0]
+			i = 1
+		}
+		ar = x[i : i+spec.P]
+		i += spec.P
+		ma = x[i : i+spec.Q]
+		i += spec.Q
+		sar = x[i : i+spec.SP]
+		i += spec.SP
+		sma = x[i : i+spec.SQ]
+		i += spec.SQ
+		beta = x[i:]
+		return
+	}
+
+	objective := func(x []float64) float64 {
+		c, ar, ma, sar, sma, beta := unpack(x)
+		arFull := expandSeasonal(ar, sar, spec.S)
+		maFull := expandSeasonal(ma, sma, spec.S)
+		if ok, pen := schurCohnStable(arFull); !ok {
+			return 1e12 * (1 + pen)
+		}
+		if ok, pen := schurCohnStable(maFull); !ok {
+			return 1e12 * (1 + pen)
+		}
+		w := w0
+		if len(beta) > 0 {
+			w = makeW(beta)
+		}
+		if opt.Method == MethodMLE {
+			ll, _ := kalmanLogLik(w, c, arFull, maFull)
+			if math.IsNaN(ll) || math.IsInf(ll, 0) {
+				return 1e12
+			}
+			return -ll
+		}
+		css, _ := conditionalSS(w, c, arFull, maFull)
+		if math.IsNaN(css) || math.IsInf(css, 0) {
+			return 1e12
+		}
+		return css
+	}
+
+	var result optimize.Result
+	if nParams == 0 {
+		// Pure differencing model (e.g. (0,1,0)): nothing to optimise.
+		result = optimize.Result{X: nil, F: objective(nil), Converged: true}
+	} else {
+		result = optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+			MaxIter: opt.MaxIter,
+			TolF:    opt.TolF,
+		})
+	}
+
+	c, ar, ma, sar, sma, beta := unpack(result.X)
+	arFull := expandSeasonal(ar, sar, spec.S)
+	maFull := expandSeasonal(ma, sma, spec.S)
+	w := w0
+	if len(beta) > 0 {
+		w = makeW(beta)
+	}
+	css, resid := conditionalSS(w, c, arFull, maFull)
+	warm := spec.MaxARLag()
+	neff := len(w) - warm
+	if neff <= 0 {
+		return nil, errTooShort
+	}
+	var sigma2, ll float64
+	if opt.Method == MethodMLE {
+		ll, sigma2 = kalmanLogLik(w, c, arFull, maFull)
+		if sigma2 <= 0 || math.IsInf(ll, 0) {
+			// Fall back to the CSS statistics for pathological corners.
+			sigma2 = css / float64(neff)
+			ll = -0.5 * float64(neff) * (math.Log(2*math.Pi*math.Max(sigma2, 1e-12)) + 1)
+		}
+	} else {
+		sigma2 = css / float64(neff)
+		if sigma2 <= 0 {
+			sigma2 = 1e-12
+		}
+		ll = -0.5 * float64(neff) * (math.Log(2*math.Pi*sigma2) + 1)
+	}
+	k := float64(nParams + 1) // +1 for σ²
+
+	m := &Model{
+		Spec:      spec,
+		AR:        clone(ar),
+		MA:        clone(ma),
+		SAR:       clone(sar),
+		SMA:       clone(sma),
+		Intercept: c,
+		Beta:      clone(beta),
+		Sigma2:    sigma2,
+		LogLik:    ll,
+		AIC:       -2*ll + 2*k,
+		BIC:       -2*ll + k*math.Log(float64(neff)),
+		Residuals: resid,
+		y:         clone(y),
+		w:         w,
+		Converged: result.Converged,
+	}
+	if len(exog) > 0 {
+		m.exog = make([][]float64, len(exog))
+		for i, col := range exog {
+			m.exog[i] = clone(col)
+		}
+	}
+	return m, nil
+}
+
+func clone(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	return append([]float64(nil), x...)
+}
+
+// conditionalSS computes the conditional sum of squares and residuals for
+// the differenced series w under the expanded lag polynomials, per
+// equation (2): a_t = w_t − c − Σφᵢw_{t−i} + Σθⱼa_{t−j}. Pre-sample w's
+// are unavailable, so the recursion starts at t = len(arFull); pre-sample
+// residuals are zero.
+func conditionalSS(w []float64, c float64, arFull, maFull []float64) (css float64, resid []float64) {
+	n := len(w)
+	resid = make([]float64, n)
+	warm := len(arFull)
+	if warm > n {
+		return math.Inf(1), resid
+	}
+	for t := warm; t < n; t++ {
+		v := w[t] - c
+		for i, phi := range arFull {
+			if phi != 0 {
+				v -= phi * w[t-1-i]
+			}
+		}
+		for j, th := range maFull {
+			if th == 0 {
+				continue
+			}
+			if t-1-j >= 0 {
+				v += th * resid[t-1-j]
+			}
+		}
+		resid[t] = v
+		css += v * v
+	}
+	return css, resid
+}
+
+// hannanRissanen produces initial φ, θ estimates: a long autoregression
+// estimates innovations, then w is regressed on its own lags and lagged
+// innovations. Failures fall back to small constants.
+func hannanRissanen(w []float64, p, q int) (phi, theta []float64) {
+	phi = make([]float64, p)
+	theta = make([]float64, q)
+	fallback := func() ([]float64, []float64) {
+		for i := range phi {
+			phi[i] = 0.05
+		}
+		for i := range theta {
+			theta[i] = 0.05
+		}
+		return phi, theta
+	}
+	if p+q == 0 {
+		return phi, theta
+	}
+	n := len(w)
+	longLag := 10
+	if p+q+1 > longLag {
+		longLag = p + q + 1
+	}
+	if n < longLag*3+p+q+10 {
+		return fallback()
+	}
+	mean := stats.Mean(w)
+	wc := make([]float64, n)
+	for i, v := range w {
+		wc[i] = v - mean
+	}
+	// Step 1: long AR by OLS.
+	rows := n - longLag
+	design := linalg.NewMatrix(rows, longLag)
+	target := make([]float64, rows)
+	for t := 0; t < rows; t++ {
+		target[t] = wc[t+longLag]
+		for j := 0; j < longLag; j++ {
+			design.Set(t, j, wc[t+longLag-1-j])
+		}
+	}
+	coef, err := linalg.SolveLeastSquares(design, target)
+	if err != nil {
+		return fallback()
+	}
+	// Innovations.
+	innov := make([]float64, n)
+	for t := longLag; t < n; t++ {
+		v := wc[t]
+		for j := 0; j < longLag; j++ {
+			v -= coef[j] * wc[t-1-j]
+		}
+		innov[t] = v
+	}
+	// Step 2: regress wc on p own-lags and q innovation lags.
+	start := longLag + q
+	if p > 0 && start < p {
+		start = p
+	}
+	rows2 := n - start
+	if rows2 < p+q+5 {
+		return fallback()
+	}
+	design2 := linalg.NewMatrix(rows2, p+q)
+	target2 := make([]float64, rows2)
+	for t := 0; t < rows2; t++ {
+		tt := t + start
+		target2[t] = wc[tt]
+		for i := 0; i < p; i++ {
+			design2.Set(t, i, wc[tt-1-i])
+		}
+		for j := 0; j < q; j++ {
+			design2.Set(t, p+j, innov[tt-1-j])
+		}
+	}
+	coef2, err := linalg.SolveLeastSquares(design2, target2)
+	if err != nil {
+		return fallback()
+	}
+	copy(phi, coef2[:p])
+	for j := 0; j < q; j++ {
+		// Box-Jenkins sign convention: w_t = … + a_t − Σθ a_{t−j}.
+		theta[j] = -coef2[p+j]
+	}
+	// Clamp the warm start inside the stable region.
+	if ok, _ := schurCohnStable(expandSeasonal(phi, nil, 0)); !ok {
+		for i := range phi {
+			phi[i] *= 0.5
+		}
+		if ok2, _ := schurCohnStable(expandSeasonal(phi, nil, 0)); !ok2 {
+			for i := range phi {
+				phi[i] = 0.05
+			}
+		}
+	}
+	if ok, _ := schurCohnStable(expandSeasonal(theta, nil, 0)); !ok {
+		for i := range theta {
+			theta[i] *= 0.5
+		}
+		if ok2, _ := schurCohnStable(expandSeasonal(theta, nil, 0)); !ok2 {
+			for i := range theta {
+				theta[i] = 0.05
+			}
+		}
+	}
+	return phi, theta
+}

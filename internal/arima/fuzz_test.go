@@ -1,0 +1,41 @@
+package arima
+
+import "testing"
+
+// FuzzParseSpec checks the order parser never panics and that anything it
+// accepts round-trips through String and validates.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"(1,1,1)(1,1,1,24)",
+		"(13,1,2)(1,1,1,24)",
+		"(4,1,1)",
+		"(0,1,0)",
+		"",
+		"garbage",
+		"(1,1",
+		"(1,1,1)(",
+		"(999999999,1,1)",
+		"(-1,0,0)",
+		"(1,1,1)(1,1,1,0)",
+		"( 1 , 1 , 1 )",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec %v: %v", s, spec, verr)
+		}
+		// Round trip: parse(String(spec)) == spec.
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("String output %q does not re-parse: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Fatalf("round trip mismatch: %v -> %q -> %v", spec, spec.String(), back)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package arima
+
+import "repro/internal/stats"
+
+// Candidate describes one model to evaluate in a grid search: a SARIMA
+// order plus flags selecting which exogenous feature groups to attach.
+// The engine materialises the actual regressor columns.
+type Candidate struct {
+	Spec Spec
+	// UseExog attaches the detected shock regressors (the paper's
+	// "Exogenous (4)").
+	UseExog bool
+	// UseFourier attaches Fourier-term regressors for multiple
+	// seasonality (the paper's "Fourier Terms (2)").
+	UseFourier bool
+}
+
+// The paper's §6.3 measures the data over 30 lags; the AR order p ranges
+// over those lags.
+const gridLags = 30
+
+// arimaVariants are the per-lag (d, q) combinations of the plain ARIMA
+// grid: 6 variants × 30 lags = the paper's "ARIMA p,d,q = 180 models per
+// instance".
+var arimaVariants = []struct{ d, q int }{
+	{0, 0}, {0, 1}, {0, 2},
+	{1, 0}, {1, 1}, {1, 2},
+}
+
+// sarimaxVariants are the per-lag (d, q, P, D, Q) combinations of the
+// seasonal grid: 22 variants × 30 lags = the paper's "SARIMAX
+// p,d,q,P,D,Q,F = 660 models per instance". The paper's §6.3 examples —
+// "(1,0,0)(0,0,1,24) …, (1,1,2)(1,1,1,24)" — appear in this list.
+var sarimaxVariants = []struct{ d, q, P, D, Q int }{
+	// d = 0 block.
+	{0, 0, 0, 0, 1}, {0, 0, 1, 0, 0}, {0, 0, 1, 0, 1},
+	{0, 1, 0, 1, 1}, {0, 1, 1, 1, 0}, {0, 1, 1, 1, 1},
+	{0, 2, 0, 1, 1}, {0, 2, 1, 1, 0}, {0, 2, 1, 1, 1},
+	{0, 0, 0, 1, 0}, {0, 1, 0, 0, 1},
+	// d = 1 block.
+	{1, 0, 0, 0, 1}, {1, 0, 1, 0, 0}, {1, 0, 1, 0, 1},
+	{1, 1, 0, 1, 1}, {1, 1, 1, 1, 0}, {1, 1, 1, 1, 1},
+	{1, 2, 0, 1, 1}, {1, 2, 1, 1, 0}, {1, 2, 1, 1, 1},
+	{1, 0, 0, 1, 0}, {1, 1, 0, 0, 1},
+}
+
+// ARIMAGrid enumerates the plain ARIMA candidate set: 180 models
+// (p = 1…30 × 6 (d,q) variants).
+func ARIMAGrid() []Candidate {
+	out := make([]Candidate, 0, gridLags*len(arimaVariants))
+	for p := 1; p <= gridLags; p++ {
+		for _, v := range arimaVariants {
+			out = append(out, Candidate{Spec: Spec{P: p, D: v.d, Q: v.q}})
+		}
+	}
+	return out
+}
+
+// SARIMAXGrid enumerates the seasonal candidate set with period s:
+// 660 models (p = 1…30 × 22 seasonal variants).
+func SARIMAXGrid(s int) []Candidate {
+	out := make([]Candidate, 0, gridLags*len(sarimaxVariants))
+	for p := 1; p <= gridLags; p++ {
+		for _, v := range sarimaxVariants {
+			out = append(out, Candidate{Spec: Spec{
+				P: p, D: v.d, Q: v.q,
+				SP: v.P, SD: v.D, SQ: v.Q, S: s,
+			}})
+		}
+	}
+	return out
+}
+
+// SARIMAXExogFourierGrid enumerates the third family of §6.3: the 660
+// SARIMAX models plus 4 exogenous-augmented and 2 Fourier-augmented
+// variants of the strongest seasonal shape — 666 models per instance.
+func SARIMAXExogFourierGrid(s int) []Candidate {
+	out := SARIMAXGrid(s)
+	// Exogenous (4): four orders with the shock regressors attached.
+	exogSpecs := []Spec{
+		{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: s},
+		{P: 2, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: s},
+		{P: 1, D: 0, Q: 1, SP: 1, SD: 1, SQ: 1, S: s},
+		{P: 2, D: 1, Q: 2, SP: 0, SD: 1, SQ: 1, S: s},
+	}
+	for _, sp := range exogSpecs {
+		out = append(out, Candidate{Spec: sp, UseExog: true})
+	}
+	// Fourier Terms (2): two orders with Fourier regressors attached
+	// (and the shocks, as in "SARIMAX FFT Exogenous" of Table 2).
+	fourierSpecs := []Spec{
+		{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: s},
+		{P: 2, D: 1, Q: 2, SP: 1, SD: 1, SQ: 1, S: s},
+	}
+	for _, sp := range fourierSpecs {
+		out = append(out, Candidate{Spec: sp, UseExog: true, UseFourier: true})
+	}
+	return out
+}
+
+// PrunedGrid implements the paper's §6.3 tuning: "we could reduce the
+// number of models … by looking at the correlogram … where the data
+// points intersect with the shaded areas". It computes ACF and PACF of
+// the (differenced) series, keeps the AR orders whose PACF value is
+// significant and the MA orders whose ACF value is significant, and
+// crosses them with the seasonal variants appropriate to the detected
+// differencing. maxCandidates caps the result (strongest lags first).
+func PrunedGrid(y []float64, d, D, s int, seasonal bool, maxCandidates int) []Candidate {
+	if maxCandidates <= 0 {
+		maxCandidates = 48
+	}
+	// Analyse on the differenced scale, where the ARMA structure lives.
+	w := y
+	if d > 0 || D > 0 {
+		w = diffForAnalysis(y, d, D, s)
+	}
+	maxLag := gridLags
+	if maxLag > len(w)/4 {
+		maxLag = len(w) / 4
+	}
+	if maxLag < 2 {
+		maxLag = 2
+	}
+	acf := stats.ACF(w, maxLag)
+	pacf := stats.PACF(w, maxLag)
+	band := stats.ConfidenceBand(len(w), 0.95)
+
+	arOrders := significantOrders(pacf, band, 4)
+	maOrders := significantOrdersFromACF(acf, band, 3)
+	if len(arOrders) == 0 {
+		arOrders = []int{1}
+	}
+	if len(maOrders) == 0 {
+		maOrders = []int{0, 1}
+	}
+
+	var seasonalVariants []struct{ P, Q int }
+	if seasonal {
+		seasonalVariants = []struct{ P, Q int }{{0, 1}, {1, 0}, {1, 1}}
+	} else {
+		seasonalVariants = []struct{ P, Q int }{{0, 0}}
+	}
+
+	var out []Candidate
+	for _, p := range arOrders {
+		for _, q := range maOrders {
+			for _, sv := range seasonalVariants {
+				sp := Spec{P: p, D: d, Q: q, SP: sv.P, SD: D, SQ: sv.Q}
+				if seasonal {
+					sp.S = s
+				}
+				if sp.Validate() != nil {
+					continue
+				}
+				out = append(out, Candidate{Spec: sp})
+				if len(out) >= maxCandidates {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// significantOrders returns up to max AR orders: each significant PACF lag
+// suggests p = lag.
+func significantOrders(pacf []float64, band float64, max int) []int {
+	var out []int
+	for k := 0; k < len(pacf) && len(out) < max; k++ {
+		v := pacf[k]
+		if v > band || v < -band {
+			out = append(out, k+1)
+		}
+	}
+	return out
+}
+
+// significantOrdersFromACF returns up to max MA orders from significant
+// early ACF lags, always offering q=0 as the parsimonious option.
+func significantOrdersFromACF(acf []float64, band float64, max int) []int {
+	out := []int{0}
+	for k := 1; k < len(acf) && len(out) < max; k++ {
+		v := acf[k]
+		if v > band || v < -band {
+			out = append(out, k)
+		}
+		if k >= 3 { // MA orders beyond 3 are rarely useful here
+			break
+		}
+	}
+	return out
+}
+
+func diffForAnalysis(y []float64, d, D, s int) []float64 {
+	out := y
+	for i := 0; i < D && len(out) > s; i++ {
+		next := make([]float64, len(out)-s)
+		for t := s; t < len(out); t++ {
+			next[t-s] = out[t] - out[t-s]
+		}
+		out = next
+	}
+	for i := 0; i < d && len(out) > 1; i++ {
+		next := make([]float64, len(out)-1)
+		for t := 1; t < len(out); t++ {
+			next[t-1] = out[t] - out[t-1]
+		}
+		out = next
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGridCountsMatchPaper pins the §6.3 model counts: "ARIMA p,d,q = 180
+// models per instance", "SARIMAX p,d,q,P,D,Q,F = 660", "SARIMAX + Exogenous
+// (4) + Fourier Terms (2) = 666".
+func TestGridCountsMatchPaper(t *testing.T) {
+	if got := len(ARIMAGrid()); got != 180 {
+		t.Fatalf("ARIMA grid = %d models, paper says 180", got)
+	}
+	if got := len(SARIMAXGrid(24)); got != 660 {
+		t.Fatalf("SARIMAX grid = %d models, paper says 660", got)
+	}
+	if got := len(SARIMAXExogFourierGrid(24)); got != 666 {
+		t.Fatalf("SARIMAX+FFT+Exog grid = %d models, paper says 666", got)
+	}
+}
+
+func TestGridSpecsAreValid(t *testing.T) {
+	for _, c := range ARIMAGrid() {
+		if c.Spec.P == 0 && c.Spec.Q == 0 && c.Spec.D == 0 {
+			continue // (p>=1 always here)
+		}
+		if err := c.Spec.Validate(); err != nil {
+			t.Fatalf("invalid ARIMA spec %v: %v", c.Spec, err)
+		}
+		if c.UseExog || c.UseFourier {
+			t.Fatalf("plain ARIMA grid must not use exog: %+v", c)
+		}
+	}
+	for _, c := range SARIMAXGrid(24) {
+		if err := c.Spec.Validate(); err != nil {
+			t.Fatalf("invalid SARIMAX spec %v: %v", c.Spec, err)
+		}
+		if !c.Spec.IsSeasonal() {
+			t.Fatalf("SARIMAX grid entry not seasonal: %v", c.Spec)
+		}
+	}
+	grid := SARIMAXExogFourierGrid(24)
+	nExog, nFourier := 0, 0
+	for _, c := range grid {
+		if c.UseFourier {
+			nFourier++
+			if !c.UseExog {
+				t.Fatal("Fourier variants should also carry exog")
+			}
+		} else if c.UseExog {
+			nExog++
+		}
+	}
+	if nExog != 4 || nFourier != 2 {
+		t.Fatalf("augmented variants = %d exog + %d fourier, want 4 + 2", nExog, nFourier)
+	}
+}
+
+func TestGridContainsPaperExamples(t *testing.T) {
+	// §6.3 names (1,0,0)(0,0,1,24) and (1,1,2)(1,1,1,24) as grid members.
+	want := []Spec{
+		{P: 1, D: 0, Q: 0, SP: 0, SD: 0, SQ: 1, S: 24},
+		{P: 1, D: 1, Q: 2, SP: 1, SD: 1, SQ: 1, S: 24},
+	}
+	grid := SARIMAXGrid(24)
+	for _, w := range want {
+		found := false
+		for _, c := range grid {
+			if c.Spec == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("grid missing the paper's example %v", w)
+		}
+	}
+}
+
+func TestPrunedGridSmallerThanFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 600
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/24) + rng.NormFloat64()
+	}
+	pruned := PrunedGrid(y, 0, 1, 24, true, 48)
+	if len(pruned) == 0 {
+		t.Fatal("pruned grid is empty")
+	}
+	if len(pruned) > 48 {
+		t.Fatalf("pruned grid = %d > cap", len(pruned))
+	}
+	if len(pruned) >= len(SARIMAXGrid(24)) {
+		t.Fatal("pruning did not reduce the grid")
+	}
+	for _, c := range pruned {
+		if err := c.Spec.Validate(); err != nil {
+			t.Fatalf("pruned spec invalid: %v", err)
+		}
+		if c.Spec.S != 24 {
+			t.Fatalf("seasonal period lost: %v", c.Spec)
+		}
+	}
+}
+
+func TestPrunedGridNonSeasonal(t *testing.T) {
+	y := simulateARMA(400, []float64{0.6}, nil, 0, 1, 52)
+	pruned := PrunedGrid(y, 0, 0, 0, false, 20)
+	if len(pruned) == 0 {
+		t.Fatal("empty pruned grid")
+	}
+	for _, c := range pruned {
+		if c.Spec.IsSeasonal() {
+			t.Fatalf("non-seasonal request produced seasonal spec %v", c.Spec)
+		}
+	}
+}
+
+func TestPrunedGridAR1DataSuggestsLowOrder(t *testing.T) {
+	y := simulateARMA(2000, []float64{0.7}, nil, 0, 1, 53)
+	pruned := PrunedGrid(y, 0, 0, 0, false, 20)
+	foundP1 := false
+	for _, c := range pruned {
+		if c.Spec.P == 1 {
+			foundP1 = true
+		}
+	}
+	if !foundP1 {
+		t.Fatalf("AR(1) data should propose p=1; got %+v", pruned)
+	}
+}

@@ -1,0 +1,141 @@
+package arima
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKalmanLogLikWhiteNoise(t *testing.T) {
+	// For white noise, the exact likelihood equals the i.i.d. Gaussian
+	// likelihood with σ̂² = mean of squares.
+	y := simulateARMA(2000, nil, nil, 0, 1.5, 71)
+	ll, sigma2 := kalmanLogLik(y, 0, nil, nil)
+	var ms float64
+	for _, v := range y {
+		ms += v * v
+	}
+	ms /= float64(len(y))
+	if math.Abs(sigma2-ms) > 1e-9 {
+		t.Fatalf("sigma2 = %v, want %v", sigma2, ms)
+	}
+	want := -0.5 * float64(len(y)) * (math.Log(2*math.Pi) + 1 + math.Log(ms))
+	if math.Abs(ll-want) > 1e-6 {
+		t.Fatalf("loglik = %v, want %v", ll, want)
+	}
+}
+
+func TestKalmanLogLikPrefersTrueParams(t *testing.T) {
+	y := simulateARMA(1500, []float64{0.7}, nil, 0, 1, 72)
+	llTrue, _ := kalmanLogLik(y, 0, []float64{0.7}, nil)
+	llWrong, _ := kalmanLogLik(y, 0, []float64{0.1}, nil)
+	if llTrue <= llWrong {
+		t.Fatalf("true params should win: %v vs %v", llTrue, llWrong)
+	}
+	llMA, _ := kalmanLogLik(y, 0, nil, []float64{0.7})
+	if llTrue <= llMA {
+		t.Fatalf("AR truth should beat MA misspecification: %v vs %v", llTrue, llMA)
+	}
+}
+
+func TestStationaryCovarianceAR1(t *testing.T) {
+	// AR(1): stationary variance = 1/(1−φ²) for unit innovations.
+	phi := 0.8
+	p := stationaryCovariance([]float64{phi}, []float64{1}, 1)
+	want := 1 / (1 - phi*phi)
+	if math.Abs(p[0]-want) > 1e-8 {
+		t.Fatalf("P = %v, want %v", p[0], want)
+	}
+}
+
+func TestStationaryCovarianceARMA11(t *testing.T) {
+	// ARMA(1,1) variance: (1 + ψ² + 2φψ)/(1−φ²) with ψ = −θ in our sign
+	// convention (Harvey R = [1, ψ]).
+	phi, theta := 0.5, 0.3
+	psi := -theta
+	r := armaDim([]float64{phi}, []float64{theta})
+	p := stationaryCovariance([]float64{phi}, []float64{1, psi}, r)
+	want := (1 + psi*psi + 2*phi*psi) / (1 - phi*phi)
+	if math.Abs(p[0]-want) > 1e-8 {
+		t.Fatalf("var = %v, want %v", p[0], want)
+	}
+}
+
+func TestFitMLEMatchesCSSOnAR1(t *testing.T) {
+	y := simulateARMA(2000, []float64{0.65}, nil, 0, 1, 73)
+	css, err := Fit(Spec{P: 1}, y, nil, FitOptions{Method: MethodCSS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mle, err := Fit(Spec{P: 1}, y, nil, FitOptions{Method: MethodMLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(css.AR[0]-mle.AR[0]) > 0.02 {
+		t.Fatalf("CSS phi=%v vs MLE phi=%v", css.AR[0], mle.AR[0])
+	}
+	if math.Abs(mle.AR[0]-0.65) > 0.05 {
+		t.Fatalf("MLE phi = %v, want ~0.65", mle.AR[0])
+	}
+	if math.Abs(mle.Sigma2-1) > 0.1 {
+		t.Fatalf("MLE sigma2 = %v, want ~1", mle.Sigma2)
+	}
+}
+
+func TestFitMLEMA1(t *testing.T) {
+	y := simulateARMA(2500, nil, []float64{0.5}, 0, 1, 74)
+	mle, err := Fit(Spec{Q: 1}, y, nil, FitOptions{Method: MethodMLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mle.MA[0]-0.5) > 0.06 {
+		t.Fatalf("MLE theta = %v, want ~0.5", mle.MA[0])
+	}
+}
+
+func TestFitMLESeasonalForecastWorks(t *testing.T) {
+	rng := simulateARMA(600, []float64{0.3}, nil, 0, 0.5, 75)
+	y := make([]float64, len(rng))
+	for i := range y {
+		y[i] = 50 + 10*math.Sin(2*math.Pi*float64(i)/12) + rng[i]
+	}
+	m, err := Fit(Spec{P: 1, SD: 1, SQ: 1, S: 12}, y, nil, FitOptions{Method: MethodMLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(12, nil, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range fc.Mean {
+		truth := 50 + 10*math.Sin(2*math.Pi*float64(len(y)+k)/12)
+		if math.Abs(v-truth) > 3 {
+			t.Fatalf("MLE seasonal forecast off at %d: %v vs %v", k, v, truth)
+		}
+	}
+}
+
+func TestApplyTShiftStructure(t *testing.T) {
+	// T·x for AR=[a,b] on x=[x0,x1]: [a·x0 + x1, b·x0].
+	out := make([]float64, 2)
+	applyT([]float64{0.5, 0.2}, []float64{2, 3}, out)
+	if out[0] != 0.5*2+3 || out[1] != 0.2*2 {
+		t.Fatalf("applyT = %v", out)
+	}
+	// Pure MA dimension: r=2 with no AR — pure shift.
+	applyT(nil, []float64{2, 3}, out)
+	if out[0] != 3 || out[1] != 0 {
+		t.Fatalf("applyT shift = %v", out)
+	}
+}
+
+func TestArmaDim(t *testing.T) {
+	if armaDim(nil, nil) != 1 {
+		t.Fatal("empty dim")
+	}
+	if armaDim([]float64{1, 2, 3}, []float64{1}) != 3 {
+		t.Fatal("AR-dominated dim")
+	}
+	if armaDim([]float64{1}, []float64{1, 2, 3}) != 4 {
+		t.Fatal("MA-dominated dim")
+	}
+}

@@ -1,0 +1,175 @@
+package arima
+
+import "math"
+
+// Polynomials here follow the Box-Jenkins convention of equation (2): an
+// AR polynomial φ(B) = 1 − φ₁B − … − φ_pB^p is stored as its lag
+// coefficients [φ₁ … φ_p]; the implicit leading 1 is not stored. The same
+// convention holds for MA polynomials θ(B) = 1 − θ₁B − … − θ_qB^q.
+
+// expandSeasonal multiplies a non-seasonal lag polynomial (coeffs at lags
+// 1..p) with a seasonal one (coeffs at lags s, 2s, …) and returns the
+// combined lag coefficients up to lag p + s·P:
+//
+//	(1 − Σaᵢ Bⁱ)(1 − Σbₖ B^{sk}) = 1 − Σcⱼ Bʲ
+//
+// This realises the multiplicative structure of the paper's equation (5).
+func expandSeasonal(nonseasonal []float64, seasonal []float64, s int) []float64 {
+	p := len(nonseasonal)
+	sp := len(seasonal)
+	if sp == 0 {
+		out := make([]float64, p)
+		copy(out, nonseasonal)
+		return out
+	}
+	n := p + s*sp
+	// Work with full polynomial coefficients including the leading 1.
+	a := make([]float64, p+1)
+	a[0] = 1
+	for i, v := range nonseasonal {
+		a[i+1] = -v
+	}
+	b := make([]float64, s*sp+1)
+	b[0] = 1
+	for k, v := range seasonal {
+		b[s*(k+1)] = -v
+	}
+	full := make([]float64, n+1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			full[i+j] += av * bv
+		}
+	}
+	out := make([]float64, n)
+	for j := 1; j <= n; j++ {
+		out[j-1] = -full[j]
+	}
+	return out
+}
+
+// schurCohnStable reports whether the lag polynomial 1 − Σcᵢ Bⁱ has all
+// roots strictly outside the unit circle (i.e. the AR process is
+// stationary / the MA process is invertible). It runs the Schur-Cohn
+// (reverse Levinson) recursion on the reflection coefficients; the
+// polynomial is stable iff every reflection coefficient has modulus < 1.
+// The second return value is a measure of violation (0 when stable) used
+// as an optimisation penalty.
+func schurCohnStable(lagCoeffs []float64) (bool, float64) {
+	// Convert to the a-parameter form used by the recursion:
+	// y_t = Σ a_i y_{t−i} means a_i = lagCoeffs[i−1].
+	n := len(lagCoeffs)
+	// Trim trailing zeros.
+	for n > 0 && lagCoeffs[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return true, 0
+	}
+	a := make([]float64, n)
+	copy(a, lagCoeffs[:n])
+	const margin = 1e-8
+	violation := 0.0
+	for k := n; k >= 1; k-- {
+		r := a[k-1]
+		if ab := math.Abs(r); ab >= 1-margin {
+			violation += ab - (1 - margin)
+			return false, violation + 1e-6
+		}
+		if k == 1 {
+			break
+		}
+		denom := 1 - r*r
+		next := make([]float64, k-1)
+		for i := 0; i < k-1; i++ {
+			next[i] = (a[i] + r*a[k-2-i]) / denom
+		}
+		a = next
+	}
+	return true, 0
+}
+
+// psiWeights computes the MA(∞) representation weights ψ₀…ψ_{h−1} of the
+// ARMA model Ã(B)Y = Θ̃(B)a, where ar and ma are lag coefficients (the
+// fully expanded polynomials, including any differencing factors folded
+// into ar). ψ₀ = 1 and
+//
+//	ψⱼ = −θ̃ⱼ + Σ_{i=1..min(j,p)} ãᵢ ψ_{j−i}
+//
+// with the Box-Jenkins sign convention θ(B) = 1 − Σθᵢ Bⁱ. The h-step
+// forecast variance is σ²·Σ_{j<h} ψⱼ².
+func psiWeights(ar, ma []float64, h int) []float64 {
+	psi := make([]float64, h)
+	if h == 0 {
+		return psi
+	}
+	psi[0] = 1
+	for j := 1; j < h; j++ {
+		var v float64
+		if j <= len(ma) {
+			v = -ma[j-1]
+		}
+		for i := 1; i <= j && i <= len(ar); i++ {
+			v += ar[i-1] * psi[j-i]
+		}
+		psi[j] = v
+	}
+	return psi
+}
+
+// polyMulLag multiplies two lag polynomials given as lag coefficients
+// (leading 1 implicit) and returns the product's lag coefficients.
+func polyMulLag(a, b []float64) []float64 {
+	if len(a) == 0 {
+		out := make([]float64, len(b))
+		copy(out, b)
+		return out
+	}
+	if len(b) == 0 {
+		out := make([]float64, len(a))
+		copy(out, a)
+		return out
+	}
+	fa := make([]float64, len(a)+1)
+	fa[0] = 1
+	for i, v := range a {
+		fa[i+1] = -v
+	}
+	fb := make([]float64, len(b)+1)
+	fb[0] = 1
+	for i, v := range b {
+		fb[i+1] = -v
+	}
+	full := make([]float64, len(fa)+len(fb)-1)
+	for i, av := range fa {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range fb {
+			full[i+j] += av * bv
+		}
+	}
+	out := make([]float64, len(full)-1)
+	for j := 1; j < len(full); j++ {
+		out[j-1] = -full[j]
+	}
+	return out
+}
+
+// differencingPolynomial returns the lag coefficients of
+// (1−B)ᵈ(1−Bˢ)ᴰ — the integration factor folded into the AR side when
+// computing ψ weights for an integrated model.
+func differencingPolynomial(d, D, s int) []float64 {
+	var poly []float64 // empty = the constant polynomial 1
+	for i := 0; i < d; i++ {
+		poly = polyMulLag(poly, []float64{1}) // (1 − B)
+	}
+	for i := 0; i < D; i++ {
+		seasonal := make([]float64, s)
+		seasonal[s-1] = 1 // (1 − Bˢ)
+		poly = polyMulLag(poly, seasonal)
+	}
+	return poly
+}

@@ -1,0 +1,152 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ψ-weights equal the impulse response of the ARMA recursion —
+// feeding a unit innovation at t=0 and zeros afterwards through
+// y_t = Σφ y_{t−i} + a_t − Σθ a_{t−j} reproduces ψ_j at step j.
+func TestPsiWeightsMatchImpulseResponseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(3)
+		q := rng.Intn(3)
+		ar := make([]float64, p)
+		ma := make([]float64, q)
+		for i := range ar {
+			ar[i] = rng.NormFloat64() * 0.3
+		}
+		for i := range ma {
+			ma[i] = rng.NormFloat64() * 0.3
+		}
+		if ok, _ := schurCohnStable(ar); !ok {
+			return true // skip unstable draws
+		}
+		h := 12
+		psi := psiWeights(ar, ma, h)
+		// Simulate the impulse response.
+		y := make([]float64, h)
+		a := make([]float64, h)
+		a[0] = 1
+		for tt := 0; tt < h; tt++ {
+			v := a[tt]
+			for i, phi := range ar {
+				if tt-1-i >= 0 {
+					v += phi * y[tt-1-i]
+				}
+			}
+			for j, th := range ma {
+				if tt-1-j >= 0 {
+					v -= th * a[tt-1-j]
+				}
+			}
+			y[tt] = v
+		}
+		for j := 0; j < h; j++ {
+			if math.Abs(psi[j]-y[j]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: expandSeasonal agrees with brute-force polynomial
+// multiplication for random coefficients and periods.
+func TestExpandSeasonalBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(4)
+		sp := rng.Intn(3)
+		s := 2 + rng.Intn(12)
+		ns := make([]float64, p)
+		ss := make([]float64, sp)
+		for i := range ns {
+			ns[i] = rng.NormFloat64()
+		}
+		for i := range ss {
+			ss[i] = rng.NormFloat64()
+		}
+		got := expandSeasonal(ns, ss, s)
+		// Brute force: full coefficient arrays.
+		a := make([]float64, p+1)
+		a[0] = 1
+		for i, v := range ns {
+			a[i+1] = -v
+		}
+		b := make([]float64, s*sp+1)
+		b[0] = 1
+		for k, v := range ss {
+			b[s*(k+1)] = -v
+		}
+		full := make([]float64, len(a)+len(b)-1)
+		for i, av := range a {
+			for j, bv := range b {
+				full[i+j] += av * bv
+			}
+		}
+		if len(got) != len(full)-1 {
+			return false
+		}
+		for j := 1; j < len(full); j++ {
+			if math.Abs(got[j-1]-(-full[j])) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fitting is equivariant to scaling — scaling the series by c
+// scales the forecast by c and σ² by c², while φ/θ stay put.
+func TestFitScaleEquivarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		scale := 2 + float64(((seed%7)+7)%7)
+		y := simulateARMA(600, []float64{0.5}, nil, 0, 1, seed)
+		ys := make([]float64, len(y))
+		for i, v := range y {
+			ys[i] = v * scale
+		}
+		a, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+		if err != nil {
+			return false
+		}
+		b, err := Fit(Spec{P: 1}, ys, nil, FitOptions{})
+		if err != nil {
+			return false
+		}
+		if math.Abs(a.AR[0]-b.AR[0]) > 0.02 {
+			return false
+		}
+		if math.Abs(b.Sigma2/a.Sigma2-scale*scale) > 0.1*scale*scale {
+			return false
+		}
+		fa, err := a.Forecast(3, nil, 0.9)
+		if err != nil {
+			return false
+		}
+		fb, err := b.Forecast(3, nil, 0.9)
+		if err != nil {
+			return false
+		}
+		for k := range fa.Mean {
+			if math.Abs(fb.Mean[k]-scale*fa.Mean[k]) > 0.05*(1+math.Abs(scale*fa.Mean[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package arima
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateFutureMatchesAnalyticForecast(t *testing.T) {
+	y := simulateARMA(2000, []float64{0.6}, nil, 8, 1, 101) // mean 20
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(12, nil, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := m.SimulateFuture(12, nil, []float64{0.5, 0.975}, SimulateOptions{Paths: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monte-Carlo mean tracks the analytic point forecast.
+	for k := 0; k < 12; k++ {
+		if math.Abs(sim.Mean[k]-fc.Mean[k]) > 0.2 {
+			t.Fatalf("path mean diverges at %d: %v vs %v", k, sim.Mean[k], fc.Mean[k])
+		}
+	}
+	// 97.5% path quantile tracks the analytic upper bound.
+	for k := 0; k < 12; k++ {
+		if math.Abs(sim.Quantile[0.975][k]-fc.Upper[k]) > 0.35 {
+			t.Fatalf("upper quantile diverges at %d: %v vs %v", k, sim.Quantile[0.975][k], fc.Upper[k])
+		}
+	}
+}
+
+func TestSimulateFuturePeakQuantileOrdering(t *testing.T) {
+	y := simulateARMA(1000, []float64{0.5}, nil, 0, 1, 102)
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := m.SimulateFuture(24, nil, []float64{0.5, 0.9, 0.99}, SimulateOptions{Paths: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sim.PeakQuantile[0.5] < sim.PeakQuantile[0.9] && sim.PeakQuantile[0.9] < sim.PeakQuantile[0.99]) {
+		t.Fatalf("peak quantiles unordered: %+v", sim.PeakQuantile)
+	}
+	// The horizon peak exceeds the per-step median (max over steps).
+	if sim.PeakQuantile[0.5] < sim.Quantile[0.5][0] {
+		t.Fatal("peak below first-step median")
+	}
+}
+
+func TestSimulateFutureBootstrap(t *testing.T) {
+	y := simulateARMA(1500, []float64{0.6}, nil, 0, 1, 103)
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := m.SimulateFuture(10, nil, []float64{0.5}, SimulateOptions{Paths: 500, Bootstrap: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sim.Quantile[0.5] {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite bootstrap quantile")
+		}
+	}
+}
+
+func TestSimulateFutureReproducible(t *testing.T) {
+	y := simulateARMA(800, []float64{0.4}, nil, 0, 1, 104)
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.SimulateFuture(8, nil, []float64{0.5}, SimulateOptions{Paths: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SimulateFuture(8, nil, []float64{0.5}, SimulateOptions{Paths: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Mean {
+		if a.Mean[k] != b.Mean[k] {
+			t.Fatal("simulation not reproducible with equal seeds")
+		}
+	}
+}
+
+func TestSimulateFutureValidation(t *testing.T) {
+	y := simulateARMA(500, []float64{0.5}, nil, 0, 1, 105)
+	m, err := Fit(Spec{P: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SimulateFuture(0, nil, []float64{0.5}, SimulateOptions{}); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	if _, err := m.SimulateFuture(5, nil, []float64{1.5}, SimulateOptions{}); err == nil {
+		t.Fatal("bad quantile should fail")
+	}
+	if _, err := m.SimulateFuture(5, [][]float64{{1}}, []float64{0.5}, SimulateOptions{}); err == nil {
+		t.Fatal("unexpected exog should fail")
+	}
+}
+
+// TestForecastIntervalCalibration is the statistical quality check: over
+// many simulated replications, ~95% of 1-step-ahead truths must fall in
+// the 95% interval.
+func TestForecastIntervalCalibration(t *testing.T) {
+	inCount, total := 0, 0
+	for rep := 0; rep < 60; rep++ {
+		full := simulateARMA(520, []float64{0.6}, nil, 0, 1, int64(500+rep))
+		train, truth := full[:519], full[519]
+		m, err := Fit(Spec{P: 1}, train, nil, FitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := m.Forecast(1, nil, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if truth >= fc.Lower[0] && truth <= fc.Upper[0] {
+			inCount++
+		}
+	}
+	coverage := float64(inCount) / float64(total)
+	// Binomial(60, 0.95): anything >= ~85% passes comfortably.
+	if coverage < 0.85 {
+		t.Fatalf("95%% interval covered only %.0f%% of truths", coverage*100)
+	}
+}

@@ -1,0 +1,132 @@
+// Package arima implements the ARIMA family of the paper's §4.1–§4.2:
+// ARMA(p,q), ARIMA(p,d,q), seasonal SARIMA(p,d,q)(P,D,Q,F) and SARIMAX —
+// SARIMA with exogenous regressors (shock pulses, Fourier terms).
+//
+// Estimation follows Box-Jenkins conditional sum of squares (CSS):
+// the series is differenced to stationarity with (1−B)ᵈ(1−Bˢ)ᴰ, exogenous
+// effects are removed by regression, and the multiplicative seasonal ARMA
+// polynomial parameters are found by Nelder-Mead minimisation of the CSS,
+// with Schur-Cohn stationarity/invertibility constraints enforced by
+// penalty. Forecast error bars use the ψ-weight expansion.
+package arima
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec identifies a SARIMA model order (p,d,q)(P,D,Q,s) — the paper's
+// (p,d,q,P,D,Q,F) parameter set. A zero seasonal part (P=D=Q=0) with S=0
+// degenerates to plain ARIMA; d=D=0 gives ARMA.
+type Spec struct {
+	P int // non-seasonal autoregressive order (paper's p)
+	D int // non-seasonal differencing (paper's d)
+	Q int // non-seasonal moving-average order (paper's q)
+
+	SP int // seasonal autoregressive order (paper's P)
+	SD int // seasonal differencing (paper's D)
+	SQ int // seasonal moving-average order (paper's Q)
+	S  int // seasonal period (paper's F), 0 when non-seasonal
+}
+
+// Validate checks the order constraints: non-negative orders, S >= 2 when
+// any seasonal order is set, and the paper's D <= 2 guidance as a hard cap
+// (d + D <= 3 total differencing).
+func (s Spec) Validate() error {
+	if s.P < 0 || s.D < 0 || s.Q < 0 || s.SP < 0 || s.SD < 0 || s.SQ < 0 {
+		return fmt.Errorf("arima: negative order in %v", s)
+	}
+	seasonal := s.SP > 0 || s.SD > 0 || s.SQ > 0
+	if seasonal && s.S < 2 {
+		return fmt.Errorf("arima: seasonal orders set but period S=%d", s.S)
+	}
+	if s.D > 2 || s.SD > 2 {
+		return fmt.Errorf("arima: differencing beyond 2 is not supported (%v)", s)
+	}
+	if s.P == 0 && s.Q == 0 && s.SP == 0 && s.SQ == 0 && s.D == 0 && s.SD == 0 {
+		return fmt.Errorf("arima: empty model")
+	}
+	return nil
+}
+
+// IsSeasonal reports whether the spec has any seasonal component.
+func (s Spec) IsSeasonal() bool { return s.SP > 0 || s.SD > 0 || s.SQ > 0 }
+
+// NumARMAParams returns the count of free ARMA coefficients
+// (p + q + P + Q).
+func (s Spec) NumARMAParams() int { return s.P + s.Q + s.SP + s.SQ }
+
+// MaxARLag returns the highest AR lag after multiplicative expansion,
+// p + s·P.
+func (s Spec) MaxARLag() int { return s.P + s.S*s.SP }
+
+// MaxMALag returns the highest MA lag after expansion, q + s·Q.
+func (s Spec) MaxMALag() int { return s.Q + s.S*s.SQ }
+
+// LostObservations returns how many observations differencing consumes:
+// d + s·D.
+func (s Spec) LostObservations() int { return s.D + s.S*s.SD }
+
+// ParseSpec parses the paper's order notation: "(p,d,q)" for plain ARIMA
+// or "(p,d,q)(P,D,Q,s)" for seasonal models — e.g. "(13,1,2)(1,1,1,24)".
+// Whitespace is ignored. The parsed spec is validated.
+func ParseSpec(s string) (Spec, error) {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return -1
+		}
+		return r
+	}, s)
+	if !strings.HasPrefix(clean, "(") || !strings.HasSuffix(clean, ")") {
+		return Spec{}, fmt.Errorf("arima: spec %q must be parenthesised, e.g. (1,1,1)(1,1,1,24)", s)
+	}
+	groups := strings.Split(clean, ")(")
+	if len(groups) < 1 || len(groups) > 2 {
+		return Spec{}, fmt.Errorf("arima: cannot parse spec %q", s)
+	}
+	parseGroup := func(g string, want int) ([]int, error) {
+		g = strings.TrimPrefix(g, "(")
+		g = strings.TrimSuffix(g, ")")
+		parts := strings.Split(g, ",")
+		if len(parts) != want {
+			return nil, fmt.Errorf("arima: group %q needs %d numbers", g, want)
+		}
+		out := make([]int, want)
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("arima: bad number %q in spec", p)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	ns, err := parseGroup(groups[0], 3)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{P: ns[0], D: ns[1], Q: ns[2]}
+	if len(groups) == 2 {
+		ss, err := parseGroup(groups[1], 4)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.SP, spec.SD, spec.SQ, spec.S = ss[0], ss[1], ss[2], ss[3]
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// String renders the order in the paper's notation, e.g.
+// "(13,1,2)(1,1,1,24)" or "(13,1,1)" for non-seasonal models.
+func (s Spec) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%d,%d,%d)", s.P, s.D, s.Q)
+	if s.IsSeasonal() || s.S > 0 {
+		fmt.Fprintf(&sb, "(%d,%d,%d,%d)", s.SP, s.SD, s.SQ, s.S)
+	}
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStepwiseRecoversARMA11(t *testing.T) {
+	y := simulateARMA(3000, []float64{0.6}, []float64{0.3}, 0, 1, 61)
+	res, err := Stepwise(y, nil, StepwiseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	if m.Spec.P == 0 && m.Spec.Q == 0 {
+		t.Fatalf("stepwise picked a degenerate order %v", m.Spec)
+	}
+	// Contract: the search result is at least as good (by AIC) as fitting
+	// the true order directly.
+	truth, err := Fit(Spec{P: 1, Q: 1}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AIC > truth.AIC+1e-6 {
+		t.Fatalf("stepwise AIC %v worse than true-order AIC %v", m.AIC, truth.AIC)
+	}
+	if res.Tried < 4 {
+		t.Fatalf("tried only %d models", res.Tried)
+	}
+}
+
+func TestStepwiseSeasonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	n := 1200
+	y := make([]float64, n)
+	for tt := 12; tt < n; tt++ {
+		y[tt] = 0.65*y[tt-12] + 0.3*y[tt-1] + rng.NormFloat64()
+	}
+	res, err := Stepwise(y, nil, StepwiseOptions{Seasonal: true, S: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Spec.SP == 0 && res.Model.Spec.SQ == 0 {
+		t.Fatalf("seasonal structure missed: %v", res.Model.Spec)
+	}
+}
+
+func TestStepwiseFitsFewerThanGrid(t *testing.T) {
+	y := simulateARMA(800, []float64{0.5}, nil, 0, 1, 63)
+	res, err := Stepwise(y, nil, StepwiseOptions{Seasonal: true, S: 24, SD: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point: far fewer fits than the 660-model grid.
+	if res.Tried >= 100 {
+		t.Fatalf("stepwise fitted %d models; expected far fewer than the grid", res.Tried)
+	}
+}
+
+func TestStepwiseRespectsDifferencing(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	n := 600
+	y := make([]float64, n)
+	for tt := 1; tt < n; tt++ {
+		y[tt] = y[tt-1] + 0.2 + rng.NormFloat64()
+	}
+	res, err := Stepwise(y, nil, StepwiseOptions{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Spec.D != 1 {
+		t.Fatalf("differencing not honoured: %v", res.Model.Spec)
+	}
+	fc, err := res.Model.Forecast(10, nil, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fc.Mean {
+		if math.IsNaN(v) {
+			t.Fatal("NaN forecast")
+		}
+	}
+}
+
+func TestStepwiseValidation(t *testing.T) {
+	y := simulateARMA(200, []float64{0.5}, nil, 0, 1, 65)
+	if _, err := Stepwise(y, nil, StepwiseOptions{Seasonal: true}); err == nil {
+		t.Fatal("missing period should fail")
+	}
+	if _, err := Stepwise(y[:3], nil, StepwiseOptions{}); err == nil {
+		t.Fatal("tiny series should fail")
+	}
+}
+
+func TestStepwiseWithExog(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	n := 800
+	pulse := make([]float64, n)
+	for i := 0; i < n; i += 24 {
+		pulse[i] = 1
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 20 + 10*pulse[i] + rng.NormFloat64()
+	}
+	res, err := Stepwise(y, [][]float64{pulse}, StepwiseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Model.Beta[0]-10) > 1 {
+		t.Fatalf("exog beta = %v, want ~10", res.Model.Beta[0])
+	}
+}
+
+func TestStepwiseCacheAvoidsRefitting(t *testing.T) {
+	y := simulateARMA(600, []float64{0.5}, nil, 0, 1, 67)
+	res, err := Stepwise(y, nil, StepwiseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached == 0 {
+		t.Log("note: no cache hits this run (possible but unusual)")
+	}
+	// Tried + unique visits consistency: every try is a unique spec.
+	if res.Tried > 200 {
+		t.Fatalf("runaway search: %d fits", res.Tried)
+	}
+}

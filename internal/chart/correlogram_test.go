@@ -1,0 +1,45 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCorrelogramRendersBarsAndBand(t *testing.T) {
+	corr := []float64{1, 0.8, 0.5, 0.2, 0.05, -0.3}
+	out := Correlogram(corr, 0.15, "ACF")
+	if !strings.Contains(out, "ACF") || !strings.Contains(out, "band ±0.150") {
+		t.Fatalf("title/band missing:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Fatal("bars missing")
+	}
+	if !strings.Contains(out, "─") {
+		t.Fatal("band markers missing")
+	}
+	if !strings.Contains(out, "+1.0") || !strings.Contains(out, "-1.0") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestCorrelogramEmpty(t *testing.T) {
+	if out := Correlogram(nil, 0.1, "x"); !strings.Contains(out, "empty") {
+		t.Fatalf("empty output = %q", out)
+	}
+}
+
+func TestCorrelogramNaNMarked(t *testing.T) {
+	out := Correlogram([]float64{1, math.NaN(), 0.5}, 0.2, "")
+	if !strings.Contains(out, "?") {
+		t.Fatal("NaN lag should be marked")
+	}
+}
+
+func TestCorrelogramClampsOutOfRange(t *testing.T) {
+	// Values beyond ±1 must not panic or escape the grid.
+	out := Correlogram([]float64{2, -3}, 0.1, "")
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,168 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/chart"
+	"repro/internal/experiments"
+)
+
+// Benchtables regenerates the paper's tables and figures.
+func Benchtables(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	table := fs.String("table", "", "table to regenerate: 2a or 2b")
+	fig := fs.String("fig", "", "figure to regenerate: 1, 2, 3, 6 or 7")
+	all := fs.Bool("all", false, "regenerate everything")
+	days := fs.Int("days", 42, "days of simulated collection")
+	seed := fs.Uint64("seed", 42, "simulator seed")
+	maxCand := fs.Int("max-candidates", 12, "candidate models per engine run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := experiments.Options{Days: *days, Seed: *seed, MaxCandidates: *maxCand}
+	ran := false
+	if *all || *table == "2a" {
+		if err := printTable(stdout, experiments.OLAP, "Table 2(a) — Experiment Results - OLAP", opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *table == "2b" {
+		if err := printTable(stdout, experiments.OLTP, "Table 2(b) — Experiment Results - OLTP", opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *fig == "1" {
+		if err := printFigure1(stdout, opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *fig == "2" {
+		if err := printWorkloadFigure(stdout, experiments.OLAP,
+			"Figure 2 — Key Metrics: Workload Descriptions - Experiment One OLAP", opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *fig == "3" {
+		if err := printWorkloadFigure(stdout, experiments.OLTP,
+			"Figure 3 — Key Metrics: Workload Descriptions - Experiment Two OLTP", opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *fig == "6" {
+		if err := printFigure6(stdout, opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *all || *fig == "7" {
+		if err := printFigure7(stdout, opt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("nothing selected; use -table 2a|2b, -fig 1|2|3|6|7 or -all")
+	}
+	return nil
+}
+
+func printTable(w io.Writer, kind experiments.Kind, title string, opt experiments.Options) error {
+	section(w, title)
+	ds, err := experiments.Build(kind, opt)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Table2(ds, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-24s %-44s %-13s %12s %10s %10s %s\n",
+		"Forecast Family", "Champion Model", "Metric", "RMSE", "MAPE%", "MAPA%", "Instance")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-44s %-13s %12.4f %10.2f %10.2f %s\n",
+			r.Family, r.Champion, r.Metric, r.RMSE, r.MAPE, r.MAPA, r.Instance)
+	}
+	return nil
+}
+
+func printFigure1(w io.Writer, opt experiments.Options) error {
+	section(w, "Figure 1 — Visualising Time Series Data (OLTP cdbm011/cpu)")
+	ds, err := experiments.Build(experiments.OLTP, opt)
+	if err != nil {
+		return err
+	}
+	fig, err := experiments.Figure1(ds, "cdbm011/cpu")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(a) correlograms over 30 lags (band ±%.4f):\n", fig.Band)
+	fmt.Fprintf(w, "    ACF : %s\n", chart.Sparkline(fig.ACF[1:]))
+	fmt.Fprintf(w, "    PACF: %s\n", chart.Sparkline(fig.PACF))
+	fmt.Fprintln(w, "(b) decomposition:")
+	fmt.Fprintf(w, "    observed: %s\n", chart.Sparkline(sample(fig.Original, 100)))
+	fmt.Fprintf(w, "    trend   : %s\n", chart.Sparkline(sample(fig.Trend, 100)))
+	fmt.Fprintf(w, "    seasonal: %s\n", chart.Sparkline(fig.Seasonal[:48]))
+	fmt.Fprintln(w, "(c) first difference:")
+	fmt.Fprintf(w, "    diff(1) : %s\n", chart.Sparkline(sample(fig.Diff1, 100)))
+	return nil
+}
+
+func printWorkloadFigure(w io.Writer, kind experiments.Kind, title string, opt experiments.Options) error {
+	section(w, title)
+	ds, err := experiments.Build(kind, opt)
+	if err != nil {
+		return err
+	}
+	fig := experiments.Figure2And3(ds)
+	for _, p := range fig.Panels {
+		fmt.Fprintf(w, "%-28s mean %14.2f  peak %14.2f\n", p.Key, p.Mean, p.Peak)
+		fmt.Fprintf(w, "  %s\n", chart.Sparkline(sample(p.Values, 110)))
+	}
+	return nil
+}
+
+func printFigure6(w io.Writer, opt experiments.Options) error {
+	section(w, "Figure 6 — Experiment 1: Prediction charts Comparing Three ARIMA Techniques (cdbm011/cpu)")
+	ds, err := experiments.Build(experiments.OLAP, opt)
+	if err != nil {
+		return err
+	}
+	charts, err := experiments.Figure6(ds, opt)
+	if err != nil {
+		return err
+	}
+	printPredictionCharts(w, charts)
+	return nil
+}
+
+func printFigure7(w io.Writer, opt experiments.Options) error {
+	section(w, "Figure 7 — Experiment 2: Prediction Charts Using SARIMAX with Exogenous and Fourier Terms")
+	ds, err := experiments.Build(experiments.OLTP, opt)
+	if err != nil {
+		return err
+	}
+	charts, err := experiments.Figure7(ds, opt)
+	if err != nil {
+		return err
+	}
+	printPredictionCharts(w, charts)
+	return nil
+}
+
+func printPredictionCharts(w io.Writer, charts []experiments.PredictionSeries) {
+	for _, c := range charts {
+		fmt.Fprintf(w, "\n%s — %s (champion %s, test RMSE %.4f)\n", c.Key, c.Family, c.Champion, c.RMSE)
+		fmt.Fprint(w, chart.Forecast(c.TrainTail, c.Forecast, nil, nil, chart.Options{Height: 12}))
+		fmt.Fprintf(w, "actual  : %s\n", chart.Sparkline(c.Actual))
+		fmt.Fprintf(w, "forecast: %s\n", chart.Sparkline(c.Forecast))
+	}
+}

@@ -1,0 +1,186 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+// Capplan runs the end-to-end capacity-planning service: simulate →
+// monitor → forecast every instance/metric → store champions → threshold
+// early warning.
+func Capplan(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	exp := fs.String("exp", "oltp", "workload: olap or oltp")
+	days := fs.Int("days", 42, "days of simulated history")
+	seed := fs.Uint64("seed", 42, "simulator seed")
+	technique := fs.String("technique", "sarimax", "model family: sarimax, hes, arima or tbats (the Figure 8 selector)")
+	horizon := fs.Int("horizon", 24, "forecast hours")
+	thresholdCPU := fs.Float64("threshold-cpu", 0, "CPU % SLA threshold to check (0 = off)")
+	maxCand := fs.Int("max-candidates", 12, "candidate models per series")
+	saveRepo := fs.String("save-repo", "", "write the collected metric repository to this file (gob)")
+	loadRepo := fs.String("load-repo", "", "plan from a previously saved repository instead of simulating")
+	report := fs.Bool("report", false, "print the full engine report per series")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		return err
+	}
+
+	if *loadRepo != "" {
+		return capplanFromRepo(stdout, *loadRepo, tech, *horizon, *maxCand)
+	}
+
+	fmt.Fprintf(stdout, "collecting %d days of %s workload (agent: 15-minute polls, hourly aggregation)...\n", *days, *exp)
+	ds, err := experiments.Build(experiments.Kind(strings.ToLower(*exp)), experiments.Options{
+		Days: *days, Seed: *seed, AgentFailureRate: 0.01,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *saveRepo != "" {
+		f, err := os.Create(*saveRepo)
+		if err != nil {
+			return err
+		}
+		if err := ds.Store.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "repository saved to %s\n", *saveRepo)
+	}
+
+	store := core.NewModelStore(core.StalePolicy{})
+	eng, err := core.NewEngine(core.Options{
+		Technique:     tech,
+		Horizon:       *horizon,
+		MaxCandidates: *maxCand,
+	})
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(ds.Series))
+	for k := range ds.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		ser := ds.Series[key]
+		res, err := eng.Run(ser)
+		if err != nil {
+			fmt.Fprintf(stdout, "\n=== %s: SKIPPED (%v)\n", key, err)
+			continue
+		}
+		store.Put(key, res)
+		fmt.Fprintf(stdout, "\n=== %s ===\n", key)
+		if *report {
+			fmt.Fprint(stdout, res.Report())
+		} else {
+			fmt.Fprintf(stdout, "champion: %s  (RMSE %.3f, MAPA %.1f%%, %d models in %v)\n",
+				res.Champion.Label, res.TestScore.RMSE, res.TestScore.MAPA,
+				res.ModelsEvaluated, res.Elapsed.Round(1e6))
+		}
+		tail := ser.Values
+		if len(tail) > 96 {
+			tail = tail[len(tail)-96:]
+		}
+		fc := res.Forecast
+		fmt.Fprint(stdout, chart.Forecast(tail, fc.Mean, fc.Lower, fc.Upper, chart.Options{}))
+
+		if *thresholdCPU > 0 && strings.HasSuffix(key, "/cpu") {
+			breach := -1
+			for k, v := range fc.Upper {
+				if v >= *thresholdCPU {
+					breach = k
+					break
+				}
+			}
+			if breach >= 0 {
+				fmt.Fprintf(stdout, "⚠ early warning: CPU may breach %.0f%% within %d hour(s) (at %s)\n",
+					*thresholdCPU, breach+1, fc.TimeAt(breach).Format("2006-01-02 15:04"))
+			} else {
+				fmt.Fprintf(stdout, "✓ no CPU breach of %.0f%% predicted within %d hours\n", *thresholdCPU, *horizon)
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "\nmodel store: %d champions held (valid one week or until RMSE degrades)\n", len(store.Keys()))
+	return nil
+}
+
+// capplanFromRepo plans from a persisted repository: load → RunFleet →
+// summarise. This is the operational restart path — the agent keeps
+// appending to the repository file between runs.
+func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon, maxCand int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	repo := metricstore.New()
+	if err := repo.Load(f); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+
+	keys := repo.Keys()
+	if len(keys) == 0 {
+		return fmt.Errorf("repository %s is empty", path)
+	}
+	// Use the common covered window across keys.
+	first, last, _ := repo.TimeRange(keys[0])
+	for _, k := range keys[1:] {
+		f2, l2, ok := repo.TimeRange(k)
+		if !ok {
+			continue
+		}
+		if f2.After(first) {
+			first = f2
+		}
+		if l2.Before(last) {
+			last = l2
+		}
+	}
+	fmt.Fprintf(stdout, "loaded repository %s: %d series, %s → %s\n",
+		path, len(keys), first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
+
+	store := core.NewModelStore(core.StalePolicy{})
+	res, err := core.RunFleet(repo, first, last, core.FleetOptions{
+		Engine: core.Options{Technique: tech, Horizon: horizon, MaxCandidates: maxCand},
+		Freq:   timeseries.Hourly,
+		Store:  store,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fleet run: %d trained, %d failed in %v\n\n", res.Trained, res.Failed, res.Elapsed.Round(1e6))
+	for _, item := range res.Items {
+		if item.Err != nil {
+			fmt.Fprintf(stdout, "%-28s FAILED: %v\n", item.Key, item.Err)
+			continue
+		}
+		r := item.Result
+		fmt.Fprintf(stdout, "%-28s %-44s RMSE %10.3f  MAPA %5.1f%%\n",
+			item.Key, r.Champion.Label, r.TestScore.RMSE, r.TestScore.MAPA)
+	}
+	return nil
+}

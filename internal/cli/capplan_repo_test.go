@@ -1,0 +1,84 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCapplanSaveThenLoadRepo checks the operational restart path: a run
+// with -save-repo followed by a run with -load-repo that plans from the
+// persisted repository via the fleet API.
+func TestCapplanSaveThenLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	repoFile := filepath.Join(dir, "repo.gob")
+
+	var out bytes.Buffer
+	err := Capplan([]string{
+		"-exp", "olap", "-days", "14", "-technique", "hes", "-save-repo", repoFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	err = Capplan([]string{
+		"-load-repo", repoFile, "-technique", "hes", "-max-candidates", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "loaded repository") {
+		t.Fatal("load banner missing")
+	}
+	if !strings.Contains(text, "fleet run: 6 trained") {
+		t.Fatalf("fleet summary missing:\n%s", text)
+	}
+	if !strings.Contains(text, "cdbm012/memory") {
+		t.Fatal("per-series rows missing")
+	}
+}
+
+func TestCapplanLoadRepoMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := Capplan([]string{"-load-repo", "/nonexistent.gob"}, &out); err == nil {
+		t.Fatal("missing repo file should fail")
+	}
+}
+
+func TestTsfitExactSpec(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := Wgen([]string{"-exp", "olap", "-days", "14", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	in := filepath.Join(dir, "cdbm012_cpu.csv")
+	err := Tsfit([]string{"-in", in, "-spec", "(1,1,1)(0,1,1,24)", "-horizon", "6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"exact order", "(1,1,1)(0,1,1,24)", "AIC", "Ljung-Box", "forecast (6 steps"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exact-spec output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTsfitBadSpec(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := Wgen([]string{"-exp", "olap", "-days", "7", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "cdbm011_cpu.csv")
+	if err := Tsfit([]string{"-in", in, "-spec", "garbage"}, &out); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+}

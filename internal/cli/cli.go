@@ -1,0 +1,52 @@
+// Package cli implements the command-line tools (wgen, tsfit, capplan,
+// benchtables) as testable functions: each command parses its own flag
+// set, writes to an injected writer, and returns an error instead of
+// exiting, so the cmd/ mains are one-liners and the tool layer has unit
+// tests.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// parseTechnique maps a flag value to an engine technique.
+func parseTechnique(s string) (core.Technique, error) {
+	switch strings.ToLower(s) {
+	case "sarimax":
+		return core.TechniqueSARIMAX, nil
+	case "hes":
+		return core.TechniqueHES, nil
+	case "arima":
+		return core.TechniqueARIMA, nil
+	case "tbats":
+		return core.TechniqueTBATS, nil
+	default:
+		return 0, fmt.Errorf("unknown technique %q (want sarimax, hes, arima or tbats)", s)
+	}
+}
+
+// sample thins a long series to at most n points for sparklines.
+func sample(x []float64, n int) []float64 {
+	if len(x) <= n {
+		return x
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = x[i*len(x)/n]
+	}
+	return out
+}
+
+// rule draws a separator of the title length.
+func rule(n int) string {
+	return strings.Repeat("-", n)
+}
+
+// section prints a titled block.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, rule(len(title)))
+}

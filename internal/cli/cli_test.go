@@ -1,0 +1,174 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTechnique(t *testing.T) {
+	for _, s := range []string{"sarimax", "HES", "arima", "TBATS"} {
+		if _, err := parseTechnique(s); err != nil {
+			t.Fatalf("parseTechnique(%q): %v", s, err)
+		}
+	}
+	if _, err := parseTechnique("prophet"); err == nil {
+		t.Fatal("unknown technique should fail")
+	}
+}
+
+func TestWgenWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := Wgen([]string{"-exp", "olap", "-days", "3", "-out", dir, "-plot"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 {
+		t.Fatalf("wrote %d CSVs, want 6", len(files))
+	}
+	if !strings.Contains(out.String(), "cdbm011/cpu") {
+		t.Fatal("output missing series listing")
+	}
+	// Each file parses back.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "timestamp,") {
+		t.Fatalf("CSV header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestWgenUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := Wgen([]string{"-exp", "nope", "-days", "3"}, &out); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestWgenBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := Wgen([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestTsfitEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	// Generate a small dataset first.
+	if err := Wgen([]string{"-exp", "olap", "-days", "14", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	in := filepath.Join(dir, "cdbm012_cpu.csv")
+	err := Tsfit([]string{"-in", in, "-technique", "hes", "-top", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"champion", "leaderboard", "baselines", "forecast", "RMSE"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tsfit output missing %q", want)
+		}
+	}
+}
+
+func TestTsfitMissingInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := Tsfit(nil, &out); err == nil {
+		t.Fatal("missing -in should fail")
+	}
+	if err := Tsfit([]string{"-in", "/nonexistent.csv"}, &out); err == nil {
+		t.Fatal("unreadable input should fail")
+	}
+}
+
+func TestCapplanRunsAndSavesRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	dir := t.TempDir()
+	repoFile := filepath.Join(dir, "repo.gob")
+	var out bytes.Buffer
+	err := Capplan([]string{
+		"-exp", "olap", "-days", "14", "-technique", "hes",
+		"-threshold-cpu", "60", "-save-repo", repoFile,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"model store: 6 champions", "cdbm011/cpu", "repository saved"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("capplan output missing %q", want)
+		}
+	}
+	if fi, err := os.Stat(repoFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("repository file not written: %v", err)
+	}
+	// Threshold verdict printed for CPU series.
+	if !strings.Contains(text, "CPU") || !(strings.Contains(text, "breach") || strings.Contains(text, "early warning")) {
+		t.Fatal("threshold check missing")
+	}
+}
+
+func TestCapplanBadTechnique(t *testing.T) {
+	var out bytes.Buffer
+	if err := Capplan([]string{"-technique", "nope"}, &out); err == nil {
+		t.Fatal("bad technique should fail")
+	}
+}
+
+func TestBenchtablesSelectionRequired(t *testing.T) {
+	var out bytes.Buffer
+	if err := Benchtables(nil, &out); err == nil {
+		t.Fatal("no selection should fail")
+	}
+}
+
+func TestBenchtablesFigure1(t *testing.T) {
+	var out bytes.Buffer
+	err := Benchtables([]string{"-fig", "1", "-days", "7", "-max-candidates", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Figure 1", "ACF", "PACF", "decomposition", "diff(1)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("figure 1 output missing %q", want)
+		}
+	}
+}
+
+func TestBenchtablesTable2aReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var out bytes.Buffer
+	err := Benchtables([]string{"-table", "2a", "-days", "10", "-max-candidates", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Table 2(a)") {
+		t.Fatal("title missing")
+	}
+	// 18 data rows: 3 families × 3 metrics × 2 instances.
+	rows := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "cdbm01") {
+			rows++
+		}
+	}
+	if rows != 18 {
+		t.Fatalf("rows = %d, want 18", rows)
+	}
+}

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/experiments"
+)
+
+// Wgen runs the workload-generator command: simulate an experiment
+// workload, collect it through the agent, and export per-series CSVs.
+func Wgen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	exp := fs.String("exp", "olap", "experiment workload: olap (Experiment One) or oltp (Experiment Two)")
+	days := fs.Int("days", 42, "days of simulated collection")
+	seed := fs.Uint64("seed", 42, "simulator seed")
+	out := fs.String("out", ".", "output directory for CSV files")
+	failRate := fs.Float64("agent-failure-rate", 0.01, "probability an agent poll is missed (creates gaps)")
+	plot := fs.Bool("plot", false, "print sparkline previews of each series")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kind := experiments.Kind(strings.ToLower(*exp))
+	ds, err := experiments.Build(kind, experiments.Options{
+		Days: *days, Seed: *seed, AgentFailureRate: *failRate,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "experiment %s: %d days, %d series\n", kind, *days, len(ds.Series))
+
+	keys := make([]string, 0, len(ds.Series))
+	for k := range ds.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ser := ds.Series[key]
+		name := strings.ReplaceAll(key, "/", "_") + ".csv"
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := ser.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  %-28s %5d hourly points -> %s\n", key, ser.Len(), path)
+		if *plot {
+			tail := ser.Values
+			if len(tail) > 168 {
+				tail = tail[len(tail)-168:]
+			}
+			fmt.Fprintf(stdout, "    %s\n", chart.Sparkline(tail))
+		}
+	}
+	return nil
+}

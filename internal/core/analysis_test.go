@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+var t0 = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+
+func hourly(vals []float64) *timeseries.Series {
+	return timeseries.New("test", t0, timeseries.Hourly, vals)
+}
+
+func TestAnalyzeSeasonalSeries(t *testing.T) {
+	y := workload.DailySeasonal(720, 50, 10, 0, 0.5, 1)
+	an, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Period != 24 {
+		t.Fatalf("period = %d, want 24", an.Period)
+	}
+	if an.SeasonalStrength < 0.8 {
+		t.Fatalf("seasonal strength = %v", an.SeasonalStrength)
+	}
+	if an.SeasonalD != 1 {
+		t.Fatalf("seasonal differencing = %d, want 1", an.SeasonalD)
+	}
+	if len(an.ACF) == 0 || len(an.PACF) == 0 {
+		t.Fatal("correlograms missing")
+	}
+}
+
+func TestAnalyzeTrendingSeriesNeedsDifferencing(t *testing.T) {
+	// Random-walk-with-drift style series: d should be 1.
+	y := workload.Synthetic(workload.SyntheticOpts{N: 500, Level: 10, Trend: 0.5, Noise: 1, Seed: 2})
+	// Integrate noise to force a unit root.
+	acc := 0.0
+	for i := range y {
+		acc += 0.3 * math.Sin(float64(i))
+		y[i] += acc
+	}
+	an, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.D < 1 {
+		t.Fatalf("d = %d, want >= 1 for trending data", an.D)
+	}
+}
+
+func TestAnalyzeStationarySeries(t *testing.T) {
+	y := workload.Synthetic(workload.SyntheticOpts{N: 400, Level: 100, Noise: 2, Seed: 3})
+	an, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.D != 0 {
+		t.Fatalf("d = %d, want 0 for stationary noise", an.D)
+	}
+	if !an.Stationary {
+		t.Fatal("ADF should report stationary")
+	}
+	if an.Period != 0 {
+		t.Fatalf("period = %d, want none for white noise", an.Period)
+	}
+}
+
+func TestAnalyzeMultipleSeasonality(t *testing.T) {
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 1008, Level: 100,
+		Periods: []int{24, 168}, Amps: []float64{10, 6},
+		Noise: 0.5, Seed: 4,
+	})
+	an, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Period != 24 {
+		t.Fatalf("primary period = %d, want 24", an.Period)
+	}
+	foundWeekly := false
+	for _, p := range an.ExtraPeriods {
+		if p >= 160 && p <= 176 {
+			foundWeekly = true
+		}
+	}
+	if !foundWeekly {
+		t.Fatalf("weekly secondary period missing: %v", an.ExtraPeriods)
+	}
+}
+
+func TestAnalyzeDetectsRecurringShocks(t *testing.T) {
+	// Shock at hour 0 of each day for 20 days (well above the ≥4 rule).
+	var shockIdx []int
+	for d := 0; d < 20; d++ {
+		shockIdx = append(shockIdx, d*24)
+	}
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 480, Level: 100, Periods: []int{24}, Amps: []float64{5},
+		Noise: 0.5, ShockAt: shockIdx, ShockAmp: 50, Seed: 5,
+	})
+	an, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Shocks) == 0 {
+		t.Fatal("no shocks detected")
+	}
+	found := false
+	for _, sh := range an.Shocks {
+		if sh.Phase == 0 && sh.Positive && sh.Occurrences >= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("midnight shock missing: %+v", an.Shocks)
+	}
+}
+
+func TestAnalyzeDiscardsRareOutliers(t *testing.T) {
+	// Only 2 shocks: below the "more than 3 times" rule → no behaviour.
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 480, Level: 100, Periods: []int{24}, Amps: []float64{5},
+		Noise: 0.5, ShockAt: []int{100, 300}, ShockAmp: 60, Seed: 6,
+	})
+	an, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range an.Shocks {
+		if sh.Phase == 100%24 || sh.Phase == 300%24 {
+			if sh.Occurrences < 4 {
+				t.Fatalf("rare outlier became behaviour: %+v", sh)
+			}
+		}
+	}
+	if an.DiscardedOutliers < 2 {
+		t.Fatalf("discarded = %d, want >= 2", an.DiscardedOutliers)
+	}
+}
+
+func TestAnalyzeMinOccurrencesConfigurable(t *testing.T) {
+	// 3 occurrences of the same phase: default rejects, threshold 3 accepts.
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 480, Level: 100, Periods: []int{24}, Amps: []float64{5},
+		Noise: 0.3, ShockAt: []int{48, 72, 96}, ShockAmp: 60, Seed: 7,
+	})
+	anDefault, err := Analyze(hourly(y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range anDefault.Shocks {
+		if sh.Phase == 0 {
+			t.Fatalf("3 occurrences should not qualify by default: %+v", sh)
+		}
+	}
+	anLoose, err := Analyze(hourly(y), AnalyzeOptions{MinShockOccurrences: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sh := range anLoose.Shocks {
+		if sh.Phase == 0 && sh.Occurrences == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("threshold 3 should accept the behaviour: %+v", anLoose.Shocks)
+	}
+}
+
+func TestAnalyzeRejectsGapsAndShort(t *testing.T) {
+	y := []float64{1, math.NaN(), 3}
+	if _, err := Analyze(hourly(y), AnalyzeOptions{}); err == nil {
+		t.Fatal("gappy series should fail")
+	}
+	if _, err := Analyze(hourly([]float64{1, 2, 3}), AnalyzeOptions{}); err == nil {
+		t.Fatal("short series should fail")
+	}
+}
+
+func TestAnalyzeForcedPeriod(t *testing.T) {
+	y := workload.DailySeasonal(480, 50, 10, 0, 0.5, 8)
+	an, err := Analyze(hourly(y), AnalyzeOptions{Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Period != 24 {
+		t.Fatalf("forced period lost: %d", an.Period)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/timeseries"
+)
+
+// BacktestOptions configures a rolling-origin evaluation.
+type BacktestOptions struct {
+	// Engine options used for every fold.
+	Engine Options
+	// Horizon is the per-fold forecast length (0 → the frequency's
+	// Table 1 horizon).
+	Horizon int
+	// Folds is the number of rolling origins (0 → 4).
+	Folds int
+	// MinTrain is the smallest training window allowed (0 → 10×horizon).
+	MinTrain int
+}
+
+// FoldResult records one rolling-origin fold.
+type FoldResult struct {
+	// Origin is the index of the first forecast observation.
+	Origin int
+	// OriginTime is its timestamp.
+	OriginTime time.Time
+	// Champion is the model selected inside the fold.
+	Champion string
+	// Score is the accuracy over the fold's horizon.
+	Score metrics.Score
+}
+
+// BacktestResult aggregates a rolling-origin evaluation — the §9
+// "continually assess the models performance" loop, run retrospectively
+// to validate that the pipeline's champions stay accurate as the origin
+// advances.
+type BacktestResult struct {
+	Folds []FoldResult
+	// MeanRMSE and WorstRMSE summarise the folds.
+	MeanRMSE  float64
+	WorstRMSE float64
+	// MeanMAPA summarises forecast accuracy in percent.
+	MeanMAPA float64
+}
+
+// Backtest runs a rolling-origin evaluation of the engine on a series:
+// for each fold the engine trains on data up to the origin, forecasts
+// the next horizon observations, and is scored against the actuals; the
+// origin then advances by one horizon.
+func Backtest(s *timeseries.Series, opt BacktestOptions) (*BacktestResult, error) {
+	work := s.Clone()
+	if work.HasMissing() {
+		if _, err := work.Interpolate(); err != nil {
+			return nil, err
+		}
+	}
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		policy, err := PolicyFor(work.Freq)
+		if err != nil {
+			return nil, err
+		}
+		horizon = policy.Horizon
+	}
+	folds := opt.Folds
+	if folds <= 0 {
+		folds = 4
+	}
+	minTrain := opt.MinTrain
+	if minTrain <= 0 {
+		minTrain = 10 * horizon
+	}
+	n := work.Len()
+	firstOrigin := n - folds*horizon
+	if firstOrigin < minTrain {
+		return nil, fmt.Errorf("core: series too short for %d folds of horizon %d (need >= %d observations, have %d)",
+			folds, horizon, minTrain+folds*horizon, n)
+	}
+
+	engineOpt := opt.Engine
+	engineOpt.Horizon = horizon
+	eng, err := NewEngine(engineOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BacktestResult{}
+	var sumRMSE, sumMAPA float64
+	for f := 0; f < folds; f++ {
+		origin := firstOrigin + f*horizon
+		trainSer := work.Slice(0, origin)
+		actual := work.Values[origin : origin+horizon]
+
+		runRes, err := eng.Run(trainSer)
+		if err != nil {
+			return nil, fmt.Errorf("core: backtest fold %d: %w", f, err)
+		}
+		fc := runRes.Forecast.Mean
+		if len(fc) != horizon {
+			return nil, fmt.Errorf("core: backtest fold %d produced %d steps, want %d", f, len(fc), horizon)
+		}
+		score := metrics.Evaluate(actual, fc)
+		res.Folds = append(res.Folds, FoldResult{
+			Origin:     origin,
+			OriginTime: work.TimeAt(origin),
+			Champion:   runRes.Champion.Label,
+			Score:      score,
+		})
+		sumRMSE += score.RMSE
+		sumMAPA += score.MAPA
+		if score.RMSE > res.WorstRMSE {
+			res.WorstRMSE = score.RMSE
+		}
+	}
+	res.MeanRMSE = sumRMSE / float64(folds)
+	res.MeanMAPA = sumMAPA / float64(folds)
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func TestBacktestRollingOrigins(t *testing.T) {
+	s := seasonalTrending(11)
+	res, err := Backtest(s, BacktestOptions{
+		Engine: Options{Technique: TechniqueHES},
+		Folds:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 3 {
+		t.Fatalf("folds = %d, want 3", len(res.Folds))
+	}
+	// Origins advance by exactly one horizon (24 for hourly).
+	for i := 1; i < len(res.Folds); i++ {
+		if res.Folds[i].Origin-res.Folds[i-1].Origin != 24 {
+			t.Fatalf("origins not spaced by horizon: %d -> %d",
+				res.Folds[i-1].Origin, res.Folds[i].Origin)
+		}
+	}
+	if res.MeanRMSE <= 0 || math.IsNaN(res.MeanRMSE) {
+		t.Fatalf("mean RMSE = %v", res.MeanRMSE)
+	}
+	if res.WorstRMSE < res.MeanRMSE {
+		t.Fatal("worst RMSE below mean")
+	}
+	if res.MeanMAPA <= 50 {
+		t.Fatalf("MAPA = %v — the HES forecast should be far better than coin-flip", res.MeanMAPA)
+	}
+	for _, f := range res.Folds {
+		if f.Champion == "" {
+			t.Fatal("fold missing champion")
+		}
+	}
+}
+
+func TestBacktestTooShort(t *testing.T) {
+	s := timeseries.New("s", t0, timeseries.Hourly, make([]float64, 100))
+	if _, err := Backtest(s, BacktestOptions{Engine: Options{Technique: TechniqueHES}, Folds: 5}); err == nil {
+		t.Fatal("short series should fail")
+	}
+}
+
+func TestBacktestRepairsGaps(t *testing.T) {
+	s := seasonalTrending(12)
+	s.Values[100] = math.NaN()
+	if _, err := Backtest(s, BacktestOptions{Engine: Options{Technique: TechniqueHES}, Folds: 2}); err != nil {
+		t.Fatalf("backtest should repair gaps: %v", err)
+	}
+}
+
+func TestBacktestCustomHorizon(t *testing.T) {
+	s := seasonalTrending(13)
+	res, err := Backtest(s, BacktestOptions{
+		Engine:  Options{Technique: TechniqueHES},
+		Horizon: 12,
+		Folds:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds[1].Origin-res.Folds[0].Origin != 12 {
+		t.Fatal("custom horizon not used")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	e, err := NewEngine(Options{Technique: TechniqueSARIMAX, MaxCandidates: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(seasonalTrending(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, want := range []string{
+		"Capacity forecast", "champion", "accuracy", "RMSE",
+		"seasonality", "forecast", "984 train + 24 test",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(res.String(), res.Champion.Label) {
+		t.Fatal("String() missing champion")
+	}
+}
+
+func TestEngineTBATSBranch(t *testing.T) {
+	// A shorter multi-seasonal series exercises the TBATS branch.
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 504, Level: 100, Periods: []int{24}, Amps: []float64{12},
+		Noise: 1, Seed: 15,
+	})
+	s := timeseries.New("tbats-branch", t0, timeseries.Hourly, y)
+	e, err := NewEngine(Options{Technique: TechniqueTBATS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Champion.Label, "TBATS") {
+		t.Fatalf("champion = %q, want a TBATS config", res.Champion.Label)
+	}
+	if len(res.Forecast.Mean) != 24 {
+		t.Fatalf("horizon = %d", len(res.Forecast.Mean))
+	}
+	// The forecast should track the seasonal truth reasonably.
+	if res.TestScore.MAPA < 80 {
+		t.Fatalf("TBATS MAPA = %v, want > 80", res.TestScore.MAPA)
+	}
+	if core := TechniqueTBATS.String(); core != "TBATS" {
+		t.Fatalf("String = %q", core)
+	}
+}

@@ -1,0 +1,595 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/arima"
+	"repro/internal/ets"
+	"repro/internal/metrics"
+	"repro/internal/naive"
+	"repro/internal/tbats"
+	"repro/internal/timeseries"
+)
+
+// Technique selects the algorithm branch of Figure 4: the user chooses
+// "Holt-Winters Exponential Smoothing (HES) … or SARIMAX" (§5.1). The
+// plain ARIMA branch exists as the paper's baseline family (Table 2).
+type Technique int
+
+const (
+	// TechniqueSARIMAX runs the seasonal ARIMA branch with exogenous
+	// shocks and Fourier terms — the paper's headline method.
+	TechniqueSARIMAX Technique = iota
+	// TechniqueHES runs the Holt-Winters exponential smoothing branch.
+	TechniqueHES
+	// TechniqueARIMA runs the non-seasonal baseline family.
+	TechniqueARIMA
+	// TechniqueTBATS runs the trigonometric-seasonality state-space
+	// family of §4.3 — the complex-seasonality alternative to SARIMAX,
+	// with candidate structures selected by AIC and the champion by
+	// hold-out RMSE like every other branch.
+	TechniqueTBATS
+)
+
+// String implements fmt.Stringer.
+func (t Technique) String() string {
+	switch t {
+	case TechniqueSARIMAX:
+		return "SARIMAX"
+	case TechniqueHES:
+		return "HES"
+	case TechniqueARIMA:
+		return "ARIMA"
+	case TechniqueTBATS:
+		return "TBATS"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Technique selects the model family (Figure 4's branch choice).
+	Technique Technique
+	// Level is the prediction-interval coverage (0 → 0.95).
+	Level float64
+	// Horizon overrides the Table 1 horizon (0 → policy default).
+	Horizon int
+	// Workers bounds parallel model fitting (0 → GOMAXPROCS). The paper:
+	// "Gains are also achieved by parallel processing the models."
+	Workers int
+	// MaxCandidates caps the pruned grid (0 → 48).
+	MaxCandidates int
+	// FullGrid evaluates the paper's full §6.3 grids (hundreds of models)
+	// instead of the correlogram-pruned grid. Slow; used by the
+	// benchmark harness.
+	FullGrid bool
+	// DisableExog suppresses shock regressors (for ablations).
+	DisableExog bool
+	// DisableFourier suppresses Fourier terms (for ablations).
+	DisableFourier bool
+	// FourierK lists harmonic counts to try for secondary periods
+	// (nil → {1, 2}); the best by hold-out RMSE wins, per §4.4.
+	FourierK []int
+	// KnownShockPhases declares scheduled events the operator already
+	// knows about (e.g. a backup at phases 0, 6, 12, 18 of the daily
+	// cycle) — the paper's "as long as the exogenous variables (shocks)
+	// are understood and accounted for". They are merged with detected
+	// behaviours; duplicates collapse.
+	KnownShockPhases []int
+	// Analyze overrides analysis options.
+	Analyze AnalyzeOptions
+}
+
+// CandidateResult records one evaluated model.
+type CandidateResult struct {
+	// Label is the model description, e.g. "SARIMAX (1,1,1)(1,1,1,24)+exog".
+	Label string
+	// Score holds the hold-out accuracy (RMSE, MAPE, MAPA, …).
+	Score metrics.Score
+	// AIC is the in-sample information criterion (NaN for HES variants
+	// where it is incomparable).
+	AIC float64
+	// Err is non-nil when the fit failed; such candidates never win.
+	Err error
+	// FitDuration measures wall time for this candidate.
+	FitDuration time.Duration
+
+	cand     arima.Candidate
+	etsKind  ets.Method
+	isETS    bool
+	fourierK int
+	tbatsCfg *tbats.Config
+}
+
+// Prediction is the engine's unified forecast: point estimates with error
+// bars, timestamped.
+type Prediction struct {
+	Start        time.Time
+	Freq         timeseries.Frequency
+	Mean         []float64
+	Lower, Upper []float64
+	SE           []float64
+	Level        float64
+}
+
+// TimeAt returns the timestamp of forecast step i.
+func (p *Prediction) TimeAt(i int) time.Time {
+	return p.Start.Add(time.Duration(i) * p.Freq.Step())
+}
+
+// Result is an engine run outcome.
+type Result struct {
+	// SeriesName identifies what was modelled.
+	SeriesName string
+	// Technique is the branch that ran.
+	Technique Technique
+	// Analysis characterises the input.
+	Analysis *Analysis
+	// Candidates lists every evaluated model, best first.
+	Candidates []CandidateResult
+	// Champion is the winning candidate (lowest hold-out RMSE).
+	Champion CandidateResult
+	// TestScore repeats the champion's hold-out accuracy.
+	TestScore metrics.Score
+	// TestForecast is the champion's forecast over the hold-out window
+	// (aligned with TestActual) — the yellow section of Figures 6 and 7.
+	TestForecast []float64
+	// TestActual is the hold-out data.
+	TestActual []float64
+	// Forecast is the production forecast: the champion refitted on the
+	// full series and extended Horizon steps beyond its end.
+	Forecast *Prediction
+	// Diagnostics holds the champion's residual checks (Ljung-Box,
+	// Jarque-Bera) when the champion is an ARIMA-family model; nil for
+	// HES/TBATS champions.
+	Diagnostics *arima.Diagnostics
+	// Baselines scores the naive benchmark methods on the same hold-out
+	// window; a champion worth storing beats them.
+	Baselines map[string]metrics.Score
+	// BeatsBaselines reports whether the champion's RMSE beats every
+	// baseline's.
+	BeatsBaselines bool
+	// TrainLen and TestLen record the Table 1 split actually used.
+	TrainLen, TestLen int
+	// Elapsed is the total wall time; ModelsEvaluated the grid size.
+	Elapsed         time.Duration
+	ModelsEvaluated int
+}
+
+// Engine runs the Figure 4 pipeline.
+type Engine struct {
+	opt Options
+}
+
+// NewEngine validates options and returns an Engine.
+func NewEngine(opt Options) (*Engine, error) {
+	if opt.Level == 0 {
+		opt.Level = 0.95
+	}
+	if opt.Level <= 0 || opt.Level >= 1 {
+		return nil, fmt.Errorf("core: level %v outside (0,1)", opt.Level)
+	}
+	if opt.Workers == 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("core: workers must be positive")
+	}
+	if opt.MaxCandidates == 0 {
+		opt.MaxCandidates = 48
+	}
+	if len(opt.FourierK) == 0 {
+		opt.FourierK = []int{1, 2}
+	}
+	return &Engine{opt: opt}, nil
+}
+
+// Run executes the pipeline on a series: gap repair → Table 1 split →
+// analysis → candidate grid → parallel fit/score → champion → forecast.
+func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
+	began := time.Now()
+	work := s.Clone()
+	// Stage 1 (Figure 4): missing values → linear interpolation.
+	// Interpolation repairs occasional gaps; a series that is mostly
+	// holes has no signal to learn and is refused.
+	if miss := work.MissingCount(); miss > 0 {
+		if frac := float64(miss) / float64(work.Len()); frac > 0.25 {
+			return nil, fmt.Errorf("core: series %q is %.0f%% missing — too sparse to model", s.Name, frac*100)
+		}
+		if _, err := work.Interpolate(); err != nil {
+			return nil, err
+		}
+	}
+	// Stage 2: train/test split per Table 1.
+	policy, err := PolicyFor(work.Freq)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := policy.Split(work)
+	if err != nil {
+		return nil, err
+	}
+	horizon := e.opt.Horizon
+	if horizon <= 0 {
+		horizon = policy.Horizon
+	}
+
+	// Stage 3: characterise the training data.
+	an, err := Analyze(train, e.opt.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	// Merge operator-declared schedules with detected behaviours.
+	if len(e.opt.KnownShockPhases) > 0 {
+		period := max(an.Period, train.Freq.Period())
+		have := make(map[int]bool, len(an.Shocks))
+		for _, sh := range an.Shocks {
+			have[sh.Phase] = true
+		}
+		for _, p := range e.opt.KnownShockPhases {
+			p = ((p % period) + period) % period
+			if have[p] {
+				continue
+			}
+			an.Shocks = append(an.Shocks, Shock{
+				Phase:       p,
+				Occurrences: train.Len() / max(period, 1),
+				Positive:    true,
+			})
+			have[p] = true
+		}
+	}
+
+	// Stage 4: enumerate candidates for the chosen branch.
+	cands := e.buildCandidates(train, an)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: no candidates for series %q", s.Name)
+	}
+
+	// Stage 5: fit and score in parallel.
+	results := e.evaluate(train.Values, test.Values, an, cands)
+
+	// Rank: best hold-out RMSE first; failed fits sink.
+	sort.SliceStable(results, func(i, j int) bool {
+		if (results[i].Err == nil) != (results[j].Err == nil) {
+			return results[i].Err == nil
+		}
+		return results[i].Score.Better(results[j].Score)
+	})
+	champion := results[0]
+	if champion.Err != nil {
+		return nil, fmt.Errorf("core: every candidate failed; first error: %w", champion.Err)
+	}
+
+	// Stage 6: champion's test-window forecast for reporting, and the
+	// production forecast from a full-series refit.
+	testFC, err := e.refitForecast(champion, train.Values, an, len(test.Values))
+	if err != nil {
+		return nil, fmt.Errorf("core: champion test forecast: %w", err)
+	}
+	fullFC, se, lower, upper, diag, err := e.fullForecast(champion, work.Values, an, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("core: champion production forecast: %w", err)
+	}
+
+	// Baseline scores on the same hold-out window.
+	baselines := map[string]metrics.Score{}
+	beats := true
+	for _, bm := range []naive.Method{naive.Last, naive.Drift, naive.Mean, naive.SeasonalNaive} {
+		period := an.Period
+		if period == 0 {
+			period = train.Freq.Period()
+		}
+		bfc, berr := naive.Predict(bm, train.Values, period, len(test.Values), e.opt.Level)
+		if berr != nil {
+			continue
+		}
+		score := metrics.Evaluate(test.Values, bfc.Mean)
+		baselines[bm.String()] = score
+		if !(champion.Score.RMSE <= score.RMSE) {
+			beats = false
+		}
+	}
+
+	res := &Result{
+		SeriesName:      s.Name,
+		Technique:       e.opt.Technique,
+		Analysis:        an,
+		Candidates:      results,
+		Champion:        champion,
+		TestScore:       champion.Score,
+		TestForecast:    testFC,
+		TestActual:      append([]float64(nil), test.Values...),
+		TrainLen:        train.Len(),
+		TestLen:         test.Len(),
+		Elapsed:         time.Since(began),
+		ModelsEvaluated: len(results),
+		Diagnostics:     diag,
+		Baselines:       baselines,
+		BeatsBaselines:  beats,
+		Forecast: &Prediction{
+			Start: work.End(),
+			Freq:  work.Freq,
+			Mean:  fullFC, SE: se, Lower: lower, Upper: upper,
+			Level: e.opt.Level,
+		},
+	}
+	return res, nil
+}
+
+// buildCandidates assembles the candidate list for the configured branch.
+func (e *Engine) buildCandidates(train *timeseries.Series, an *Analysis) []CandidateResult {
+	var out []CandidateResult
+	switch e.opt.Technique {
+	case TechniqueHES:
+		methods := []ets.Method{ets.Simple, ets.Holt, ets.DampedTrend}
+		if an.Period >= 2 && train.Len() >= 2*an.Period+3 {
+			methods = append(methods, ets.HoltWinters, ets.HoltWintersDamped)
+		}
+		for _, m := range methods {
+			out = append(out, CandidateResult{Label: "HES " + m.String(), etsKind: m, isETS: true})
+		}
+	case TechniqueTBATS:
+		periods := []int{max(an.Period, train.Freq.Period())}
+		for _, p := range an.ExtraPeriods {
+			if len(periods) < 2 {
+				periods = append(periods, p)
+			}
+		}
+		for _, cfg := range tbatsCandidates(periods) {
+			cfg := cfg
+			out = append(out, CandidateResult{Label: cfg.String(), tbatsCfg: &cfg})
+		}
+	case TechniqueARIMA:
+		var cands []arima.Candidate
+		if e.opt.FullGrid {
+			cands = arima.ARIMAGrid()
+		} else {
+			cands = arima.PrunedGrid(train.Values, an.D, 0, 0, false, e.opt.MaxCandidates)
+		}
+		for _, c := range cands {
+			out = append(out, CandidateResult{Label: "ARIMA " + c.Spec.String(), cand: c})
+		}
+	default: // TechniqueSARIMAX
+		seasonal := an.Period >= 2
+		var cands []arima.Candidate
+		if e.opt.FullGrid {
+			cands = arima.SARIMAXExogFourierGrid(max(an.Period, 2))
+		} else {
+			cands = arima.PrunedGrid(train.Values, an.D, an.SeasonalD, an.Period, seasonal, e.opt.MaxCandidates)
+			// Augment the strongest shapes with exogenous and Fourier
+			// variants, as in §6.3's "+ Exogenous (4) + Fourier Terms (2)".
+			nAug := 4
+			if nAug > len(cands) {
+				nAug = len(cands)
+			}
+			if !e.opt.DisableExog && len(an.Shocks) > 0 {
+				for i := 0; i < nAug; i++ {
+					c := cands[i]
+					c.UseExog = true
+					cands = append(cands, c)
+				}
+			}
+			if !e.opt.DisableFourier && len(an.ExtraPeriods) > 0 {
+				for i := 0; i < min(2, len(cands)); i++ {
+					c := cands[i]
+					c.UseExog = !e.opt.DisableExog && len(an.Shocks) > 0
+					c.UseFourier = true
+					cands = append(cands, c)
+				}
+			}
+		}
+		for _, c := range cands {
+			// Drop orders the training window cannot support.
+			if need := c.Spec.LostObservations() + c.Spec.MaxARLag() + c.Spec.MaxMALag() + 10; need > train.Len() {
+				continue
+			}
+			label := "SARIMAX " + c.Spec.String()
+			if !c.Spec.IsSeasonal() {
+				label = "ARIMA " + c.Spec.String()
+			}
+			if c.UseFourier {
+				// One candidate per harmonic count K (§4.4: the K giving
+				// the best RMSE wins).
+				for _, k := range e.opt.FourierK {
+					out = append(out, CandidateResult{
+						Label:    fmt.Sprintf("%s+exog+fourierK%d", label, k),
+						cand:     c,
+						fourierK: k,
+					})
+				}
+				continue
+			}
+			if c.UseExog {
+				label += "+exog"
+			}
+			out = append(out, CandidateResult{Label: label, cand: c})
+		}
+	}
+	return out
+}
+
+// evaluate fits every candidate on train and scores it on test, using a
+// worker pool.
+func (e *Engine) evaluate(train, test []float64, an *Analysis, cands []CandidateResult) []CandidateResult {
+	jobs := make(chan int)
+	out := make([]CandidateResult, len(cands))
+	copy(out, cands)
+	var wg sync.WaitGroup
+	for w := 0; w < e.opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				began := time.Now()
+				fc, aic, err := e.fitScore(out[idx], train, an, len(test))
+				out[idx].FitDuration = time.Since(began)
+				out[idx].AIC = aic
+				if err != nil {
+					out[idx].Err = err
+					out[idx].Score = metrics.Score{RMSE: math.NaN(), MAPE: math.NaN(), MAPA: math.NaN()}
+					continue
+				}
+				out[idx].Score = metrics.Evaluate(test, fc)
+			}
+		}()
+	}
+	for i := range cands {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// tbatsCandidates enumerates a compact TBATS structure set (the §4.3
+// alternatives): trend on/off, damping, ARMA errors, two harmonic levels.
+func tbatsCandidates(periods []int) []tbats.Config {
+	harmonics := func(k int) []int {
+		hs := make([]int, len(periods))
+		for i, p := range periods {
+			ki := k
+			if 2*ki > p {
+				ki = p / 2
+			}
+			if ki < 1 {
+				ki = 1
+			}
+			hs[i] = ki
+		}
+		return hs
+	}
+	var out []tbats.Config
+	for _, trend := range []struct{ t, d bool }{{false, false}, {true, false}, {true, true}} {
+		for _, arma := range []struct{ p, q int }{{0, 0}, {1, 1}} {
+			for _, k := range []int{1, 3} {
+				out = append(out, tbats.Config{
+					Periods: periods, Harmonics: harmonics(k),
+					UseTrend: trend.t, UseDamping: trend.d,
+					ARMAP: arma.p, ARMAQ: arma.q,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// fitScore fits one candidate on train and forecasts the test window.
+func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h int) ([]float64, float64, error) {
+	if c.tbatsCfg != nil {
+		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{})
+		if err != nil {
+			return nil, math.NaN(), err
+		}
+		fc, err := m.Forecast(h, e.opt.Level)
+		if err != nil {
+			return nil, math.NaN(), err
+		}
+		return fc.Mean, m.AIC, nil
+	}
+	if c.isETS {
+		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period})
+		if err != nil {
+			return nil, math.NaN(), err
+		}
+		fc, err := m.Forecast(h, e.opt.Level)
+		if err != nil {
+			return nil, math.NaN(), err
+		}
+		return fc.Mean, m.AIC, nil
+	}
+	regs, err := e.regressorsFor(c, an, len(train))
+	if err != nil {
+		return nil, math.NaN(), err
+	}
+	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{})
+	if err != nil {
+		return nil, math.NaN(), err
+	}
+	fc, err := m.Forecast(h, regs.Future(len(train), h), e.opt.Level)
+	if err != nil {
+		return nil, math.NaN(), err
+	}
+	return fc.Mean, m.AIC, nil
+}
+
+// regressorsFor materialises the exogenous design for a candidate.
+func (e *Engine) regressorsFor(c CandidateResult, an *Analysis, n int) (*Regressors, error) {
+	var parts []*Regressors
+	if c.cand.UseExog && !e.opt.DisableExog {
+		parts = append(parts, ShockRegressors(an.Shocks, max(an.Period, 2), n))
+	}
+	if c.cand.UseFourier && !e.opt.DisableFourier && len(an.ExtraPeriods) > 0 {
+		k := c.fourierK
+		if k <= 0 {
+			k = 1
+		}
+		fr, err := FourierRegressors(an.ExtraPeriods, k, n)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, fr)
+	}
+	return Merge(parts...), nil
+}
+
+// refitForecast reproduces the champion's test-window forecast (train
+// fit) for charting.
+func (e *Engine) refitForecast(c CandidateResult, train []float64, an *Analysis, h int) ([]float64, error) {
+	fc, _, err := e.fitScore(c, train, an, h)
+	return fc, err
+}
+
+// fullForecast refits the champion on the whole series and produces the
+// production forecast with error bars.
+func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
+	if c.tbatsCfg != nil {
+		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{})
+		if ferr != nil {
+			return nil, nil, nil, nil, nil, ferr
+		}
+		fc, ferr := m.Forecast(h, e.opt.Level)
+		if ferr != nil {
+			return nil, nil, nil, nil, nil, ferr
+		}
+		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
+	}
+	if c.isETS {
+		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period})
+		if ferr != nil {
+			return nil, nil, nil, nil, nil, ferr
+		}
+		fc, ferr := m.Forecast(h, e.opt.Level)
+		if ferr != nil {
+			return nil, nil, nil, nil, nil, ferr
+		}
+		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
+	}
+	regs, ferr := e.regressorsFor(c, an, len(full))
+	if ferr != nil {
+		return nil, nil, nil, nil, nil, ferr
+	}
+	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{})
+	if ferr != nil {
+		return nil, nil, nil, nil, nil, ferr
+	}
+	fc, ferr := m.Forecast(h, regs.Future(len(full), h), e.opt.Level)
+	if ferr != nil {
+		return nil, nil, nil, nil, nil, ferr
+	}
+	d := m.Diagnose()
+	return fc.Mean, fc.SE, fc.Lower, fc.Upper, &d, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fourier"
+)
+
+// Regressors bundles exogenous design columns over the training window
+// and a generator for the forecast horizon, so the same features can be
+// produced for any future period.
+type Regressors struct {
+	// Names labels the columns for reporting.
+	Names []string
+	// Train holds the columns over the training window.
+	Train [][]float64
+	// future produces the columns for offset t = n … n+h−1.
+	future func(offset, h int) [][]float64
+}
+
+// Future materialises the regressor columns for h steps starting at
+// observation index offset (usually the training length).
+func (r *Regressors) Future(offset, h int) [][]float64 {
+	if r == nil || len(r.Names) == 0 {
+		return nil
+	}
+	return r.future(offset, h)
+}
+
+// Empty reports whether no regressors are present.
+func (r *Regressors) Empty() bool { return r == nil || len(r.Names) == 0 }
+
+// ShockRegressors builds pulse regressors from detected shock behaviours:
+// one 0/1 column per shock, firing at the shock's phase every period.
+// This realises the paper's exogenous variables — "several shocks in the
+// form of backups that run every 6 hours (4 exogenous variables)" become
+// four phase pulses within the daily cycle.
+func ShockRegressors(shocks []Shock, period, n int) *Regressors {
+	if len(shocks) == 0 || period < 2 {
+		return &Regressors{}
+	}
+	gen := func(offset, h int) [][]float64 {
+		cols := make([][]float64, len(shocks))
+		for j, s := range shocks {
+			col := make([]float64, h)
+			for t := 0; t < h; t++ {
+				if (offset+t)%period == s.Phase {
+					col[t] = 1
+				}
+			}
+			cols[j] = col
+		}
+		return cols
+	}
+	names := make([]string, len(shocks))
+	for j, s := range shocks {
+		dir := "spike"
+		if !s.Positive {
+			dir = "dip"
+		}
+		names[j] = fmt.Sprintf("shock@%d(%s×%d)", s.Phase, dir, s.Occurrences)
+	}
+	return &Regressors{Names: names, Train: gen(0, n), future: gen}
+}
+
+// FourierRegressors builds the §4.4 Fourier-term columns for the given
+// secondary periods with k harmonics each.
+func FourierRegressors(periods []int, k int, n int) (*Regressors, error) {
+	if len(periods) == 0 {
+		return &Regressors{}, nil
+	}
+	ks := make([]int, len(periods))
+	for i, p := range periods {
+		ki := k
+		if 2*ki > p {
+			ki = p / 2
+		}
+		if ki < 1 {
+			ki = 1
+		}
+		ks[i] = ki
+	}
+	gen := func(offset, h int) [][]float64 {
+		cols, err := fourier.Terms(h, offset, periods, ks)
+		if err != nil {
+			return nil
+		}
+		return cols
+	}
+	train, err := fourier.Terms(n, 0, periods, ks)
+	if err != nil {
+		return nil, fmt.Errorf("core: fourier terms: %w", err)
+	}
+	var names []string
+	for i, p := range periods {
+		for j := 1; j <= ks[i]; j++ {
+			names = append(names, fmt.Sprintf("sin(%d·2πt/%d)", j, p), fmt.Sprintf("cos(%d·2πt/%d)", j, p))
+		}
+	}
+	return &Regressors{Names: names, Train: train, future: gen}, nil
+}
+
+// Merge concatenates regressor sets.
+func Merge(rs ...*Regressors) *Regressors {
+	var names []string
+	var train [][]float64
+	var gens []func(int, int) [][]float64
+	var counts []int
+	for _, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		names = append(names, r.Names...)
+		train = append(train, r.Train...)
+		gens = append(gens, r.future)
+		counts = append(counts, len(r.Names))
+	}
+	if len(names) == 0 {
+		return &Regressors{}
+	}
+	gen := func(offset, h int) [][]float64 {
+		var out [][]float64
+		for i, g := range gens {
+			cols := g(offset, h)
+			if len(cols) != counts[i] {
+				return nil
+			}
+			out = append(out, cols...)
+		}
+		return out
+	}
+	return &Regressors{Names: names, Train: train, future: gen}
+}
+
+// SliceTrain returns the regressor columns restricted to [0, n) — used to
+// evaluate candidates on the training split while Future(n, h) covers the
+// hold-out.
+func (r *Regressors) SliceTrain(n int) [][]float64 {
+	if r.Empty() {
+		return nil
+	}
+	out := make([][]float64, len(r.Train))
+	for i, col := range r.Train {
+		if len(col) < n {
+			return nil
+		}
+		out[i] = col[:n]
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+// FleetOptions configures a fleet run.
+type FleetOptions struct {
+	// Engine is the per-series engine configuration.
+	Engine Options
+	// Freq is the modelling granularity series are aggregated to.
+	Freq timeseries.Frequency
+	// Concurrency bounds simultaneous engine runs (0 → 4). Each engine
+	// additionally parallelises its own grid, so total parallelism is
+	// roughly Concurrency × Engine.Workers.
+	Concurrency int
+	// SkipFresh skips series whose stored champion is still usable —
+	// the paper's "we simply re-train … unless" rule. Requires Store.
+	SkipFresh bool
+	// Store receives champions (optional unless SkipFresh).
+	Store *ModelStore
+}
+
+// FleetItem is one fleet run outcome.
+type FleetItem struct {
+	Key string
+	// Skipped is true when a fresh stored champion made re-training
+	// unnecessary.
+	Skipped bool
+	Result  *Result
+	Err     error
+}
+
+// FleetResult aggregates a fleet run.
+type FleetResult struct {
+	Items   []FleetItem
+	Elapsed time.Duration
+	// Trained, Skipped, Failed count outcomes.
+	Trained, Skipped, Failed int
+}
+
+// RunFleet runs the learning engine over every series in the repository
+// between from and to — the §8 operational mode ("applied across several
+// thousand customers, covering 1000's of workloads"). Champions land in
+// opt.Store when provided. Items are returned in key order.
+func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*FleetResult, error) {
+	if repo == nil {
+		return nil, fmt.Errorf("core: nil repository")
+	}
+	if opt.SkipFresh && opt.Store == nil {
+		return nil, fmt.Errorf("core: SkipFresh requires a model store")
+	}
+	conc := opt.Concurrency
+	if conc <= 0 {
+		conc = 4
+	}
+	keys := repo.Keys()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("core: repository is empty")
+	}
+
+	items := make([]FleetItem, len(keys))
+	began := time.Now()
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k metricstore.Key) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			item := FleetItem{Key: k.String()}
+			defer func() { items[i] = item }()
+
+			if opt.SkipFresh {
+				if _, usable := opt.Store.Get(k.String()); usable {
+					item.Skipped = true
+					return
+				}
+			}
+			ser, err := repo.Series(k, opt.Freq, from, to)
+			if err != nil {
+				item.Err = err
+				return
+			}
+			eng, err := NewEngine(opt.Engine)
+			if err != nil {
+				item.Err = err
+				return
+			}
+			res, err := eng.Run(ser)
+			if err != nil {
+				item.Err = err
+				return
+			}
+			item.Result = res
+			if opt.Store != nil {
+				opt.Store.Put(k.String(), res)
+			}
+		}(i, k)
+	}
+	wg.Wait()
+
+	out := &FleetResult{Items: items, Elapsed: time.Since(began)}
+	sort.Slice(out.Items, func(a, b int) bool { return out.Items[a].Key < out.Items[b].Key })
+	for _, it := range out.Items {
+		switch {
+		case it.Skipped:
+			out.Skipped++
+		case it.Err != nil:
+			out.Failed++
+		default:
+			out.Trained++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// fillRepo loads a repository with hourly samples for several workloads.
+func fillRepo(t *testing.T, n int) (*metricstore.Store, time.Time, time.Time) {
+	t.Helper()
+	repo := metricstore.New()
+	from := t0
+	to := t0.Add(time.Duration(n) * time.Hour)
+	for w := 0; w < 3; w++ {
+		y := workload.DailySeasonal(n, 40+float64(w)*10, 8, 0.01, 1, int64(w+1))
+		target := []string{"dbA", "dbB", "dbC"}[w]
+		for i := 0; i < n; i++ {
+			repo.Put(metricstore.Sample{
+				Target: target, Metric: "cpu",
+				At: from.Add(time.Duration(i) * time.Hour), Value: y[i],
+			})
+		}
+	}
+	return repo, from, to
+}
+
+func TestRunFleetTrainsEverySeries(t *testing.T) {
+	repo, from, to := fillRepo(t, 1008)
+	store := NewModelStore(StalePolicy{})
+	res, err := RunFleet(repo, from, to, FleetOptions{
+		Engine: Options{Technique: TechniqueHES},
+		Freq:   timeseries.Hourly,
+		Store:  store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trained != 3 || res.Failed != 0 || res.Skipped != 0 {
+		t.Fatalf("outcome = %d/%d/%d", res.Trained, res.Skipped, res.Failed)
+	}
+	if len(store.Keys()) != 3 {
+		t.Fatalf("store holds %d champions", len(store.Keys()))
+	}
+	// Items sorted by key.
+	if res.Items[0].Key != "dbA/cpu" || res.Items[2].Key != "dbC/cpu" {
+		t.Fatalf("items unsorted: %v %v", res.Items[0].Key, res.Items[2].Key)
+	}
+	for _, it := range res.Items {
+		if it.Result == nil || it.Result.TestScore.MAPA < 80 {
+			t.Fatalf("item %s has poor champion", it.Key)
+		}
+	}
+}
+
+func TestRunFleetSkipFresh(t *testing.T) {
+	repo, from, to := fillRepo(t, 1008)
+	store := NewModelStore(StalePolicy{})
+	opt := FleetOptions{
+		Engine:    Options{Technique: TechniqueHES},
+		Freq:      timeseries.Hourly,
+		Store:     store,
+		SkipFresh: true,
+	}
+	// First run trains everything.
+	res1, err := RunFleet(repo, from, to, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Trained != 3 {
+		t.Fatalf("first run trained %d", res1.Trained)
+	}
+	// Second run skips everything (champions are fresh).
+	res2, err := RunFleet(repo, from, to, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Skipped != 3 || res2.Trained != 0 {
+		t.Fatalf("second run = %d trained / %d skipped", res2.Trained, res2.Skipped)
+	}
+	// Degrade one champion: only that one re-trains.
+	if _, err := store.CheckIn("dbB/cpu", 1e12); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := RunFleet(repo, from, to, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Trained != 1 || res3.Skipped != 2 {
+		t.Fatalf("third run = %d trained / %d skipped", res3.Trained, res3.Skipped)
+	}
+}
+
+func TestRunFleetValidation(t *testing.T) {
+	if _, err := RunFleet(nil, t0, t0.Add(time.Hour), FleetOptions{}); err == nil {
+		t.Fatal("nil repo should fail")
+	}
+	repo := metricstore.New()
+	if _, err := RunFleet(repo, t0, t0.Add(time.Hour), FleetOptions{Freq: timeseries.Hourly}); err == nil {
+		t.Fatal("empty repo should fail")
+	}
+	repo.Put(metricstore.Sample{Target: "d", Metric: "m", At: t0, Value: 1})
+	if _, err := RunFleet(repo, t0, t0.Add(time.Hour), FleetOptions{SkipFresh: true, Freq: timeseries.Hourly}); err == nil {
+		t.Fatal("SkipFresh without store should fail")
+	}
+}
+
+func TestRunFleetPartialFailure(t *testing.T) {
+	repo, from, to := fillRepo(t, 1008)
+	// Add a too-short series that will fail the engine.
+	repo.Put(metricstore.Sample{Target: "tiny", Metric: "cpu", At: from, Value: 1})
+	res, err := RunFleet(repo, from, to, FleetOptions{
+		Engine: Options{Technique: TechniqueHES},
+		Freq:   timeseries.Hourly,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Trained != 3 {
+		t.Fatalf("outcome = %d trained / %d failed", res.Trained, res.Failed)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// TestKnownShockPhasesForceExogCandidates verifies the operator-declared
+// schedule path: even when detection finds nothing (shock-free data),
+// declaring phases yields exogenous candidates.
+func TestKnownShockPhasesForceExogCandidates(t *testing.T) {
+	y := workload.DailySeasonal(1008, 50, 10, 0, 0.8, 21) // no shocks
+	s := timeseries.New("clean", t0, timeseries.Hourly, y)
+	e, err := NewEngine(Options{
+		Technique:        TechniqueSARIMAX,
+		MaxCandidates:    6,
+		KnownShockPhases: []int{0, 6, 12, 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Candidates {
+		if strings.Contains(c.Label, "exog") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("declared schedule produced no exogenous candidates")
+	}
+	// All four declared phases must be present in the analysis.
+	phases := map[int]bool{}
+	for _, sh := range res.Analysis.Shocks {
+		phases[sh.Phase] = true
+	}
+	for _, p := range []int{0, 6, 12, 18} {
+		if !phases[p] {
+			t.Fatalf("declared phase %d missing from analysis", p)
+		}
+	}
+}
+
+// TestKnownShockPhasesMergeWithDetected verifies duplicates collapse.
+func TestKnownShockPhasesMergeWithDetected(t *testing.T) {
+	var shocks []int
+	for d := 0; d < 42; d++ {
+		shocks = append(shocks, d*24) // detectable midnight shock
+	}
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 1008, Level: 100, Periods: []int{24}, Amps: []float64{10},
+		Noise: 0.5, ShockAt: shocks, ShockAmp: 60, Seed: 22,
+	})
+	s := timeseries.New("merged", t0, timeseries.Hourly, y)
+	e, err := NewEngine(Options{
+		Technique:        TechniqueSARIMAX,
+		MaxCandidates:    6,
+		KnownShockPhases: []int{0, 12}, // 0 duplicates detection, 12 is new
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count0 := 0
+	has12 := false
+	for _, sh := range res.Analysis.Shocks {
+		if sh.Phase == 0 {
+			count0++
+		}
+		if sh.Phase == 12 {
+			has12 = true
+		}
+	}
+	if count0 != 1 {
+		t.Fatalf("phase 0 appears %d times, want 1 (merge)", count0)
+	}
+	if !has12 {
+		t.Fatal("declared phase 12 missing")
+	}
+}
+
+// TestKnownShockPhaseNormalisation checks out-of-range phases wrap.
+func TestKnownShockPhaseNormalisation(t *testing.T) {
+	y := workload.DailySeasonal(1008, 50, 10, 0, 0.8, 23)
+	s := timeseries.New("wrap", t0, timeseries.Hourly, y)
+	e, err := NewEngine(Options{
+		Technique:        TechniqueSARIMAX,
+		MaxCandidates:    4,
+		KnownShockPhases: []int{25, -1}, // wrap to 1 and 23
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[int]bool{}
+	for _, sh := range res.Analysis.Shocks {
+		phases[sh.Phase] = true
+	}
+	if !phases[1] || !phases[23] {
+		t.Fatalf("phases not normalised: %+v", res.Analysis.Shocks)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+// TestTable1MatchesPaper pins the paper's Table 1 verbatim.
+func TestTable1MatchesPaper(t *testing.T) {
+	want := []struct {
+		freq             timeseries.Frequency
+		obs, train, test int
+		horizon          int
+	}{
+		{timeseries.Hourly, 1008, 984, 24, 24},
+		{timeseries.Daily, 90, 83, 7, 7},
+		{timeseries.Weekly, 92, 88, 4, 4},
+	}
+	for _, w := range want {
+		p, err := PolicyFor(w.freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Obs != w.obs || p.Train != w.train || p.Test != w.test || p.Horizon != w.horizon {
+			t.Fatalf("%v policy = %+v, want %+v", w.freq, p, w)
+		}
+		if p.Train+p.Test != p.Obs {
+			t.Fatalf("%v: train+test != obs", w.freq)
+		}
+	}
+}
+
+func TestPolicyForUnsupported(t *testing.T) {
+	if _, err := PolicyFor(timeseries.Minute15); err == nil {
+		t.Fatal("15-minute series have no modelling policy (aggregate first)")
+	}
+}
+
+func TestSplitExactLength(t *testing.T) {
+	s := timeseries.New("x", t0, timeseries.Hourly, make([]float64, 1008))
+	p, _ := PolicyFor(timeseries.Hourly)
+	train, test, err := p.Split(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 984 || test.Len() != 24 {
+		t.Fatalf("split = %d/%d", train.Len(), test.Len())
+	}
+}
+
+func TestSplitLongerSeriesUsesRecentWindow(t *testing.T) {
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := timeseries.New("x", t0, timeseries.Hourly, vals)
+	p, _ := PolicyFor(timeseries.Hourly)
+	train, test, err := p.Split(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != 1008 {
+		t.Fatalf("window = %d, want 1008", train.Len()+test.Len())
+	}
+	// The window must be the most recent data.
+	if test.Values[test.Len()-1] != 1999 {
+		t.Fatalf("last test value = %v, want 1999", test.Values[test.Len()-1])
+	}
+}
+
+func TestSplitShorterSeriesKeepsRatio(t *testing.T) {
+	s := timeseries.New("x", t0, timeseries.Hourly, make([]float64, 504)) // half the policy
+	p, _ := PolicyFor(timeseries.Hourly)
+	train, test, err := p.Split(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio preserved: 504 × 24/1008 = 12 test points.
+	if test.Len() != 12 {
+		t.Fatalf("test = %d, want 12", test.Len())
+	}
+	if train.Len() != 492 {
+		t.Fatalf("train = %d, want 492", train.Len())
+	}
+}
+
+func TestSplitTooShort(t *testing.T) {
+	s := timeseries.New("x", t0, timeseries.Hourly, make([]float64, 30))
+	p, _ := PolicyFor(timeseries.Hourly)
+	if _, _, err := p.Split(s); err == nil {
+		t.Fatal("30 observations should be rejected for hourly modelling")
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// StalePolicy controls when a stored champion must be re-learned,
+// per Figure 4: "That model is then stored in a central repository and
+// used for a period of one week or until the model's RMSE drops to a
+// point where it is rendered useless."
+type StalePolicy struct {
+	// MaxAge is the validity window (0 → 7 days, the paper's week).
+	MaxAge time.Duration
+	// DegradeFactor invalidates the model when its live RMSE exceeds the
+	// selection RMSE by this multiple (0 → 2.0).
+	DegradeFactor float64
+}
+
+func (p StalePolicy) maxAge() time.Duration {
+	if p.MaxAge <= 0 {
+		return 7 * 24 * time.Hour
+	}
+	return p.MaxAge
+}
+
+func (p StalePolicy) degrade() float64 {
+	if p.DegradeFactor <= 0 {
+		return 2.0
+	}
+	return p.DegradeFactor
+}
+
+// StoredModel is a champion kept by the ModelStore.
+type StoredModel struct {
+	// Key identifies the monitored series ("target/metric").
+	Key string
+	// Result is the engine run that produced the champion.
+	Result *Result
+	// FittedAt stamps when the model was learned.
+	FittedAt time.Time
+	// SelectionRMSE is the hold-out RMSE at selection time, the baseline
+	// for degradation checks.
+	SelectionRMSE float64
+	// LiveRMSE tracks the most recent observed accuracy (NaN until the
+	// first check-in).
+	LiveRMSE float64
+	// Invalidated is set when a degradation check failed.
+	Invalidated bool
+}
+
+// ModelStore is the central model repository of §5.1, safe for concurrent
+// use. Models are re-learned only when stale — the paper's "We simply
+// re-train on the data unless … the time since the last use of the models
+// lengthens beyond a certain period."
+type ModelStore struct {
+	mu     sync.RWMutex
+	policy StalePolicy
+	models map[string]*StoredModel
+	now    func() time.Time
+}
+
+// NewModelStore returns an empty store with the given staleness policy.
+func NewModelStore(policy StalePolicy) *ModelStore {
+	return &ModelStore{
+		policy: policy,
+		models: make(map[string]*StoredModel),
+		now:    time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (s *ModelStore) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Put stores (or replaces) the champion for a key.
+func (s *ModelStore) Put(key string, res *Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models[key] = &StoredModel{
+		Key:           key,
+		Result:        res,
+		FittedAt:      s.now(),
+		SelectionRMSE: res.TestScore.RMSE,
+		LiveRMSE:      res.TestScore.RMSE,
+	}
+}
+
+// Get returns the stored champion and whether it is still usable. A stale
+// or missing model returns usable=false, telling the caller to re-run the
+// engine.
+func (s *ModelStore) Get(key string) (m *StoredModel, usable bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sm, ok := s.models[key]
+	if !ok {
+		return nil, false
+	}
+	if sm.Invalidated {
+		return sm, false
+	}
+	if s.now().Sub(sm.FittedAt) > s.policy.maxAge() {
+		return sm, false
+	}
+	return sm, true
+}
+
+// CheckIn reports fresh accuracy for a stored model: the caller compares
+// recent actuals against the model's forecasts and submits the RMSE. The
+// model is invalidated when accuracy degraded beyond the policy factor —
+// the "continually assess the models performance" loop of §9.
+// It returns whether the model remains usable.
+func (s *ModelStore) CheckIn(key string, liveRMSE float64) (usable bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sm, ok := s.models[key]
+	if !ok {
+		return false, fmt.Errorf("core: no stored model for %q", key)
+	}
+	sm.LiveRMSE = liveRMSE
+	if sm.SelectionRMSE > 0 && liveRMSE > sm.SelectionRMSE*s.policy.degrade() {
+		sm.Invalidated = true
+	}
+	if sm.Invalidated {
+		return false, nil
+	}
+	return s.now().Sub(sm.FittedAt) <= s.policy.maxAge(), nil
+}
+
+// CheckInSeries is a convenience wrapper: it scores the stored champion's
+// production forecast against observed actuals and checks in the RMSE.
+func (s *ModelStore) CheckInSeries(key string, actual []float64) (usable bool, err error) {
+	s.mu.RLock()
+	sm, ok := s.models[key]
+	s.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("core: no stored model for %q", key)
+	}
+	fc := sm.Result.Forecast
+	if fc == nil || len(fc.Mean) == 0 {
+		return false, fmt.Errorf("core: stored model for %q has no forecast", key)
+	}
+	n := len(actual)
+	if n > len(fc.Mean) {
+		n = len(fc.Mean)
+	}
+	if n == 0 {
+		return false, fmt.Errorf("core: no actuals supplied for %q", key)
+	}
+	rmse := metrics.RMSE(actual[:n], fc.Mean[:n])
+	return s.CheckIn(key, rmse)
+}
+
+// Keys lists the stored model keys.
+func (s *ModelStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.models))
+	for k := range s.models {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Delete removes a stored model.
+func (s *ModelStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.models, key)
+}

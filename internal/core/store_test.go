@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/timeseries"
+)
+
+func fakeResult(rmse float64) *Result {
+	return &Result{
+		SeriesName: "db/cpu",
+		TestScore:  metrics.Score{RMSE: rmse},
+		Forecast: &Prediction{
+			Start: t0, Freq: timeseries.Hourly,
+			Mean:  []float64{10, 11, 12},
+			Lower: []float64{9, 10, 11},
+			Upper: []float64{11, 12, 13},
+			Level: 0.95,
+		},
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key should not be usable")
+	}
+	s.Put("db/cpu", fakeResult(5))
+	m, ok := s.Get("db/cpu")
+	if !ok || m.SelectionRMSE != 5 {
+		t.Fatalf("get = %+v, %v", m, ok)
+	}
+}
+
+func TestStoreWeeklyStaleness(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	now := t0
+	s.SetClock(func() time.Time { return now })
+	s.Put("db/cpu", fakeResult(5))
+	// Six days later: still usable.
+	now = t0.Add(6 * 24 * time.Hour)
+	if _, ok := s.Get("db/cpu"); !ok {
+		t.Fatal("model should be valid within a week")
+	}
+	// Eight days later: stale — the paper's one-week rule.
+	now = t0.Add(8 * 24 * time.Hour)
+	if _, ok := s.Get("db/cpu"); ok {
+		t.Fatal("model should be stale after a week")
+	}
+}
+
+func TestStoreCustomMaxAge(t *testing.T) {
+	s := NewModelStore(StalePolicy{MaxAge: time.Hour})
+	now := t0
+	s.SetClock(func() time.Time { return now })
+	s.Put("k", fakeResult(1))
+	now = t0.Add(2 * time.Hour)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("custom MaxAge ignored")
+	}
+}
+
+func TestStoreRMSEDegradation(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	s.Put("db/cpu", fakeResult(5))
+	// Live RMSE within 2×: fine.
+	usable, err := s.CheckIn("db/cpu", 8)
+	if err != nil || !usable {
+		t.Fatalf("usable=%v err=%v", usable, err)
+	}
+	// Degraded beyond 2×: invalidated, permanently.
+	usable, err = s.CheckIn("db/cpu", 11)
+	if err != nil || usable {
+		t.Fatalf("degraded model still usable (err=%v)", err)
+	}
+	if _, ok := s.Get("db/cpu"); ok {
+		t.Fatal("invalidated model served")
+	}
+	// Even a good check-in cannot resurrect it.
+	usable, _ = s.CheckIn("db/cpu", 1)
+	if usable {
+		t.Fatal("invalidated model resurrected")
+	}
+}
+
+func TestStoreCheckInSeries(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	s.Put("db/cpu", fakeResult(1.0))
+	// Actuals equal to the forecast: perfect, stays usable.
+	usable, err := s.CheckInSeries("db/cpu", []float64{10, 11, 12})
+	if err != nil || !usable {
+		t.Fatalf("usable=%v err=%v", usable, err)
+	}
+	// Wildly wrong actuals: degraded.
+	usable, err = s.CheckInSeries("db/cpu", []float64{100, 100, 100})
+	if err != nil || usable {
+		t.Fatal("bad actuals should invalidate")
+	}
+}
+
+func TestStoreCheckInErrors(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	if _, err := s.CheckIn("nope", 1); err == nil {
+		t.Fatal("missing key should error")
+	}
+	if _, err := s.CheckInSeries("nope", []float64{1}); err == nil {
+		t.Fatal("missing key should error")
+	}
+	s.Put("k", fakeResult(1))
+	if _, err := s.CheckInSeries("k", nil); err == nil {
+		t.Fatal("empty actuals should error")
+	}
+}
+
+func TestStoreKeysAndDelete(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	s.Put("a", fakeResult(1))
+	s.Put("b", fakeResult(2))
+	if len(s.Keys()) != 2 {
+		t.Fatal("keys wrong")
+	}
+	s.Delete("a")
+	if len(s.Keys()) != 1 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestStoreZeroSelectionRMSENeverDegrades(t *testing.T) {
+	s := NewModelStore(StalePolicy{})
+	s.Put("k", fakeResult(0))
+	usable, err := s.CheckIn("k", math.MaxFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usable {
+		t.Fatal("zero selection RMSE should disable the degradation check")
+	}
+}

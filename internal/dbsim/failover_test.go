@@ -1,0 +1,104 @@
+package dbsim
+
+import (
+	"testing"
+	"time"
+)
+
+func failoverConfig() Config {
+	cfg := testConfig()
+	cfg.Workload.NoiseFrac = 0
+	cfg.Failovers = []FailoverEvent{{
+		From: 0, To: 1,
+		At:          48 * time.Hour,
+		Duration:    4 * time.Hour,
+		StormCPUPct: 15, StormIOPS: 100000,
+	}}
+	return cfg
+}
+
+func TestFailoverValidation(t *testing.T) {
+	cases := []FailoverEvent{
+		{From: 0, To: 5, At: time.Hour, Duration: time.Hour},
+		{From: 0, To: 0, At: time.Hour, Duration: time.Hour},
+		{From: 0, To: 1, At: -time.Hour, Duration: time.Hour},
+		{From: 0, To: 1, At: time.Hour, Duration: 0},
+	}
+	for i, f := range cases {
+		cfg := testConfig()
+		cfg.Failovers = []FailoverEvent{f}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestFailoverMovesLoad(t *testing.T) {
+	c, err := New(failoverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	during := epoch.Add(50 * time.Hour) // inside the 48h–52h window
+	before := epoch.Add(26 * time.Hour) // same hour of day, day earlier
+
+	// Node 0 drops to baseline during the failover.
+	d0, _ := c.Sample(0, MemoryMB, during)
+	b0, _ := c.Sample(0, MemoryMB, before)
+	if d0 >= b0 {
+		t.Fatalf("node 0 should shed load: during=%v before=%v", d0, b0)
+	}
+	// Node 1 picks it up.
+	d1, _ := c.Sample(1, MemoryMB, during)
+	b1, _ := c.Sample(1, MemoryMB, before)
+	if d1 <= b1 {
+		t.Fatalf("node 1 should absorb load: during=%v before=%v", d1, b1)
+	}
+	// Shares are restored afterwards.
+	after := epoch.Add(74 * time.Hour)
+	a0, _ := c.Sample(0, MemoryMB, after)
+	if a0 < b0*0.9 {
+		t.Fatalf("node 0 did not recover: %v vs %v", a0, b0)
+	}
+}
+
+func TestFailoverReconnectionStorm(t *testing.T) {
+	c, err := New(failoverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storm: first 15 minutes on the To node.
+	inStorm := epoch.Add(48*time.Hour + 5*time.Minute)
+	postStorm := epoch.Add(48*time.Hour + 30*time.Minute)
+	s1, _ := c.Sample(1, LogicalIOPS, inStorm)
+	p1, _ := c.Sample(1, LogicalIOPS, postStorm)
+	if s1-p1 < 50000 {
+		t.Fatalf("storm IOPS missing: storm=%v post=%v", s1, p1)
+	}
+}
+
+func TestFailoverActiveAt(t *testing.T) {
+	c, err := New(failoverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.FailoverActiveAt(0, epoch.Add(49*time.Hour)) {
+		t.Fatal("node 0 should be down at 49h")
+	}
+	if c.FailoverActiveAt(1, epoch.Add(49*time.Hour)) {
+		t.Fatal("node 1 is up (absorbing)")
+	}
+	if c.FailoverActiveAt(0, epoch.Add(10*time.Hour)) {
+		t.Fatal("no failover at 10h")
+	}
+}
+
+func TestFailoverDefaultStormDuration(t *testing.T) {
+	f := FailoverEvent{}
+	if f.storm() != 15*time.Minute {
+		t.Fatalf("default storm = %v", f.storm())
+	}
+	f.StormDuration = time.Hour
+	if f.storm() != time.Hour {
+		t.Fatal("explicit storm duration ignored")
+	}
+}

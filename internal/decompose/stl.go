@@ -1,0 +1,315 @@
+package decompose
+
+import (
+	"fmt"
+	"math"
+)
+
+// STLOptions tunes the STL decomposition (Cleveland et al., 1990).
+// Zero values select the standard defaults.
+type STLOptions struct {
+	// SeasonalWindow is the loess window for cycle-subseries smoothing
+	// (odd, >= 7; 0 → 13, a mildly flexible seasonal).
+	SeasonalWindow int
+	// TrendWindow is the loess window for the trend (odd; 0 → the
+	// smallest odd integer >= 1.5·period/(1−1.5/SeasonalWindow)).
+	TrendWindow int
+	// InnerIterations is the number of seasonal/trend refinement passes
+	// (0 → 2).
+	InnerIterations int
+	// RobustIterations adds outer robustness passes that down-weight
+	// outliers (0 → none; 1–2 typical for shocked series).
+	RobustIterations int
+}
+
+// STL performs a Seasonal-Trend decomposition using Loess. Compared to
+// Classical it handles evolving seasonal shapes and, with robustness
+// iterations, resists the backup/surge shocks that pollute classical
+// seasonal means. The returned components satisfy
+// x = Trend + Seasonal + Residual exactly at every index.
+func STL(x []float64, period int, opt STLOptions) (*Result, error) {
+	n := len(x)
+	if period < 2 {
+		return nil, fmt.Errorf("decompose: STL period must be >= 2, got %d", period)
+	}
+	if n < 2*period {
+		return nil, fmt.Errorf("decompose: STL needs at least 2 periods (%d observations), got %d", 2*period, n)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("decompose: STL requires finite data (x[%d]=%v)", i, v)
+		}
+	}
+	sw := opt.SeasonalWindow
+	if sw <= 0 {
+		sw = 13
+	}
+	if sw < 7 {
+		sw = 7
+	}
+	if sw%2 == 0 {
+		sw++
+	}
+	tw := opt.TrendWindow
+	if tw <= 0 {
+		tw = int(math.Ceil(1.5 * float64(period) / (1 - 1.5/float64(sw))))
+	}
+	if tw%2 == 0 {
+		tw++
+	}
+	if tw < 3 {
+		tw = 3
+	}
+	inner := opt.InnerIterations
+	if inner <= 0 {
+		inner = 2
+	}
+
+	trend := make([]float64, n)
+	seasonal := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	work := make([]float64, n)
+
+	outer := opt.RobustIterations + 1
+	for o := 0; o < outer; o++ {
+		for it := 0; it < inner; it++ {
+			// Step 1: detrend.
+			for i := range work {
+				work[i] = x[i] - trend[i]
+			}
+			// Step 2: cycle-subseries loess smoothing.
+			cycle := cycleSubseriesSmooth(work, weights, period, sw)
+			// Step 3: low-pass filter of the smoothed cycle.
+			low := lowPass(cycle, period, n)
+			// Step 4: seasonal = smoothed cycle − low-pass.
+			for i := range seasonal {
+				seasonal[i] = cycle[i] - low[i]
+			}
+			// Step 5: deseasonalise, Step 6: trend loess.
+			for i := range work {
+				work[i] = x[i] - seasonal[i]
+			}
+			trend = loess(work, weights, tw)
+		}
+		if o+1 < outer {
+			// Robustness weights from the remainder (bisquare).
+			resid := make([]float64, n)
+			for i := range resid {
+				resid[i] = math.Abs(x[i] - trend[i] - seasonal[i])
+			}
+			h := 6 * median(resid)
+			if h <= 0 {
+				break
+			}
+			for i := range weights {
+				u := resid[i] / h
+				if u >= 1 {
+					weights[i] = 0
+				} else {
+					w := 1 - u*u
+					weights[i] = w * w
+				}
+			}
+		}
+	}
+
+	residual := make([]float64, n)
+	for i := range residual {
+		residual[i] = x[i] - trend[i] - seasonal[i]
+	}
+	// Average one-period seasonal pattern for reporting.
+	idx := make([]float64, period)
+	counts := make([]int, period)
+	for i, v := range seasonal {
+		idx[i%period] += v
+		counts[i%period]++
+	}
+	for p := range idx {
+		if counts[p] > 0 {
+			idx[p] /= float64(counts[p])
+		}
+	}
+	return &Result{
+		Trend: trend, Seasonal: seasonal, Residual: residual,
+		SeasonalIndices: idx, Period: period, Model: Additive,
+	}, nil
+}
+
+// cycleSubseriesSmooth loess-smooths each phase's subseries and
+// reassembles a full-length seasonal estimate.
+func cycleSubseriesSmooth(detrended, weights []float64, period, window int) []float64 {
+	n := len(detrended)
+	out := make([]float64, n)
+	for p := 0; p < period; p++ {
+		var sub, subW []float64
+		var subIdx []int
+		for i := p; i < n; i += period {
+			sub = append(sub, detrended[i])
+			subW = append(subW, weights[i])
+			subIdx = append(subIdx, i)
+		}
+		w := window
+		if w > len(sub) {
+			w = len(sub)
+			if w%2 == 0 {
+				w--
+			}
+		}
+		if w < 3 {
+			// Too few cycles to smooth: use the weighted subseries mean.
+			var s, ws float64
+			for j, v := range sub {
+				s += v * subW[j]
+				ws += subW[j]
+			}
+			m := 0.0
+			if ws > 0 {
+				m = s / ws
+			}
+			for _, i := range subIdx {
+				out[i] = m
+			}
+			continue
+		}
+		sm := loess(sub, subW, w)
+		for j, i := range subIdx {
+			out[i] = sm[j]
+		}
+	}
+	return out
+}
+
+// lowPass applies the STL low-pass filter: two MAs of length period, one
+// of length 3, then a linear re-fit to restore length n (the exact STL
+// uses loess; a least-squares line over the filtered interior is an
+// adequate low-frequency estimate and keeps ends defined).
+func lowPass(x []float64, period, n int) []float64 {
+	f1 := movingAvg(x, period)
+	f2 := movingAvg(f1, period)
+	f3 := movingAvg(f2, 3)
+	// f3 is shorter than n; fit a line to it and evaluate over 0..n−1.
+	offset := float64(n-len(f3)) / 2
+	var sx, sy, sxx, sxy float64
+	m := float64(len(f3))
+	for i, v := range f3 {
+		xx := float64(i) + offset
+		sx += xx
+		sy += v
+		sxx += xx * xx
+		sxy += xx * v
+	}
+	den := m*sxx - sx*sx
+	var a, b float64 // y = a + b·t
+	if den != 0 {
+		b = (m*sxy - sx*sy) / den
+		a = (sy - b*sx) / m
+	} else if m > 0 {
+		a = sy / m
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a + b*float64(i)
+	}
+	return out
+}
+
+func movingAvg(x []float64, w int) []float64 {
+	if w <= 1 || len(x) < w {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x)-w+1)
+	var s float64
+	for i := 0; i < w; i++ {
+		s += x[i]
+	}
+	out[0] = s / float64(w)
+	for i := w; i < len(x); i++ {
+		s += x[i] - x[i-w]
+		out[i-w+1] = s / float64(w)
+	}
+	return out
+}
+
+// loess computes a locally weighted linear regression smooth of y over
+// the integer design 0..n−1 with the given window (number of
+// neighbours), honouring the robustness weights.
+func loess(y, weights []float64, window int) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if window > n {
+		window = n
+	}
+	half := window / 2
+	for i := 0; i < n; i++ {
+		lo := i - half
+		hi := i + half
+		if lo < 0 {
+			hi -= lo
+			lo = 0
+		}
+		if hi >= n {
+			lo -= hi - n + 1
+			hi = n - 1
+			if lo < 0 {
+				lo = 0
+			}
+		}
+		// Tricube distance weights × robustness weights; weighted linear
+		// fit evaluated at i.
+		maxD := math.Max(float64(i-lo), float64(hi-i))
+		if maxD == 0 {
+			out[i] = y[i]
+			continue
+		}
+		var sw, swx, swy, swxx, swxy float64
+		for j := lo; j <= hi; j++ {
+			d := math.Abs(float64(j-i)) / maxD
+			t := 1 - d*d*d
+			wt := t * t * t * weights[j]
+			if wt <= 0 {
+				continue
+			}
+			xx := float64(j - i)
+			sw += wt
+			swx += wt * xx
+			swy += wt * y[j]
+			swxx += wt * xx * xx
+			swxy += wt * xx * y[j]
+		}
+		if sw == 0 {
+			out[i] = y[i]
+			continue
+		}
+		den := sw*swxx - swx*swx
+		if den == 0 {
+			out[i] = swy / sw
+			continue
+		}
+		b := (sw*swxy - swx*swy) / den
+		a := (swy - b*swx) / sw
+		out[i] = a // evaluated at xx = 0 (the centre point)
+	}
+	return out
+}
+
+func median(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), x...)
+	// Insertion sort is fine for the sizes STL sees; but use a simple
+	// quickselect-free sort for clarity.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}

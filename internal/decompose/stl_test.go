@@ -1,0 +1,166 @@
+package decompose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSTLRecoversComponents(t *testing.T) {
+	n, period := 480, 24
+	x := synth(n, period, 0.05, 10, 0.5, 11)
+	res, err := STL(x, period, STLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact reconstruction everywhere (STL defines trend at the ends too).
+	for i := range x {
+		if math.Abs(res.Trend[i]+res.Seasonal[i]+res.Residual[i]-x[i]) > 1e-9 {
+			t.Fatalf("reconstruction broken at %d", i)
+		}
+		if math.IsNaN(res.Trend[i]) {
+			t.Fatalf("STL trend must be defined at %d", i)
+		}
+	}
+	// Seasonal indices track the sine.
+	for p := 0; p < period; p++ {
+		want := 10 * math.Sin(2*math.Pi*float64(p)/float64(period))
+		if math.Abs(res.SeasonalIndices[p]-want) > 1.5 {
+			t.Fatalf("seasonal index[%d] = %v, want ~%v", p, res.SeasonalIndices[p], want)
+		}
+	}
+	// Interior trend follows 50 + 0.05·i.
+	mid := n / 2
+	want := 50 + 0.05*float64(mid)
+	if math.Abs(res.Trend[mid]-want) > 1.5 {
+		t.Fatalf("trend[%d] = %v, want ~%v", mid, res.Trend[mid], want)
+	}
+}
+
+func TestSTLRobustToShocks(t *testing.T) {
+	n, period := 480, 24
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 50 + 8*math.Sin(2*math.Pi*float64(i)/24) + 0.5*rng.NormFloat64()
+	}
+	// Inject sporadic large shocks at varying phases.
+	for _, idx := range []int{37, 111, 222, 333, 444} {
+		x[idx] += 80
+	}
+	robust, err := STL(x, period, STLOptions{RobustIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := STL(x, period, STLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The robust seasonal component should be closer to the clean sine.
+	var errRobust, errPlain float64
+	for p := 0; p < period; p++ {
+		want := 8 * math.Sin(2*math.Pi*float64(p)/24)
+		errRobust += math.Abs(robust.SeasonalIndices[p] - want)
+		errPlain += math.Abs(plain.SeasonalIndices[p] - want)
+	}
+	if errRobust > errPlain+1e-9 {
+		t.Fatalf("robust STL (%v) should beat plain (%v) under shocks", errRobust, errPlain)
+	}
+	// Shocks land in the residual, not the trend.
+	if math.Abs(robust.Residual[222]) < 40 {
+		t.Fatalf("shock absorbed into components: residual=%v", robust.Residual[222])
+	}
+}
+
+func TestSTLEvolvingSeasonality(t *testing.T) {
+	// Seasonal amplitude grows over time — classical averages it; STL
+	// should track it (later seasonal values larger than early ones).
+	n, period := 720, 24
+	rng := rand.New(rand.NewSource(13))
+	x := make([]float64, n)
+	for i := range x {
+		amp := 5 + 10*float64(i)/float64(n)
+		x[i] = 50 + amp*math.Sin(2*math.Pi*float64(i)/24) + 0.3*rng.NormFloat64()
+	}
+	res, err := STL(x, period, STLOptions{SeasonalWindow: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare seasonal swing in the first vs last week.
+	swing := func(from, to int) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := from; i < to; i++ {
+			if res.Seasonal[i] < lo {
+				lo = res.Seasonal[i]
+			}
+			if res.Seasonal[i] > hi {
+				hi = res.Seasonal[i]
+			}
+		}
+		return hi - lo
+	}
+	early := swing(0, 168)
+	late := swing(n-168, n)
+	if late < early*1.3 {
+		t.Fatalf("STL did not track amplitude growth: early=%v late=%v", early, late)
+	}
+}
+
+func TestSTLValidation(t *testing.T) {
+	if _, err := STL([]float64{1, 2, 3}, 1, STLOptions{}); err == nil {
+		t.Fatal("period < 2 should fail")
+	}
+	if _, err := STL(make([]float64, 10), 24, STLOptions{}); err == nil {
+		t.Fatal("short series should fail")
+	}
+	x := synth(100, 12, 0, 5, 0.1, 14)
+	x[50] = math.NaN()
+	if _, err := STL(x, 12, STLOptions{}); err == nil {
+		t.Fatal("NaN data should fail")
+	}
+}
+
+func TestSTLSeasonalStrengthUsable(t *testing.T) {
+	x := synth(480, 24, 0, 12, 0.5, 15)
+	res, err := STL(x, 24, STLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.SeasonalStrength(); s < 0.9 {
+		t.Fatalf("STL strength = %v on strongly seasonal data", s)
+	}
+}
+
+func TestLoessSmoothsLine(t *testing.T) {
+	// Loess of a straight line reproduces it exactly (locally linear).
+	n := 50
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range y {
+		y[i] = 3 + 2*float64(i)
+		w[i] = 1
+	}
+	sm := loess(y, w, 11)
+	for i := range y {
+		if math.Abs(sm[i]-y[i]) > 1e-9 {
+			t.Fatalf("loess distorted a line at %d: %v vs %v", i, sm[i], y[i])
+		}
+	}
+}
+
+func TestMovingAvg(t *testing.T) {
+	out := movingAvg([]float64{1, 2, 3, 4}, 2)
+	want := []float64{1.5, 2.5, 3.5}
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MA = %v", out)
+		}
+	}
+	// Degenerate windows pass through.
+	if got := movingAvg([]float64{1, 2}, 5); len(got) != 2 {
+		t.Fatal("short input should pass through")
+	}
+}

@@ -1,0 +1,168 @@
+package ets
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/optimize"
+	"repro/internal/stats"
+)
+
+// MultiplicativeModel is a fitted Holt-Winters model with multiplicative
+// seasonality: ŷ = (level + trend)·season. Database metrics whose daily
+// swing scales with their level (logical IOPS under a growing user base,
+// as in Experiment Two) fit this form better than the additive model.
+type MultiplicativeModel struct {
+	Period                  int
+	Alpha, Beta, Gamma, Phi float64
+	Level, Trend            float64
+	Season                  []float64
+	SSE, Sigma2, AIC        float64
+	Fitted, Residuals       []float64
+	n                       int
+}
+
+// FitMultiplicative estimates a multiplicative Holt-Winters model.
+// All observations must be strictly positive.
+func FitMultiplicative(y []float64, period int, damped bool, opt FitOptions) (*MultiplicativeModel, error) {
+	n := len(y)
+	if period < 2 {
+		return nil, fmt.Errorf("ets: multiplicative Holt-Winters needs period >= 2")
+	}
+	if n < 2*period+3 {
+		return nil, fmt.Errorf("%w: need >= %d observations, have %d", errShort, 2*period+3, n)
+	}
+	for i, v := range y {
+		if v <= 0 {
+			return nil, fmt.Errorf("ets: multiplicative model requires positive data (y[%d]=%v)", i, v)
+		}
+	}
+
+	// Initial states: level/trend from the first two seasonal block
+	// means; seasonal ratios from the first block.
+	var m1, m2 float64
+	for i := 0; i < period; i++ {
+		m1 += y[i]
+		m2 += y[period+i]
+	}
+	m1 /= float64(period)
+	m2 /= float64(period)
+	l0 := m1
+	b0 := (m2 - m1) / float64(period)
+	s0 := make([]float64, period)
+	for i := 0; i < period; i++ {
+		s0[i] = y[i] / m1
+	}
+
+	nPar := 3
+	if damped {
+		nPar = 4
+	}
+	unpack := func(x []float64) (alpha, beta, gamma, phi float64) {
+		alpha = logistic(x[0])
+		beta = logistic(x[1]) * alpha
+		gamma = logistic(x[2]) * (1 - alpha)
+		phi = 1.0
+		if damped {
+			phi = 0.8 + 0.19*logistic(x[3])
+		}
+		return
+	}
+	run := func(alpha, beta, gamma, phi float64, keep bool) (sse float64, level, trend float64, season, fitted, resid []float64) {
+		level, trend = l0, b0
+		season = append([]float64(nil), s0...)
+		if keep {
+			fitted = make([]float64, n)
+			resid = make([]float64, n)
+		}
+		for t, obs := range y {
+			si := season[t%period]
+			pred := (level + phi*trend) * si
+			err := obs - pred
+			if keep {
+				fitted[t] = pred
+				resid[t] = err
+			}
+			sse += err * err
+			if si == 0 || math.IsNaN(pred) || math.IsInf(pred, 0) {
+				return math.Inf(1), level, trend, season, fitted, resid
+			}
+			newLevel := alpha*(obs/si) + (1-alpha)*(level+phi*trend)
+			newTrend := beta*(newLevel-level) + (1-beta)*phi*trend
+			season[t%period] = gamma*(obs/newLevel) + (1-gamma)*si
+			level, trend = newLevel, newTrend
+		}
+		return
+	}
+
+	objective := func(x []float64) float64 {
+		alpha, beta, gamma, phi := unpack(x)
+		sse, _, _, _, _, _ := run(alpha, beta, gamma, phi, false)
+		if math.IsNaN(sse) || math.IsInf(sse, 0) {
+			return math.Inf(1)
+		}
+		return sse
+	}
+	x0 := []float64{logit(0.3), logit(0.3), logit(0.3)}
+	if damped {
+		x0 = append(x0, logit(0.8))
+	}
+	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{MaxIter: opt.MaxIter})
+	alpha, beta, gamma, phi := unpack(res.X)
+	sse, level, trend, season, fitted, resid := run(alpha, beta, gamma, phi, true)
+
+	sigma2 := sse / float64(n)
+	if sigma2 <= 0 {
+		sigma2 = 1e-12
+	}
+	k := float64(nPar) + 2 + float64(period)
+	ll := -0.5 * float64(n) * (math.Log(2*math.Pi*sigma2) + 1)
+	return &MultiplicativeModel{
+		Period: period,
+		Alpha:  alpha, Beta: beta, Gamma: gamma, Phi: phi,
+		Level: level, Trend: trend, Season: season,
+		SSE: sse, Sigma2: sigma2, AIC: -2*ll + 2*k,
+		Fitted: fitted, Residuals: resid, n: n,
+	}, nil
+}
+
+// Forecast extends the model h steps ahead. Intervals scale with the
+// seasonal factor, reflecting the multiplicative error structure.
+func (m *MultiplicativeModel) Forecast(h int, level float64) (*Forecast, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("ets: horizon must be positive, got %d", h)
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("ets: level must be in (0,1), got %v", level)
+	}
+	mean := make([]float64, h)
+	se := make([]float64, h)
+	var phiSum float64
+	var acc float64 = 1
+	for k := 1; k <= h; k++ {
+		phiSum += math.Pow(m.Phi, float64(k))
+		si := m.Season[(m.n+k-1)%m.Period]
+		mean[k-1] = (m.Level + phiSum*m.Trend) * si
+		se[k-1] = math.Sqrt(m.Sigma2*acc) * maxf(si, 0.1)
+		cj := m.Alpha * (1 + m.Beta*phiSum)
+		acc += cj * cj
+	}
+	z := stats.NormalQuantile(0.5 + level/2)
+	lower := make([]float64, h)
+	upper := make([]float64, h)
+	for k := 0; k < h; k++ {
+		lower[k] = mean[k] - z*se[k]
+		upper[k] = mean[k] + z*se[k]
+		if lower[k] < 0 {
+			lower[k] = 0 // resource metrics cannot be negative
+		}
+	}
+	return &Forecast{Mean: mean, Lower: lower, Upper: upper, SE: se, Level: level}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

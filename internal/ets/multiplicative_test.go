@@ -1,0 +1,132 @@
+package ets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// multiplicativeSeries builds level·season data with growth.
+func multiplicativeSeries(n, period int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]float64, n)
+	for i := range y {
+		base := 100 + 0.2*float64(i)
+		season := 1 + 0.4*math.Sin(2*math.Pi*float64(i)/float64(period))
+		y[i] = base * season * (1 + 0.01*rng.NormFloat64())
+	}
+	return y
+}
+
+func TestFitMultiplicativeForecast(t *testing.T) {
+	n, period := 480, 24
+	y := multiplicativeSeries(n, period, 1)
+	m, err := FitMultiplicative(y, period, false, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(24, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, 24)
+	for k := range truth {
+		i := n + k
+		truth[k] = (100 + 0.2*float64(i)) * (1 + 0.4*math.Sin(2*math.Pi*float64(i)/24))
+	}
+	if m := metrics.MAPE(truth, fc.Mean); m > 6 {
+		t.Fatalf("MAPE = %v%%, want < 6%%", m)
+	}
+}
+
+func TestFitMultiplicativeBeatsAdditiveOnMultiplicativeData(t *testing.T) {
+	n, period := 480, 24
+	y := multiplicativeSeries(n, period, 2)
+	train, test := y[:456], y[456:]
+	mm, err := FitMultiplicative(train, period, false, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := Fit(HoltWinters, train, FitOptions{Period: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := mm.Forecast(24, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := ma.Forecast(24, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.RMSE(test, fm.Mean) > metrics.RMSE(test, fa.Mean)*1.1 {
+		t.Fatalf("multiplicative (%v) should not lose clearly to additive (%v) on multiplicative data",
+			metrics.RMSE(test, fm.Mean), metrics.RMSE(test, fa.Mean))
+	}
+}
+
+func TestFitMultiplicativeValidation(t *testing.T) {
+	if _, err := FitMultiplicative([]float64{1, 2, 3}, 1, false, FitOptions{}); err == nil {
+		t.Fatal("period < 2 should fail")
+	}
+	if _, err := FitMultiplicative(make([]float64, 10), 24, false, FitOptions{}); err == nil {
+		t.Fatal("short series should fail")
+	}
+	y := multiplicativeSeries(100, 12, 3)
+	y[50] = -1
+	if _, err := FitMultiplicative(y, 12, false, FitOptions{}); err == nil {
+		t.Fatal("negative data should fail")
+	}
+}
+
+func TestFitMultiplicativeDamped(t *testing.T) {
+	y := multiplicativeSeries(300, 12, 4)
+	m, err := FitMultiplicative(y, 12, true, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phi < 0.8 || m.Phi > 0.99 {
+		t.Fatalf("phi = %v outside damping bounds", m.Phi)
+	}
+}
+
+func TestMultiplicativeForecastNonNegativeLower(t *testing.T) {
+	y := multiplicativeSeries(300, 12, 5)
+	m, err := FitMultiplicative(y, 12, false, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(60, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fc.Lower {
+		if v < 0 {
+			t.Fatal("lower bound went negative for a resource metric")
+		}
+	}
+	if _, err := m.Forecast(0, 0.9); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	if _, err := m.Forecast(3, 1.2); err == nil {
+		t.Fatal("bad level should fail")
+	}
+}
+
+func TestMultiplicativeSeasonRatiosAverageNearOne(t *testing.T) {
+	y := multiplicativeSeries(480, 24, 6)
+	m, err := FitMultiplicative(y, 24, false, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range m.Season {
+		sum += s
+	}
+	mean := sum / float64(len(m.Season))
+	if math.Abs(mean-1) > 0.1 {
+		t.Fatalf("seasonal ratio mean = %v, want ~1", mean)
+	}
+}

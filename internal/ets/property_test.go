@@ -1,0 +1,121 @@
+package ets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: SES forecasts are always flat, and the flat value lies within
+// the observed data range for any series.
+func TestSESFlatWithinRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range y {
+			y[i] = 50 + 10*rng.NormFloat64()
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		m, err := Fit(Simple, y, FitOptions{})
+		if err != nil {
+			return false
+		}
+		fc, err := m.Forecast(5, 0.9)
+		if err != nil {
+			return false
+		}
+		for k := 1; k < 5; k++ {
+			if fc.Mean[k] != fc.Mean[0] {
+				return false
+			}
+		}
+		// The smoothed level is a convex combination of observations and
+		// the initial level (y[0]), so it stays in the data range.
+		return fc.Mean[0] >= lo-1e-9 && fc.Mean[0] <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forecast intervals are symmetric around the mean and widen
+// (weakly) with the horizon for all fitted methods.
+func TestIntervalSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(100)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = 10 + 0.1*float64(i) + rng.NormFloat64()
+		}
+		for _, method := range []Method{Simple, Holt, DampedTrend} {
+			m, err := Fit(method, y, FitOptions{})
+			if err != nil {
+				return false
+			}
+			fc, err := m.Forecast(10, 0.95)
+			if err != nil {
+				return false
+			}
+			for k := 0; k < 10; k++ {
+				up := fc.Upper[k] - fc.Mean[k]
+				down := fc.Mean[k] - fc.Lower[k]
+				if math.Abs(up-down) > 1e-9*(1+math.Abs(up)) {
+					return false
+				}
+				if k > 0 && fc.SE[k] < fc.SE[k-1]-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fitting is invariant to a constant shift — coefficients stay,
+// forecasts shift by the same constant.
+func TestShiftEquivarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 80
+		shift := 100 + 50*rng.Float64()
+		y := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range y {
+			y[i] = 10*math.Sin(float64(i)/5) + rng.NormFloat64()
+			ys[i] = y[i] + shift
+		}
+		a, err := Fit(Simple, y, FitOptions{})
+		if err != nil {
+			return false
+		}
+		b, err := Fit(Simple, ys, FitOptions{})
+		if err != nil {
+			return false
+		}
+		fa, err := a.Forecast(3, 0.9)
+		if err != nil {
+			return false
+		}
+		fb, err := b.Forecast(3, 0.9)
+		if err != nil {
+			return false
+		}
+		// Allow small optimiser tolerance.
+		return math.Abs((fb.Mean[0]-fa.Mean[0])-shift) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

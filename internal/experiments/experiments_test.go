@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// quickOpt keeps tests fast: a two-week dataset and small grids.
+var quickOpt = Options{Days: 14, Seed: 42, MaxCandidates: 6}
+
+func buildOnce(t *testing.T, kind Kind) *Dataset {
+	t.Helper()
+	ds, err := Build(kind, quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildOLAPDataset(t *testing.T) {
+	ds := buildOnce(t, OLAP)
+	if len(ds.Series) != 6 { // 2 instances × 3 metrics
+		t.Fatalf("series count = %d, want 6", len(ds.Series))
+	}
+	ser := ds.Series["cdbm011/cpu"]
+	if ser == nil || ser.Len() != 14*24 {
+		t.Fatalf("cdbm011/cpu length wrong")
+	}
+	if ser.HasMissing() {
+		t.Fatal("dataset should be interpolated")
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := Build(Kind("nope"), quickOpt); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func TestBuildWithAgentFaults(t *testing.T) {
+	opt := quickOpt
+	opt.Days = 7
+	opt.AgentFailureRate = 0.05
+	ds, err := Build(OLAP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range ds.Series {
+		if s.HasMissing() {
+			t.Fatalf("series %s still has gaps after interpolation", k)
+		}
+	}
+}
+
+// TestTable2ShapeOLAP regenerates a reduced Table 2(a) and asserts the
+// paper's qualitative claims: 18 rows (3 families × 3 metrics × 2
+// instances), and the seasonal families beating plain ARIMA on balance.
+func TestTable2ShapeOLAP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table run is slow")
+	}
+	ds := buildOnce(t, OLAP)
+	rows, err := Table2(ds, quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	type cell struct{ metric, inst string }
+	byFam := map[Family]map[cell]float64{}
+	for _, r := range rows {
+		if math.IsNaN(r.RMSE) || r.RMSE <= 0 {
+			t.Fatalf("bad RMSE in row %+v", r)
+		}
+		if r.MAPA < 0 || r.MAPA > 100 {
+			t.Fatalf("MAPA out of range: %+v", r)
+		}
+		if byFam[r.Family] == nil {
+			byFam[r.Family] = map[cell]float64{}
+		}
+		byFam[r.Family][cell{r.Metric, r.Instance}] = r.RMSE
+	}
+	// Paper shape: the seasonal family wins (or ties) against plain ARIMA
+	// in the majority of cells.
+	wins := 0
+	cells := 0
+	for c, seasonal := range byFam[FamilySARIMAXFFTExog] {
+		arima, ok := byFam[FamilyARIMA][c]
+		if !ok {
+			continue
+		}
+		cells++
+		if seasonal <= arima*1.02 {
+			wins++
+		}
+	}
+	if cells != 6 {
+		t.Fatalf("cells = %d, want 6", cells)
+	}
+	if wins < 4 {
+		t.Fatalf("SARIMAX+FFT+Exog won only %d/%d cells against ARIMA", wins, cells)
+	}
+}
+
+func TestFigure6OLAPOnly(t *testing.T) {
+	ds := buildOnce(t, OLTP)
+	if _, err := Figure6(ds, quickOpt); err == nil {
+		t.Fatal("Figure 6 must reject the OLTP dataset")
+	}
+}
+
+func TestFigure6Charts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ds := buildOnce(t, OLAP)
+	charts, err := Figure6(ds, quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != 3 { // one per family
+		t.Fatalf("charts = %d, want 3", len(charts))
+	}
+	for _, c := range charts {
+		if len(c.Forecast) != len(c.Actual) || len(c.Forecast) == 0 {
+			t.Fatalf("chart %s/%s misaligned", c.Key, c.Family)
+		}
+		if len(c.TrainTail) == 0 {
+			t.Fatal("train tail missing")
+		}
+		if math.IsNaN(c.RMSE) {
+			t.Fatal("RMSE missing")
+		}
+	}
+}
+
+func TestFigure7Charts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	ds := buildOnce(t, OLTP)
+	charts, err := Figure7(ds, quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != 3 { // cpu, memory, iops
+		t.Fatalf("charts = %d, want 3", len(charts))
+	}
+	seen := map[string]bool{}
+	for _, c := range charts {
+		seen[c.Key] = true
+		if c.Family != FamilySARIMAXFFTExog {
+			t.Fatalf("Figure 7 must use the FFT+Exog family, got %s", c.Family)
+		}
+	}
+	if !seen["cdbm011/cpu"] || !seen["cdbm011/memory"] || !seen["cdbm011/logical_iops"] {
+		t.Fatalf("metrics missing: %v", seen)
+	}
+}
+
+func TestFigure1Pieces(t *testing.T) {
+	ds := buildOnce(t, OLAP)
+	fig, err := Figure1(ds, "cdbm011/cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.ACF) != 31 || len(fig.PACF) != 30 {
+		t.Fatalf("correlogram lengths: acf=%d pacf=%d", len(fig.ACF), len(fig.PACF))
+	}
+	if fig.Band <= 0 {
+		t.Fatal("confidence band missing")
+	}
+	if len(fig.Diff1) != len(fig.Original)-1 {
+		t.Fatal("differenced series length wrong")
+	}
+	if _, err := Figure1(ds, "missing/key"); err == nil {
+		t.Fatal("missing key should fail")
+	}
+}
+
+func TestFigure2And3Panels(t *testing.T) {
+	ds := buildOnce(t, OLAP)
+	fig := Figure2And3(ds)
+	if len(fig.Panels) != 6 {
+		t.Fatalf("panels = %d, want 6", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if p.Peak < p.Mean {
+			t.Fatalf("panel %s: peak below mean", p.Key)
+		}
+		if len(p.Values) != ds.Series[p.Key].Len() {
+			t.Fatal("panel length mismatch")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package linalg
+
+import "math"
+
+// QR holds a Householder QR factorisation of an m×n matrix with m >= n.
+// The factorisation is stored compactly: R in the upper triangle of a copy
+// of A, and the Householder vectors below the diagonal plus the tau slice.
+type QR struct {
+	qr   *Matrix
+	tau  []float64
+	rows int
+	cols int
+}
+
+// NewQR computes the Householder QR factorisation of a.
+// It panics if a has fewer rows than columns.
+func NewQR(a *Matrix) *QR {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		panic("linalg: QR requires rows >= cols")
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the Householder reflection for column k.
+		colNorm := 0.0
+		for i := k; i < m; i++ {
+			colNorm = math.Hypot(colNorm, qr.At(i, k))
+		}
+		if colNorm == 0 {
+			tau[k] = 0
+			continue
+		}
+		alpha := qr.At(k, k)
+		if alpha > 0 {
+			colNorm = -colNorm
+		}
+		// v = x - colNorm*e1, normalised so v[0] = 1.
+		v0 := alpha - colNorm
+		qr.Set(k, k, colNorm)
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/v0)
+		}
+		tau[k] = -v0 / colNorm
+		// Apply the reflection to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s *= tau[k]
+			qr.Add(k, j, -s)
+			for i := k + 1; i < m; i++ {
+				qr.Add(i, j, -s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau, rows: m, cols: n}
+}
+
+// applyQt applies Qᵀ to a vector b of length rows, in place.
+func (f *QR) applyQt(b []float64) {
+	for k := 0; k < f.cols; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		s := b[k]
+		for i := k + 1; i < f.rows; i++ {
+			s += f.qr.At(i, k) * b[i]
+		}
+		s *= f.tau[k]
+		b[k] -= s
+		for i := k + 1; i < f.rows; i++ {
+			b[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// Solve returns x minimising ‖Ax − b‖₂ for the factorised A.
+// It returns ErrSingular if R has a (numerically) zero diagonal element.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.rows {
+		panic("linalg: QR.Solve length mismatch")
+	}
+	work := make([]float64, len(b))
+	copy(work, b)
+	f.applyQt(work)
+	x := make([]float64, f.cols)
+	const tiny = 1e-12
+	// Scale tolerance by the largest diagonal magnitude for robustness.
+	maxDiag := 0.0
+	for k := 0; k < f.cols; k++ {
+		if d := math.Abs(f.qr.At(k, k)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	tol := tiny * math.Max(1, maxDiag)
+	for k := f.cols - 1; k >= 0; k-- {
+		s := work[k]
+		for j := k + 1; j < f.cols; j++ {
+			s -= f.qr.At(k, j) * x[j]
+		}
+		d := f.qr.At(k, k)
+		if math.Abs(d) <= tol {
+			return nil, ErrSingular
+		}
+		x[k] = s / d
+	}
+	return x, nil
+}
+
+// RDiag returns the diagonal of R, useful for rank/conditioning checks.
+func (f *QR) RDiag() []float64 {
+	d := make([]float64, f.cols)
+	for k := 0; k < f.cols; k++ {
+		d[k] = f.qr.At(k, k)
+	}
+	return d
+}
+
+// RInverse returns R⁻¹ for the n×n upper-triangular factor, which is needed
+// to form (XᵀX)⁻¹ = R⁻¹R⁻ᵀ for regression standard errors.
+// It returns ErrSingular if R is singular.
+func (f *QR) RInverse() (*Matrix, error) {
+	n := f.cols
+	inv := NewMatrix(n, n)
+	const tiny = 1e-12
+	for j := 0; j < n; j++ {
+		// Solve R x = e_j by back substitution.
+		for k := n - 1; k >= 0; k-- {
+			var rhs float64
+			if k == j {
+				rhs = 1
+			}
+			s := rhs
+			for i := k + 1; i < n; i++ {
+				s -= f.qr.At(k, i) * inv.At(i, j)
+			}
+			d := f.qr.At(k, k)
+			if math.Abs(d) <= tiny {
+				return nil, ErrSingular
+			}
+			inv.Set(k, j, s/d)
+		}
+	}
+	return inv, nil
+}
+
+// SolveLeastSquares solves min ‖Ax − b‖₂ in one call.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return NewQR(a).Solve(b)
+}

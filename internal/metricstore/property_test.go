@@ -1,0 +1,111 @@
+package metricstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Property: the stored raw samples are always time-ordered regardless of
+// insertion order, and the aggregated series is insertion-order
+// invariant.
+func TestInsertionOrderInvarianceProperty(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = Sample{
+				Target: "d", Metric: "m",
+				At:    base.Add(time.Duration(i) * 15 * time.Minute),
+				Value: rng.NormFloat64() * 10,
+			}
+		}
+		// Store in two different random orders.
+		s1, s2 := New(), New()
+		p1 := rng.Perm(n)
+		p2 := rng.Perm(n)
+		for _, i := range p1 {
+			s1.Put(samples[i])
+		}
+		for _, i := range p2 {
+			s2.Put(samples[i])
+		}
+		k := Key{Target: "d", Metric: "m"}
+		r1, r2 := s1.Raw(k), s2.Raw(k)
+		if len(r1) != n || len(r2) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if r1[i].At.Before(r1[i-1].At) {
+				return false
+			}
+		}
+		for i := range r1 {
+			if !r1[i].At.Equal(r2[i].At) || r1[i].Value != r2[i].Value {
+				return false
+			}
+		}
+		end := base.Add(time.Duration(n) * 15 * time.Minute)
+		a1, err1 := s1.Series(k, timeseries.Hourly, base, end)
+		a2, err2 := s2.Series(k, timeseries.Hourly, base, end)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a1.Values {
+			v1, v2 := a1.Values[i], a2.Values[i]
+			if (v1 != v2) && !(v1 != v1 && v2 != v2) { // NaN-tolerant compare
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregated hourly means lie within [min, max] of the raw
+// samples in the bucket.
+func TestAggregationBoundsProperty(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		nHours := 3 + rng.Intn(10)
+		mins := make([]float64, nHours)
+		maxs := make([]float64, nHours)
+		for h := 0; h < nHours; h++ {
+			mins[h], maxs[h] = 1e300, -1e300
+			for q := 0; q < 4; q++ {
+				v := rng.NormFloat64() * 100
+				if v < mins[h] {
+					mins[h] = v
+				}
+				if v > maxs[h] {
+					maxs[h] = v
+				}
+				s.Put(Sample{Target: "d", Metric: "m",
+					At:    base.Add(time.Duration(h)*time.Hour + time.Duration(q)*15*time.Minute),
+					Value: v})
+			}
+		}
+		ser, err := s.Series(Key{Target: "d", Metric: "m"}, timeseries.Hourly, base, base.Add(time.Duration(nHours)*time.Hour))
+		if err != nil {
+			return false
+		}
+		for h := 0; h < nHours; h++ {
+			if ser.Values[h] < mins[h]-1e-9 || ser.Values[h] > maxs[h]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package metricstore implements the paper's central repository (§5.1):
+// "The values from the metrics are then stored, centrally, in a repository
+// where they are aggregated into hourly values." It accepts raw samples
+// from agents, serves aggregated series to the learning engine, and can
+// persist itself to disk.
+package metricstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Sample is one agent observation.
+type Sample struct {
+	// Target identifies the monitored object, e.g. "cdbm011".
+	Target string
+	// Metric names the measurement, e.g. "cpu".
+	Metric string
+	// At is the poll timestamp.
+	At time.Time
+	// Value is the observed value.
+	Value float64
+}
+
+// Key identifies a stored series.
+type Key struct {
+	Target string
+	Metric string
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return k.Target + "/" + k.Metric }
+
+// Store is a concurrency-safe metric repository.
+type Store struct {
+	mu      sync.RWMutex
+	samples map[Key][]Sample // kept sorted by time
+}
+
+// New returns an empty Store.
+func New() *Store {
+	return &Store{samples: make(map[Key][]Sample)}
+}
+
+// Put records one sample. Samples may arrive out of order; duplicates
+// (same key and timestamp) overwrite the previous value.
+func (s *Store) Put(smp Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{Target: smp.Target, Metric: smp.Metric}
+	list := s.samples[k]
+	// Fast path: append in order.
+	if n := len(list); n == 0 || smp.At.After(list[n-1].At) {
+		s.samples[k] = append(list, smp)
+		return
+	}
+	// Find the insertion point.
+	i := sort.Search(len(list), func(i int) bool { return !list[i].At.Before(smp.At) })
+	if i < len(list) && list[i].At.Equal(smp.At) {
+		list[i] = smp
+		return
+	}
+	list = append(list, Sample{})
+	copy(list[i+1:], list[i:])
+	list[i] = smp
+	s.samples[k] = list
+}
+
+// PutBatch records many samples.
+func (s *Store) PutBatch(batch []Sample) {
+	for _, smp := range batch {
+		s.Put(smp)
+	}
+}
+
+// Keys lists the stored series identities, sorted.
+func (s *Store) Keys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.samples))
+	for k := range s.samples {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// Count returns the number of raw samples held for a key.
+func (s *Store) Count(k Key) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.samples[k])
+}
+
+// Raw returns the raw samples for a key in time order (copy).
+func (s *Store) Raw(k Key) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Sample(nil), s.samples[k]...)
+}
+
+// Series assembles a regular time series from the raw samples of k at the
+// given frequency between from (inclusive) and to (exclusive). Buckets
+// with no samples are NaN (missing); buckets with several samples are
+// averaged. This is the repository's "aggregate into hourly values" step
+// when freq is Hourly.
+func (s *Store) Series(k Key, freq timeseries.Frequency, from, to time.Time) (*timeseries.Series, error) {
+	if !to.After(from) {
+		return nil, fmt.Errorf("metricstore: empty interval [%v, %v)", from, to)
+	}
+	step := freq.Step()
+	n := int(to.Sub(from) / step)
+	if n <= 0 {
+		return nil, fmt.Errorf("metricstore: interval shorter than one %v step", freq)
+	}
+	sums := make([]float64, n)
+	counts := make([]int, n)
+
+	s.mu.RLock()
+	list := s.samples[k]
+	// Binary search to the first sample >= from.
+	i := sort.Search(len(list), func(i int) bool { return !list[i].At.Before(from) })
+	for ; i < len(list) && list[i].At.Before(to); i++ {
+		b := int(list[i].At.Sub(from) / step)
+		if b < 0 || b >= n {
+			continue
+		}
+		sums[b] += list[i].Value
+		counts[b]++
+	}
+	s.mu.RUnlock()
+
+	values := make([]float64, n)
+	for b := range values {
+		if counts[b] == 0 {
+			values[b] = math.NaN()
+		} else {
+			values[b] = sums[b] / float64(counts[b])
+		}
+	}
+	return timeseries.New(k.String(), from, freq, values), nil
+}
+
+// TimeRange returns the first and last sample times for k, or ok=false
+// when the key holds no samples.
+func (s *Store) TimeRange(k Key) (first, last time.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list := s.samples[k]
+	if len(list) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return list[0].At, list[len(list)-1].At, true
+}
+
+// persisted is the gob wire format.
+type persisted struct {
+	Samples map[Key][]Sample
+}
+
+// Save writes the full repository to w in gob format.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(persisted{Samples: s.samples})
+}
+
+// Load replaces the repository contents with a previously saved image.
+func (s *Store) Load(r io.Reader) error {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return fmt.Errorf("metricstore: load: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.Samples == nil {
+		p.Samples = make(map[Key][]Sample)
+	}
+	s.samples = p.Samples
+	return nil
+}

@@ -1,0 +1,166 @@
+package metricstore
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+var t0 = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func TestPutAndRawOrdering(t *testing.T) {
+	s := New()
+	k := Key{Target: "db1", Metric: "cpu"}
+	// Insert out of order.
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0.Add(30 * time.Minute), Value: 3})
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0, Value: 1})
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0.Add(15 * time.Minute), Value: 2})
+	raw := s.Raw(k)
+	if len(raw) != 3 || raw[0].Value != 1 || raw[1].Value != 2 || raw[2].Value != 3 {
+		t.Fatalf("raw = %+v", raw)
+	}
+}
+
+func TestPutDuplicateOverwrites(t *testing.T) {
+	s := New()
+	k := Key{Target: "db1", Metric: "cpu"}
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0, Value: 1})
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0, Value: 9})
+	raw := s.Raw(k)
+	if len(raw) != 1 || raw[0].Value != 9 {
+		t.Fatalf("raw = %+v", raw)
+	}
+}
+
+func TestSeriesHourlyAggregation(t *testing.T) {
+	s := New()
+	// Four 15-minute samples in hour 0; two in hour 1.
+	for i, v := range []float64{10, 20, 30, 40} {
+		s.Put(Sample{Target: "db1", Metric: "cpu", At: t0.Add(time.Duration(i) * 15 * time.Minute), Value: v})
+	}
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0.Add(60 * time.Minute), Value: 5})
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0.Add(75 * time.Minute), Value: 15})
+	k := Key{Target: "db1", Metric: "cpu"}
+	ser, err := s.Series(k, timeseries.Hourly, t0, t0.Add(3*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 3 {
+		t.Fatalf("len = %d", ser.Len())
+	}
+	if ser.Values[0] != 25 || ser.Values[1] != 10 {
+		t.Fatalf("values = %v", ser.Values)
+	}
+	if !math.IsNaN(ser.Values[2]) {
+		t.Fatalf("empty bucket should be NaN, got %v", ser.Values[2])
+	}
+	if ser.Name != "db1/cpu" {
+		t.Fatalf("name = %q", ser.Name)
+	}
+}
+
+func TestSeriesWindowing(t *testing.T) {
+	s := New()
+	for i := 0; i < 48; i++ {
+		s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(i) * time.Hour), Value: float64(i)})
+	}
+	k := Key{Target: "d", Metric: "m"}
+	ser, err := s.Series(k, timeseries.Hourly, t0.Add(10*time.Hour), t0.Add(20*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 10 || ser.Values[0] != 10 || ser.Values[9] != 19 {
+		t.Fatalf("window wrong: %v", ser.Values)
+	}
+}
+
+func TestSeriesInvalidInterval(t *testing.T) {
+	s := New()
+	if _, err := s.Series(Key{}, timeseries.Hourly, t0, t0); err == nil {
+		t.Fatal("empty interval should fail")
+	}
+	if _, err := s.Series(Key{}, timeseries.Hourly, t0.Add(time.Hour), t0); err == nil {
+		t.Fatal("reversed interval should fail")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	s.Put(Sample{Target: "b", Metric: "z", At: t0, Value: 1})
+	s.Put(Sample{Target: "a", Metric: "y", At: t0, Value: 1})
+	s.Put(Sample{Target: "a", Metric: "x", At: t0, Value: 1})
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0].String() != "a/x" || keys[2].String() != "b/z" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	s := New()
+	k := Key{Target: "d", Metric: "m"}
+	if _, _, ok := s.TimeRange(k); ok {
+		t.Fatal("empty key should report !ok")
+	}
+	s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Hour), Value: 1})
+	s.Put(Sample{Target: "d", Metric: "m", At: t0, Value: 1})
+	first, last, ok := s.TimeRange(k)
+	if !ok || !first.Equal(t0) || !last.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("range = %v %v %v", first, last, ok)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(i) * time.Hour), Value: float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Target: "d", Metric: "m"}
+	if s2.Count(k) != 10 {
+		t.Fatalf("count = %d", s2.Count(k))
+	}
+	raw := s2.Raw(k)
+	if raw[5].Value != 5 {
+		t.Fatalf("raw[5] = %+v", raw[5])
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	s := New()
+	if err := s.Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestConcurrentPutAndRead(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(g*200+i) * time.Minute), Value: 1})
+				if i%50 == 0 {
+					s.Keys()
+					s.Count(Key{Target: "d", Metric: "m"})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Count(Key{Target: "d", Metric: "m"}); got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,120 @@
+package naive
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLastFlat(t *testing.T) {
+	fc, err := Predict(Last, []float64{1, 2, 3, 7}, 0, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fc.Mean {
+		if v != 7 {
+			t.Fatalf("Mean = %v, want all 7", fc.Mean)
+		}
+	}
+	// Random-walk intervals widen.
+	if fc.SE[2] <= fc.SE[0] {
+		t.Fatal("SE must widen")
+	}
+}
+
+func TestDriftLine(t *testing.T) {
+	// y from 0 to 9 over 10 points: slope 1.
+	y := make([]float64, 10)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	fc, err := Predict(Drift, y, 0, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 11, 12}
+	for k := range want {
+		if math.Abs(fc.Mean[k]-want[k]) > 1e-12 {
+			t.Fatalf("drift = %v, want %v", fc.Mean, want)
+		}
+	}
+}
+
+func TestMeanForecast(t *testing.T) {
+	fc, err := Predict(Mean, []float64{2, 4, 6}, 0, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Mean[0] != 4 || fc.Mean[1] != 4 {
+		t.Fatalf("mean = %v", fc.Mean)
+	}
+	// Mean intervals do not widen.
+	if fc.SE[1] != fc.SE[0] {
+		t.Fatal("mean SE should be constant")
+	}
+}
+
+func TestSeasonalNaiveRepeatsSeason(t *testing.T) {
+	// Period 3, last season = [7, 8, 9]. Earlier seasons differ by
+	// varying amounts so the in-sample seasonal error is non-zero.
+	y := []float64{1, 3, 2, 4, 5, 8, 7, 8, 9}
+	fc, err := Predict(SeasonalNaive, y, 3, 7, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 8, 9, 7, 8, 9, 7}
+	for k := range want {
+		if fc.Mean[k] != want[k] {
+			t.Fatalf("seasonal naive = %v, want %v", fc.Mean, want)
+		}
+	}
+	// Intervals widen only at season boundaries.
+	if fc.SE[0] != fc.SE[2] {
+		t.Fatal("within-season SE should match")
+	}
+	if fc.SE[3] <= fc.SE[0] {
+		t.Fatal("next-season SE should widen")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if _, err := Predict(Last, y[:2], 0, 1, 0.95); err == nil {
+		t.Fatal("short series should fail")
+	}
+	if _, err := Predict(Last, y, 0, 0, 0.95); err == nil {
+		t.Fatal("h=0 should fail")
+	}
+	if _, err := Predict(Last, y, 0, 1, 1.5); err == nil {
+		t.Fatal("bad level should fail")
+	}
+	if _, err := Predict(SeasonalNaive, y, 0, 1, 0.95); err == nil {
+		t.Fatal("seasonal naive without period should fail")
+	}
+	if _, err := Predict(SeasonalNaive, y, 4, 1, 0.95); err == nil {
+		t.Fatal("one-season data should fail")
+	}
+	if _, err := Predict(Method(99), y, 0, 1, 0.95); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}
+
+func TestIntervalsOrdered(t *testing.T) {
+	y := []float64{5, 3, 8, 2, 9, 4, 7}
+	for _, m := range []Method{Last, Drift, Mean} {
+		fc, err := Predict(m, y, 0, 5, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range fc.Mean {
+			if !(fc.Lower[k] <= fc.Mean[k] && fc.Mean[k] <= fc.Upper[k]) {
+				t.Fatalf("%v: interval out of order at %d", m, k)
+			}
+		}
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if Last.String() != "naive" || SeasonalNaive.String() != "seasonal-naive" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,259 @@
+// Package optimize provides the derivative-free optimisers used to fit the
+// forecasting models: Nelder-Mead simplex for the multi-parameter CSS/SSE
+// objectives of ARIMA, exponential smoothing and TBATS, and golden-section
+// search for one-dimensional problems.
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Objective is a function to minimise. Implementations must tolerate any
+// input and may return +Inf (or NaN, treated as +Inf) for infeasible points.
+type Objective func(x []float64) float64
+
+// NelderMeadOptions configures the simplex search.
+type NelderMeadOptions struct {
+	// MaxIter bounds the number of iterations; 0 means 200·dim.
+	MaxIter int
+	// TolX stops when the simplex diameter falls below this; 0 means 1e-8.
+	TolX float64
+	// TolF stops when the function spread falls below this; 0 means 1e-10.
+	TolF float64
+	// Step is the initial simplex edge length per dimension; 0 means 0.1
+	// (or 0.00025 for coordinates that start at zero, following fminsearch).
+	Step float64
+}
+
+// Result reports the outcome of an optimisation.
+type Result struct {
+	X          []float64
+	F          float64
+	Iterations int
+	Converged  bool
+	Evals      int
+}
+
+// NelderMead minimises f starting from x0 using the Nelder-Mead simplex
+// algorithm with the standard reflection/expansion/contraction/shrink
+// coefficients (1, 2, 0.5, 0.5).
+func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
+	n := len(x0)
+	if n == 0 {
+		panic("optimize: empty start point")
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+	}
+	tolX := opt.TolX
+	if tolX <= 0 {
+		tolX = 1e-8
+	}
+	tolF := opt.TolF
+	if tolF <= 0 {
+		tolF = 1e-10
+	}
+	step := opt.Step
+	if step <= 0 {
+		step = 0.1
+	}
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	// Build the initial simplex.
+	simplex := make([]vertex, n+1)
+	base := append([]float64(nil), x0...)
+	simplex[0] = vertex{x: base, f: eval(base)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		if x[i] != 0 {
+			x[i] += step * math.Abs(x[i])
+		} else {
+			x[i] = step * 0.0025
+		}
+		simplex[i+1] = vertex{x: x, f: eval(x)}
+	}
+
+	sortSimplex := func() {
+		sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	sortSimplex()
+
+	centroid := make([]float64, n)
+	iter := 0
+	converged := false
+	for ; iter < maxIter; iter++ {
+		// Convergence checks.
+		fSpread := math.Abs(simplex[n].f - simplex[0].f)
+		var xDiam float64
+		for i := 1; i <= n; i++ {
+			for j := 0; j < n; j++ {
+				d := math.Abs(simplex[i].x[j] - simplex[0].x[j])
+				if d > xDiam {
+					xDiam = d
+				}
+			}
+		}
+		if fSpread < tolF*(1+math.Abs(simplex[0].f)) && xDiam < tolX {
+			converged = true
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+			for i := 0; i < n; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+
+		mix := func(alpha float64) []float64 {
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				x[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+			}
+			return x
+		}
+
+		// Reflection.
+		xr := mix(1)
+		fr := eval(xr)
+		switch {
+		case fr < simplex[0].f:
+			// Expansion.
+			xe := mix(2)
+			fe := eval(xe)
+			if fe < fr {
+				simplex[n] = vertex{x: xe, f: fe}
+			} else {
+				simplex[n] = vertex{x: xr, f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: xr, f: fr}
+		default:
+			// Contraction.
+			var xc []float64
+			var fc float64
+			if fr < worst.f {
+				xc = mix(0.5) // outside
+				fc = eval(xc)
+				if fc <= fr {
+					simplex[n] = vertex{x: xc, f: fc}
+				} else {
+					shrink(simplex, eval)
+				}
+			} else {
+				xc = mix(-0.5) // inside
+				fc = eval(xc)
+				if fc < worst.f {
+					simplex[n] = vertex{x: xc, f: fc}
+				} else {
+					shrink(simplex, eval)
+				}
+			}
+		}
+		sortSimplex()
+	}
+	return Result{
+		X: simplex[0].x, F: simplex[0].f,
+		Iterations: iter, Converged: converged, Evals: evals,
+	}
+}
+
+// vertex is one point of the Nelder-Mead simplex with its objective value.
+type vertex struct {
+	x []float64
+	f float64
+}
+
+func shrink(simplex []vertex, eval func([]float64) float64) {
+	best := simplex[0].x
+	for i := 1; i < len(simplex); i++ {
+		for j := range simplex[i].x {
+			simplex[i].x[j] = best[j] + 0.5*(simplex[i].x[j]-best[j])
+		}
+		simplex[i].f = eval(simplex[i].x)
+	}
+}
+
+// GoldenSection minimises a unimodal one-dimensional function on [a, b] to
+// the given absolute tolerance and returns the minimiser.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	const invPhi = 0.6180339887498949
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// Gradient estimates ∇f at x by central differences with step h
+// (h <= 0 selects a scale-aware default).
+func Gradient(f Objective, x []float64, h float64) []float64 {
+	g := make([]float64, len(x))
+	work := append([]float64(nil), x...)
+	for i := range x {
+		hi := h
+		if hi <= 0 {
+			hi = 1e-6 * math.Max(1, math.Abs(x[i]))
+		}
+		orig := work[i]
+		work[i] = orig + hi
+		fp := f(work)
+		work[i] = orig - hi
+		fm := f(work)
+		work[i] = orig
+		g[i] = (fp - fm) / (2 * hi)
+	}
+	return g
+}
+
+// MultiStart runs NelderMead from each start point and returns the best
+// result. It panics if no start points are given.
+func MultiStart(f Objective, starts [][]float64, opt NelderMeadOptions) Result {
+	if len(starts) == 0 {
+		panic("optimize: MultiStart needs at least one start point")
+	}
+	best := Result{F: math.Inf(1)}
+	for i, s := range starts {
+		r := NelderMead(f, s, opt)
+		if i == 0 || r.F < best.F {
+			best = r
+		}
+	}
+	return best
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (r Result) String() string {
+	return fmt.Sprintf("f=%.6g after %d iters (converged=%v, evals=%d)", r.F, r.Iterations, r.Converged, r.Evals)
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-2.5758293035489004, 0.005},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !feq(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.025, 0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.975, 0.99, 0.999} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !feq(got, p, 1e-10) {
+			t.Errorf("round trip failed at p=%v: CDF(Q(p)) = %v", p, got)
+		}
+	}
+	if NormalQuantile(0) != math.Inf(-1) || NormalQuantile(1) != math.Inf(1) {
+		t.Fatal("boundary quantiles wrong")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.5)) {
+		t.Fatal("out of range should be NaN")
+	}
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	if got := NormalQuantile(0.975); !feq(got, 1.959963984540054, 1e-9) {
+		t.Fatalf("z(0.975) = %v", got)
+	}
+	if got := NormalQuantile(0.95); !feq(got, 1.6448536269514722, 1e-9) {
+		t.Fatalf("z(0.95) = %v", got)
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); !feq(got, 1/math.Sqrt(2*math.Pi), 1e-14) {
+		t.Fatalf("pdf(0) = %v", got)
+	}
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// Reference values (R: pt(q, df)).
+	cases := []struct {
+		q, df, want float64
+	}{
+		{0, 5, 0.5},
+		{2.015048, 5, 0.95},   // qt(0.95, 5) = 2.015048
+		{-2.570582, 5, 0.025}, // qt(0.025, 5) = -2.570582
+		{1.812461, 10, 0.95},  // qt(0.95, 10)
+		{2.228139, 10, 0.975}, // qt(0.975, 10)
+		{-1.312527, 28, 0.1},  // qt(0.10, 28)
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.q, c.df); !feq(got, c.want, 2e-6) {
+			t.Errorf("pt(%v, %v) = %v, want %v", c.q, c.df, got, c.want)
+		}
+	}
+	// Large df falls back to the normal.
+	if got := StudentTCDF(1.96, 500); !feq(got, NormalCDF(1.96), 1e-12) {
+		t.Fatal("large-df fallback broken")
+	}
+	if !math.IsNaN(StudentTCDF(1, 0)) {
+		t.Fatal("df<=0 should be NaN")
+	}
+}
+
+func TestChiSquareCDF(t *testing.T) {
+	// Reference values (R: pchisq(q, df)).
+	cases := []struct {
+		q, df, want float64
+	}{
+		{3.841459, 1, 0.95},
+		{5.991465, 2, 0.95},
+		{18.30704, 10, 0.95},
+		{2, 2, 1 - math.Exp(-1)}, // chi2(2) is Exp(1/2)
+		{0, 3, 0},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.q, c.df); !feq(got, c.want, 1e-6) {
+			t.Errorf("pchisq(%v, %v) = %v, want %v", c.q, c.df, got, c.want)
+		}
+	}
+}
+
+// Property: CDFs are monotone non-decreasing.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 10), math.Mod(b, 10)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if NormalCDF(lo) > NormalCDF(hi)+1e-15 {
+			return false
+		}
+		if StudentTCDF(lo, 7) > StudentTCDF(hi, 7)+1e-12 {
+			return false
+		}
+		la, lb := math.Abs(lo), math.Abs(hi)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return ChiSquareCDF(la, 4) <= ChiSquareCDF(lb, 4)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StudentT is symmetric: F(-t) = 1 - F(t).
+func TestStudentTSymmetryProperty(t *testing.T) {
+	f := func(q float64) bool {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return true
+		}
+		q = math.Mod(q, 8)
+		lhs := StudentTCDF(-q, 9)
+		rhs := 1 - StudentTCDF(q, 9)
+		return feq(lhs, rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// JarqueBeraResult reports a Jarque-Bera normality test.
+type JarqueBeraResult struct {
+	Stat     float64
+	PValue   float64 // under chi-square(2)
+	Skew     float64
+	Kurtosis float64 // excess kurtosis (0 for a normal)
+}
+
+// JarqueBera tests the null hypothesis that x is normally distributed,
+// from its sample skewness and kurtosis. The paper's ARMA residuals
+// "are assumed to follow a normal distribution" (§4.1); the engine uses
+// this to flag champions whose residuals violate that assumption.
+func JarqueBera(x []float64) JarqueBeraResult {
+	n := float64(len(x))
+	if n < 4 {
+		return JarqueBeraResult{Stat: math.NaN(), PValue: math.NaN(), Skew: math.NaN(), Kurtosis: math.NaN()}
+	}
+	m := Mean(x)
+	var m2, m3, m4 float64
+	for _, v := range x {
+		d := v - m
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if m2 == 0 {
+		return JarqueBeraResult{Stat: math.NaN(), PValue: math.NaN()}
+	}
+	skew := m3 / math.Pow(m2, 1.5)
+	kurt := m4/(m2*m2) - 3
+	stat := n / 6 * (skew*skew + kurt*kurt/4)
+	return JarqueBeraResult{
+		Stat:     stat,
+		PValue:   1 - ChiSquareCDF(stat, 2),
+		Skew:     skew,
+		Kurtosis: kurt,
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJarqueBeraNormalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	x := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	res := JarqueBera(x)
+	if res.PValue < 0.01 {
+		t.Fatalf("normal data rejected: p=%v (JB=%v)", res.PValue, res.Stat)
+	}
+	if math.Abs(res.Skew) > 0.1 || math.Abs(res.Kurtosis) > 0.2 {
+		t.Fatalf("moments off: skew=%v kurt=%v", res.Skew, res.Kurtosis)
+	}
+}
+
+func TestJarqueBeraSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = math.Exp(rng.NormFloat64()) // lognormal: heavily skewed
+	}
+	res := JarqueBera(x)
+	if res.PValue > 1e-6 {
+		t.Fatalf("lognormal not rejected: p=%v", res.PValue)
+	}
+	if res.Skew < 1 {
+		t.Fatalf("skew = %v, want large positive", res.Skew)
+	}
+}
+
+func TestJarqueBeraHeavyTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	x := make([]float64, 3000)
+	for i := range x {
+		// Student-t(3): symmetric but heavy-tailed.
+		num := rng.NormFloat64()
+		den := math.Sqrt((sq(rng.NormFloat64()) + sq(rng.NormFloat64()) + sq(rng.NormFloat64())) / 3)
+		x[i] = num / den
+	}
+	res := JarqueBera(x)
+	if res.PValue > 1e-4 {
+		t.Fatalf("heavy tails not rejected: p=%v", res.PValue)
+	}
+	if res.Kurtosis < 0.5 {
+		t.Fatalf("excess kurtosis = %v, want clearly positive", res.Kurtosis)
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestJarqueBeraDegenerate(t *testing.T) {
+	if !math.IsNaN(JarqueBera([]float64{1, 2}).Stat) {
+		t.Fatal("tiny sample should be NaN")
+	}
+	if !math.IsNaN(JarqueBera([]float64{3, 3, 3, 3, 3}).Stat) {
+		t.Fatal("constant sample should be NaN")
+	}
+}

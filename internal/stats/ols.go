@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// OLSResult holds a fitted ordinary-least-squares regression with the
+// inference quantities the stationarity tests need.
+type OLSResult struct {
+	Coef      []float64 // estimated coefficients, one per column of X
+	StdErr    []float64 // coefficient standard errors
+	TStat     []float64 // coefficient t statistics
+	Residuals []float64
+	Fitted    []float64
+	Sigma2    float64 // residual variance (SSE / (n − k))
+	RSquared  float64
+	N         int
+	K         int // number of regressors
+}
+
+// OLS fits y = X·β + ε by least squares. X is an n×k design matrix
+// (include a ones column yourself if an intercept is wanted).
+// It returns an error when the design is rank deficient or n <= k.
+func OLS(x *linalg.Matrix, y []float64) (*OLSResult, error) {
+	n, k := x.Rows(), x.Cols()
+	if len(y) != n {
+		panic("stats: OLS dimension mismatch")
+	}
+	if n <= k {
+		return nil, fmt.Errorf("stats: OLS needs n > k (n=%d, k=%d)", n, k)
+	}
+	qr := linalg.NewQR(x)
+	beta, err := qr.Solve(y)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS design is rank deficient: %w", err)
+	}
+	fitted := x.MulVec(beta)
+	resid := make([]float64, n)
+	var sse float64
+	for i := range resid {
+		resid[i] = y[i] - fitted[i]
+		sse += resid[i] * resid[i]
+	}
+	sigma2 := sse / float64(n-k)
+
+	// (XᵀX)⁻¹ = R⁻¹·R⁻ᵀ from the QR factor.
+	rinv, err := qr.RInverse()
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS R factor singular: %w", err)
+	}
+	stderr := make([]float64, k)
+	tstat := make([]float64, k)
+	for i := 0; i < k; i++ {
+		var v float64
+		for j := 0; j < k; j++ {
+			v += rinv.At(i, j) * rinv.At(i, j)
+		}
+		stderr[i] = math.Sqrt(sigma2 * v)
+		if stderr[i] > 0 {
+			tstat[i] = beta[i] / stderr[i]
+		} else {
+			tstat[i] = math.NaN()
+		}
+	}
+
+	my := Mean(y)
+	var tss float64
+	for _, v := range y {
+		d := v - my
+		tss += d * d
+	}
+	r2 := math.NaN()
+	if tss > 0 {
+		r2 = 1 - sse/tss
+	}
+	return &OLSResult{
+		Coef: beta, StdErr: stderr, TStat: tstat,
+		Residuals: resid, Fitted: fitted,
+		Sigma2: sigma2, RSquared: r2, N: n, K: k,
+	}, nil
+}
+
+// Ones returns a ones vector of length n, the intercept column for
+// DesignMatrix when no other regressors are present.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// DesignMatrix assembles a design matrix from columns. All columns must
+// have equal length. intercept prepends a ones column.
+func DesignMatrix(intercept bool, cols ...[]float64) *linalg.Matrix {
+	if len(cols) == 0 && !intercept {
+		panic("stats: empty design")
+	}
+	var n int
+	if len(cols) > 0 {
+		n = len(cols[0])
+		for _, c := range cols {
+			if len(c) != n {
+				panic("stats: DesignMatrix column length mismatch")
+			}
+		}
+	}
+	k := len(cols)
+	if intercept {
+		k++
+	}
+	m := linalg.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		j := 0
+		if intercept {
+			m.Set(i, 0, 1)
+			j = 1
+		}
+		for c := range cols {
+			m.Set(i, j+c, cols[c][i])
+		}
+	}
+	return m
+}

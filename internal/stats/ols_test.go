@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOLSExactFit(t *testing.T) {
+	// y = 1 + 2x, noiseless.
+	n := 30
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i)
+		y[i] = 1 + 2*x[i]
+	}
+	res, err := OLS(DesignMatrix(true, x), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feq(res.Coef[0], 1, 1e-9) || !feq(res.Coef[1], 2, 1e-9) {
+		t.Fatalf("coef = %v", res.Coef)
+	}
+	if !feq(res.RSquared, 1, 1e-12) {
+		t.Fatalf("R2 = %v", res.RSquared)
+	}
+	for _, r := range res.Residuals {
+		if math.Abs(r) > 1e-8 {
+			t.Fatalf("nonzero residual %v", r)
+		}
+	}
+}
+
+func TestOLSNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 5000
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = rng.NormFloat64()
+		x2[i] = rng.NormFloat64()
+		y[i] = 3 - 1.5*x1[i] + 0.7*x2[i] + 0.5*rng.NormFloat64()
+	}
+	res, err := OLS(DesignMatrix(true, x1, x2), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -1.5, 0.7}
+	for i := range want {
+		if math.Abs(res.Coef[i]-want[i]) > 0.05 {
+			t.Fatalf("coef[%d] = %v, want ~%v", i, res.Coef[i], want[i])
+		}
+	}
+	// sigma2 should estimate 0.25.
+	if math.Abs(res.Sigma2-0.25) > 0.02 {
+		t.Fatalf("sigma2 = %v, want ~0.25", res.Sigma2)
+	}
+	// t statistics for strong effects should be large.
+	if math.Abs(res.TStat[1]) < 20 {
+		t.Fatalf("t-stat too small: %v", res.TStat[1])
+	}
+}
+
+func TestOLSStandardErrorsSanity(t *testing.T) {
+	// For y = beta*x + e with x = 1s (pure intercept model), the
+	// intercept's std err is sigma/sqrt(n).
+	rng := rand.New(rand.NewSource(12))
+	n := 4000
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 10 + rng.NormFloat64()
+	}
+	res, err := OLS(DesignMatrix(false, Ones(n)), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(res.Sigma2 / float64(n))
+	if !feq(res.StdErr[0], want, 1e-10) {
+		t.Fatalf("stderr = %v, want %v", res.StdErr[0], want)
+	}
+}
+
+func TestOLSRankDeficient(t *testing.T) {
+	n := 20
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	// x and 2x are collinear.
+	x2 := make([]float64, n)
+	for i := range x2 {
+		x2[i] = 2 * x[i]
+	}
+	y := make([]float64, n)
+	if _, err := OLS(DesignMatrix(true, x, x2), y); err == nil {
+		t.Fatal("expected error for collinear design")
+	}
+}
+
+func TestOLSTooFewObservations(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{1, 2}
+	if _, err := OLS(DesignMatrix(true, x), y); err == nil {
+		t.Fatal("expected error when n <= k")
+	}
+}
+
+func TestDesignMatrixShape(t *testing.T) {
+	m := DesignMatrix(true, []float64{1, 2, 3}, []float64{4, 5, 6})
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 1 || m.At(1, 1) != 2 || m.At(2, 2) != 6 {
+		t.Fatal("layout wrong")
+	}
+}
+
+func TestDesignMatrixMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DesignMatrix(true, []float64{1, 2}, []float64{1})
+}

@@ -1,0 +1,145 @@
+// Package storagesim simulates the network storage layer of §8: "Network
+// layers of storage, such as Network Attached Storage and SAN Volume
+// Controllers, that are critical to the database instance are also
+// monitored to display if the database is likely to suffer performance
+// bottlenecks."
+//
+// The model maps the database's logical IOPS demand onto a storage array
+// with a saturation knee: latency is flat while utilisation is low and
+// rises hyperbolically as the array approaches its IOPS ceiling, so the
+// engine can forecast *latency* and warn before the knee — the §8
+// bottleneck-prediction use case.
+package storagesim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dbsim"
+)
+
+// Config describes a storage array serving a simulated cluster.
+type Config struct {
+	// Cluster is the database whose I/O lands on this array.
+	Cluster *dbsim.Cluster
+	// CapacityIOPS is the array's throughput ceiling.
+	CapacityIOPS float64
+	// BaseLatencyMs is the service latency at low utilisation.
+	BaseLatencyMs float64
+	// CacheHitRatio in [0,1) removes a fraction of logical reads before
+	// they reach the array (database buffer cache).
+	CacheHitRatio float64
+	// NoiseFrac is multiplicative sampling noise.
+	NoiseFrac float64
+	// Seed drives the noise.
+	Seed uint64
+}
+
+// Array is a simulated storage array.
+type Array struct {
+	cfg Config
+}
+
+// New validates the configuration and builds an Array.
+func New(cfg Config) (*Array, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("storagesim: nil cluster")
+	}
+	if cfg.CapacityIOPS <= 0 {
+		return nil, fmt.Errorf("storagesim: capacity must be positive")
+	}
+	if cfg.BaseLatencyMs <= 0 {
+		return nil, fmt.Errorf("storagesim: base latency must be positive")
+	}
+	if cfg.CacheHitRatio < 0 || cfg.CacheHitRatio >= 1 {
+		return nil, fmt.Errorf("storagesim: cache hit ratio must be in [0,1)")
+	}
+	if cfg.NoiseFrac < 0 {
+		return nil, fmt.Errorf("storagesim: negative noise")
+	}
+	return &Array{cfg: cfg}, nil
+}
+
+// PhysicalIOPS returns the array-visible IOPS at t: the cluster-wide
+// logical IOPS after the cache.
+func (a *Array) PhysicalIOPS(t time.Time) (float64, error) {
+	var total float64
+	for node := range a.cfg.Cluster.Instances() {
+		v, err := a.cfg.Cluster.Sample(node, dbsim.LogicalIOPS, t)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total * (1 - a.cfg.CacheHitRatio), nil
+}
+
+// Utilisation returns the array utilisation ρ in [0, 0.98] at t.
+func (a *Array) Utilisation(t time.Time) (float64, error) {
+	io, err := a.PhysicalIOPS(t)
+	if err != nil {
+		return 0, err
+	}
+	rho := io / a.cfg.CapacityIOPS
+	if rho > 0.98 {
+		rho = 0.98
+	}
+	return rho, nil
+}
+
+// LatencyMs returns the array's I/O latency in milliseconds at t:
+// base/(1−ρ) with deterministic noise. This is the series the §8
+// bottleneck forecast runs on.
+func (a *Array) LatencyMs(t time.Time) (float64, error) {
+	rho, err := a.Utilisation(t)
+	if err != nil {
+		return 0, err
+	}
+	lat := a.cfg.BaseLatencyMs / (1 - rho)
+	if a.cfg.NoiseFrac > 0 {
+		z := gauss(a.cfg.Seed, uint64(t.Unix()))
+		lat *= 1 + a.cfg.NoiseFrac*z
+	}
+	if lat < 0 {
+		lat = 0
+	}
+	return lat, nil
+}
+
+// HeadroomIOPS returns how much more physical IOPS the array can absorb
+// at t before reaching the given utilisation limit (e.g. 0.8) — the
+// §8 capacity-planning number.
+func (a *Array) HeadroomIOPS(t time.Time, limit float64) (float64, error) {
+	if limit <= 0 || limit > 1 {
+		return 0, fmt.Errorf("storagesim: limit must be in (0,1]")
+	}
+	io, err := a.PhysicalIOPS(t)
+	if err != nil {
+		return 0, err
+	}
+	head := a.cfg.CapacityIOPS*limit - io
+	if head < 0 {
+		head = 0
+	}
+	return head, nil
+}
+
+func gauss(seed, tick uint64) float64 {
+	x := seed ^ 0xbb67ae8584caa73b
+	x = mix(x + tick)
+	u := mix(x)
+	var s float64
+	for i := 0; i < 4; i++ {
+		part := (u >> (i * 16)) & 0xffff
+		s += float64(part)/65535 - 0.5
+	}
+	return s * math.Sqrt(3)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

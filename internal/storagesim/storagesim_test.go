@@ -1,0 +1,161 @@
+package storagesim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbsim"
+	"repro/internal/timeseries"
+	"repro/internal/workload"
+)
+
+func testArray(t *testing.T, capacity float64) *Array {
+	t.Helper()
+	cluster, err := dbsim.New(workload.OLTPConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{
+		Cluster:       cluster,
+		CapacityIOPS:  capacity,
+		BaseLatencyMs: 0.5,
+		CacheHitRatio: 0.3,
+		NoiseFrac:     0.02,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	cluster, err := dbsim.New(workload.OLAPConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Cluster: nil, CapacityIOPS: 1, BaseLatencyMs: 1},
+		{Cluster: cluster, CapacityIOPS: 0, BaseLatencyMs: 1},
+		{Cluster: cluster, CapacityIOPS: 1, BaseLatencyMs: 0},
+		{Cluster: cluster, CapacityIOPS: 1, BaseLatencyMs: 1, CacheHitRatio: 1},
+		{Cluster: cluster, CapacityIOPS: 1, BaseLatencyMs: 1, NoiseFrac: -1},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCacheReducesPhysicalIO(t *testing.T) {
+	a := testArray(t, 5e6)
+	ts := workload.DefaultStart.Add(14 * time.Hour)
+	io, err := a.PhysicalIOPS(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logical float64
+	for node := 0; node < 2; node++ {
+		v, _ := a.cfg.Cluster.Sample(node, dbsim.LogicalIOPS, ts)
+		logical += v
+	}
+	want := logical * 0.7
+	if io < want*0.99 || io > want*1.01 {
+		t.Fatalf("physical = %v, want ~%v", io, want)
+	}
+}
+
+func TestLatencyKnee(t *testing.T) {
+	// A small array saturates at peak hours: latency at the peak must be
+	// much higher than off-peak, far beyond the raw IOPS ratio.
+	cluster, err := dbsim.New(workload.OLTPConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakIO := 0.0
+	ts := workload.DefaultStart.Add(9 * time.Hour) // surge hour
+	for node := 0; node < 2; node++ {
+		v, _ := cluster.Sample(node, dbsim.LogicalIOPS, ts)
+		peakIO += v
+	}
+	a, err := New(Config{
+		Cluster:       cluster,
+		CapacityIOPS:  peakIO * 0.75, // knee below the peak
+		BaseLatencyMs: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakLat, err := a.LatencyMs(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offLat, err := a.LatencyMs(workload.DefaultStart.Add(3 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakLat < offLat*3 {
+		t.Fatalf("no saturation knee: peak=%v off=%v", peakLat, offLat)
+	}
+	rho, err := a.Utilisation(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho > 0.98 {
+		t.Fatalf("utilisation uncapped: %v", rho)
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	a := testArray(t, 5e6)
+	ts := workload.DefaultStart.Add(3 * time.Hour)
+	head, err := a.HeadroomIOPS(ts, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head <= 0 {
+		t.Fatalf("headroom = %v at low load", head)
+	}
+	if _, err := a.HeadroomIOPS(ts, 1.5); err == nil {
+		t.Fatal("bad limit should fail")
+	}
+	// A tiny array has zero headroom.
+	tiny := testArray(t, 100)
+	head, err = tiny.HeadroomIOPS(ts, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != 0 {
+		t.Fatalf("tiny array headroom = %v, want 0", head)
+	}
+}
+
+// TestStorageLatencyForecastable closes the §8 loop: sample the array's
+// hourly latency for six weeks and confirm the learning engine models it
+// (the series inherits daily seasonality + growth from the OLTP driver).
+func TestStorageLatencyForecastable(t *testing.T) {
+	a := testArray(t, 6e6)
+	const hours = 1008
+	values := make([]float64, hours)
+	for i := range values {
+		v, err := a.LatencyMs(workload.DefaultStart.Add(time.Duration(i) * time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[i] = v
+	}
+	ser := timeseries.New("san/latency-ms", workload.DefaultStart, timeseries.Hourly, values)
+	eng, err := core.NewEngine(core.Options{Technique: core.TechniqueSARIMAX, MaxCandidates: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestScore.MAPA < 80 {
+		t.Fatalf("latency MAPA = %.1f, want > 80", res.TestScore.MAPA)
+	}
+}

@@ -1,0 +1,95 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// csvTimeLayout is the timestamp format used in exported series files.
+const csvTimeLayout = time.RFC3339
+
+// WriteCSV writes the series as "timestamp,value" rows with a header.
+// Missing values are written as empty fields.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", s.Name}); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		val := ""
+		if !math.IsNaN(v) {
+			val = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write([]string{s.TimeAt(i).Format(csvTimeLayout), val}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a two-column "timestamp,value" file produced by WriteCSV
+// (or any equally spaced export). The frequency is inferred from the first
+// two timestamps; rows must be contiguous at that spacing. Empty value
+// fields become NaN.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 3 {
+		return nil, fmt.Errorf("timeseries: CSV needs a header and at least 2 rows")
+	}
+	name := "series"
+	if len(records[0]) >= 2 {
+		name = records[0][1]
+	}
+	rows := records[1:]
+	t0, err := time.Parse(csvTimeLayout, rows[0][0])
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: bad timestamp %q: %w", rows[0][0], err)
+	}
+	t1, err := time.Parse(csvTimeLayout, rows[1][0])
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: bad timestamp %q: %w", rows[1][0], err)
+	}
+	step := t1.Sub(t0)
+	freq, err := freqForStep(step)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, len(rows))
+	for i, rec := range rows {
+		ts, err := time.Parse(csvTimeLayout, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: bad timestamp %q: %w", rec[0], err)
+		}
+		if want := t0.Add(time.Duration(i) * step); !ts.Equal(want) {
+			return nil, fmt.Errorf("timeseries: row %d timestamp %v is not equally spaced (want %v)", i, ts, want)
+		}
+		if len(rec) < 2 || rec[1] == "" {
+			values[i] = math.NaN()
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: bad value %q at row %d: %w", rec[1], i, err)
+		}
+		values[i] = v
+	}
+	return New(name, t0, freq, values), nil
+}
+
+func freqForStep(step time.Duration) (Frequency, error) {
+	for _, f := range []Frequency{Minute15, Hourly, Daily, Weekly} {
+		if f.Step() == step {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("timeseries: unsupported sampling step %v", step)
+}

@@ -1,0 +1,61 @@
+package timeseries
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	nan := math.NaN()
+	s := New("cdbm011/cpu", t0, Hourly, []float64{1.5, nan, 3.25})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "cdbm011/cpu" || got.Freq != Hourly || !got.Start.Equal(t0) {
+		t.Fatalf("identity lost: %+v", got)
+	}
+	if got.Values[0] != 1.5 || !math.IsNaN(got.Values[1]) || got.Values[2] != 3.25 {
+		t.Fatalf("values = %v", got.Values)
+	}
+}
+
+func TestReadCSVRejectsIrregular(t *testing.T) {
+	in := "timestamp,x\n" +
+		"2026-01-01T00:00:00Z,1\n" +
+		"2026-01-01T01:00:00Z,2\n" +
+		"2026-01-01T03:00:00Z,3\n" // gap
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for irregular spacing")
+	}
+}
+
+func TestReadCSVRejectsBadValue(t *testing.T) {
+	in := "timestamp,x\n" +
+		"2026-01-01T00:00:00Z,abc\n" +
+		"2026-01-01T01:00:00Z,2\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for non-numeric value")
+	}
+}
+
+func TestReadCSVRejectsShort(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("timestamp,x\n2026-01-01T00:00:00Z,1\n")); err == nil {
+		t.Fatal("expected error for single-row file")
+	}
+}
+
+func TestReadCSVUnsupportedStep(t *testing.T) {
+	in := "timestamp,x\n" +
+		"2026-01-01T00:00:00Z,1\n" +
+		"2026-01-01T00:01:00Z,2\n" // 1-minute spacing unsupported
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for unsupported step")
+	}
+}

@@ -1,0 +1,47 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics on arbitrary input, and
+// that anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"timestamp,x\n2026-01-01T00:00:00Z,1\n2026-01-01T01:00:00Z,2\n",
+		"timestamp,x\n2026-01-01T00:00:00Z,\n2026-01-01T01:00:00Z,2\n",
+		"timestamp,x\n2026-01-01T00:00:00Z,1\n2026-01-01T00:15:00Z,2\n",
+		"",
+		"not,a,csv",
+		"timestamp,x\ngarbage,1\nmore,2\n",
+		"timestamp,x\n2026-01-01T00:00:00Z,1\n2026-01-01T03:00:00Z,2\n",
+		"timestamp,x\n2026-01-01T00:00:00Z,NaN\n2026-01-01T01:00:00Z,2\n",
+		"\xff\xfe\x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ser, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must produce a coherent series that round-trips.
+		if ser.Len() < 2 {
+			t.Fatalf("accepted series with %d points", ser.Len())
+		}
+		var buf bytes.Buffer
+		if err := ser.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV failed on accepted series: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != ser.Len() || back.Freq != ser.Freq {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

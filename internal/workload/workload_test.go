@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/dbsim"
+	"repro/internal/fourier"
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+// collect runs the full agent pipeline for `days` and returns the hourly
+// series for one instance/metric.
+func collect(t *testing.T, cfg dbsim.Config, days int, target, metric string) *timeseries.Series {
+	t.Helper()
+	cluster, err := dbsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := metricstore.New()
+	a, err := agent.New(agent.Config{Interval: 15 * time.Minute}, cluster, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := cfg.Start.Add(time.Duration(days) * 24 * time.Hour)
+	if _, _, err := a.Collect(cfg.Start, end); err != nil {
+		t.Fatal(err)
+	}
+	ser, err := st.Series(metricstore.Key{Target: target, Metric: metric}, timeseries.Hourly, cfg.Start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ser.Interpolate(); err != nil {
+		t.Fatal(err)
+	}
+	return ser
+}
+
+// TestOLAPExhibitsSeasonalityAndShock verifies the Figure 2 traits:
+// daily seasonality (C1) and the midnight backup shock (C4) on node 1.
+func TestOLAPExhibitsSeasonalityAndShock(t *testing.T) {
+	ser := collect(t, OLAPConfig(1), 10, "cdbm011", "logical_iops")
+	cands := fourier.DetectSeasonality(ser.Values, 0.02, 3)
+	found := false
+	for _, c := range cands {
+		if c.Period >= 22 && c.Period <= 26 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no daily season detected: %+v", cands)
+	}
+	// Backup shock: hour-0 IOPS on node 1 well above the 03:00 trough.
+	var midnight, three float64
+	var nm, n3 int
+	for i := 0; i < ser.Len(); i++ {
+		switch ser.TimeAt(i).Hour() {
+		case 0:
+			midnight += ser.Values[i]
+			nm++
+		case 3:
+			three += ser.Values[i]
+			n3++
+		}
+	}
+	midnight /= float64(nm)
+	three /= float64(n3)
+	if midnight < three*1.3 {
+		t.Fatalf("backup shock invisible: 00h=%v 03h=%v", midnight, three)
+	}
+	// Node 2 must NOT show the midnight spike.
+	ser2 := collect(t, OLAPConfig(1), 10, "cdbm012", "logical_iops")
+	var m2, t2 float64
+	for i := 0; i < ser2.Len(); i++ {
+		switch ser2.TimeAt(i).Hour() {
+		case 0:
+			m2 += ser2.Values[i]
+		case 3:
+			t2 += ser2.Values[i]
+		}
+	}
+	if m2 > t2*1.3 {
+		t.Fatalf("backup leaked to node 2: 00h=%v 03h=%v", m2, t2)
+	}
+}
+
+// TestOLTPExhibitsTrendSurgesAndShocks verifies the Figure 3 traits:
+// trend (C2), multiple seasonality from surges (C3), backup shocks (C4).
+func TestOLTPExhibitsTrendSurgesAndShocks(t *testing.T) {
+	ser := collect(t, OLTPConfig(2), 14, "cdbm011", "cpu")
+	// Trend: second week mean > first week mean.
+	var w1, w2 float64
+	for i := 0; i < 168; i++ {
+		w1 += ser.Values[i]
+		w2 += ser.Values[i+168]
+	}
+	if w2 <= w1*1.05 {
+		t.Fatalf("no trend: week1=%v week2=%v", w1/168, w2/168)
+	}
+	// Surge hours (07:00–10:59) should exceed the 02:00–05:00 baseline.
+	var surge, quiet float64
+	var ns, nq int
+	for i := 0; i < ser.Len(); i++ {
+		h := ser.TimeAt(i).Hour()
+		if h >= 7 && h < 11 {
+			surge += ser.Values[i]
+			ns++
+		}
+		if h >= 2 && h < 5 {
+			quiet += ser.Values[i]
+			nq++
+		}
+	}
+	if surge/float64(ns) < 1.5*quiet/float64(nq) {
+		t.Fatalf("surges invisible: surge=%v quiet=%v", surge/float64(ns), quiet/float64(nq))
+	}
+	// 6-hourly backup shocks on IOPS, node 1.
+	iops := collect(t, OLTPConfig(2), 14, "cdbm011", "logical_iops")
+	var atBackup, off float64
+	var nb, no int
+	for i := 0; i < iops.Len(); i++ {
+		h := iops.TimeAt(i).Hour()
+		if h%6 == 0 {
+			atBackup += iops.Values[i]
+			nb++
+		} else if h%6 == 3 {
+			off += iops.Values[i]
+			no++
+		}
+	}
+	if atBackup/float64(nb) < 1.2*off/float64(no) {
+		t.Fatalf("6-hourly shocks invisible: on=%v off=%v", atBackup/float64(nb), off/float64(no))
+	}
+}
+
+func TestOLAPUsersFixedOLTPUsersGrow(t *testing.T) {
+	olap, err := dbsim.New(OLAPConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := olap.ConnectedUsers(DefaultStart.Add(2 * time.Hour))
+	u20 := olap.ConnectedUsers(DefaultStart.Add(20*24*time.Hour + 2*time.Hour))
+	if u0 != 40 || u20 != 40 {
+		t.Fatalf("OLAP users = %v, %v; want fixed 40", u0, u20)
+	}
+	oltp, err := dbsim.New(OLTPConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := oltp.ConnectedUsers(DefaultStart.Add(2 * time.Hour))
+	g10 := oltp.ConnectedUsers(DefaultStart.Add(10*24*time.Hour + 2*time.Hour))
+	if g10-g0 < 450 || g10-g0 > 550 {
+		t.Fatalf("OLTP growth over 10 days = %v, want ~500", g10-g0)
+	}
+}
+
+func TestSyntheticShapes(t *testing.T) {
+	y := Synthetic(SyntheticOpts{
+		N: 100, Level: 10, Trend: 0.5,
+		Periods: []int{10}, Amps: []float64{2},
+		ShockAt: []int{50}, ShockAmp: 100,
+		Seed: 1,
+	})
+	if len(y) != 100 {
+		t.Fatal("length wrong")
+	}
+	// Shock visible.
+	if y[50]-y[49] < 50 {
+		t.Fatalf("shock missing: %v -> %v", y[49], y[50])
+	}
+	// Trend visible.
+	if y[99] < y[0]+40 {
+		t.Fatal("trend missing")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := DailySeasonal(100, 10, 3, 0, 1, 7)
+	b := DailySeasonal(100, 10, 3, 0, 1, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := DailySeasonal(100, 10, 3, 0, 1, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+	if math.IsNaN(a[0]) {
+		t.Fatal("NaN output")
+	}
+}
