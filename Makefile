@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench tables figures examples clean
+.PHONY: all build vet test test-short race bench tables figures examples clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent paths (parallel fit workers,
+# fleet runner, metric repository, obs registry/spans).
+race:
+	$(GO) test -race -short ./...
 
 # One benchmark per paper table/figure plus the ablations (reduced sizes).
 bench:

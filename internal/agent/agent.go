@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dbsim"
 	"repro/internal/metricstore"
+	"repro/internal/obs"
 )
 
 // Config tunes one agent.
@@ -25,6 +26,10 @@ type Config struct {
 	FailureRate float64
 	// Seed drives fault injection.
 	Seed uint64
+	// Obs receives poll counters (agent_polls_total,
+	// agent_polls_missed_total, agent_samples_delivered_total) and
+	// collection logs. nil disables.
+	Obs *obs.Observer
 }
 
 // Agent polls a simulated cluster and delivers samples to a repository.
@@ -56,18 +61,30 @@ func (a *Agent) Collect(from, to time.Time) (delivered, missed int, err error) {
 	if !to.After(from) {
 		return 0, 0, fmt.Errorf("agent: empty collection window")
 	}
+	o := a.cfg.Obs
+	sp := o.StartSpan("agent.collect")
+	defer sp.End()
+	sp.Set("from", from.Format(time.RFC3339))
+	sp.Set("to", to.Format(time.RFC3339))
 	instances := a.cluster.Instances()
 	for t := from; t.Before(to); t = t.Add(a.cfg.Interval) {
 		tick := uint64(t.Unix())
 		for node, name := range instances {
 			for _, metric := range dbsim.AllMetrics {
+				o.Count("agent_polls_total", 1)
 				if a.pollFails(uint64(node), uint64(metric), tick) {
 					missed++
+					o.Count("agent_polls_missed_total", 1)
+					o.Debug("poll missed (injected gap)", "target", name,
+						"metric", metric.String(), "at", t.Format(time.RFC3339))
 					continue
 				}
 				v, serr := a.cluster.Sample(node, metric, t)
 				if serr != nil {
-					return delivered, missed, fmt.Errorf("agent: sample failed: %w", serr)
+					serr = fmt.Errorf("agent: sample failed: %w", serr)
+					sp.Fail(serr)
+					o.Error("sample failed", "target", name, "metric", metric.String(), "err", serr)
+					return delivered, missed, serr
 				}
 				a.store.Put(metricstore.Sample{
 					Target: name,
@@ -76,9 +93,14 @@ func (a *Agent) Collect(from, to time.Time) (delivered, missed int, err error) {
 					Value:  v,
 				})
 				delivered++
+				o.Count("agent_samples_delivered_total", 1)
 			}
 		}
 	}
+	sp.Set("delivered", delivered)
+	sp.Set("missed", missed)
+	o.Info("collection complete", "delivered", delivered, "missed", missed,
+		"instances", len(instances), "interval", a.cfg.Interval)
 	return delivered, missed, nil
 }
 

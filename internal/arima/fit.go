@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -69,6 +71,8 @@ type FitOptions struct {
 	TolF float64
 	// Method selects CSS (default) or exact-likelihood estimation.
 	Method FitMethod
+	// Obs receives fit counters and debug logs (nil disables).
+	Obs *obs.Observer
 }
 
 // errTooShort is returned when the series cannot support the model order.
@@ -79,6 +83,21 @@ var errTooShort = errors.New("arima: series too short for model order")
 // paper's shock pulses and Fourier terms enter here. The exogenous effect
 // is modelled as regression with SARIMA errors: y = X·β + n, n ~ SARIMA.
 func Fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, error) {
+	o := opt.Obs
+	began := time.Now()
+	m, err := fit(spec, y, exog, opt)
+	if err != nil {
+		o.Count("arima_fit_errors_total", 1)
+		o.Debug("arima fit failed", "spec", spec.String(), "err", err)
+		return nil, err
+	}
+	o.Count("arima_fits_total", 1)
+	o.Debug("arima fit", "spec", spec.String(), "exog", len(exog),
+		"aic", m.AIC, "converged", m.Converged, "dur", time.Since(began))
+	return m, nil
+}
+
+func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metricstore"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -31,6 +32,7 @@ func Capplan(args []string, stdout io.Writer) error {
 	saveRepo := fs.String("save-repo", "", "write the collected metric repository to this file (gob)")
 	loadRepo := fs.String("load-repo", "", "plan from a previously saved repository instead of simulating")
 	report := fs.Bool("report", false, "print the full engine report per series")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,17 +42,19 @@ func Capplan(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	o := of.observer(stdout)
 	if *loadRepo != "" {
-		return capplanFromRepo(stdout, *loadRepo, tech, *horizon, *maxCand)
+		return capplanFromRepo(stdout, *loadRepo, tech, *horizon, *maxCand, of, o)
 	}
 
 	fmt.Fprintf(stdout, "collecting %d days of %s workload (agent: 15-minute polls, hourly aggregation)...\n", *days, *exp)
 	ds, err := experiments.Build(experiments.Kind(strings.ToLower(*exp)), experiments.Options{
-		Days: *days, Seed: *seed, AgentFailureRate: 0.01,
+		Days: *days, Seed: *seed, AgentFailureRate: 0.01, Obs: o,
 	})
 	if err != nil {
 		return err
 	}
+	of.dumpSpans(stdout, o) // the agent collection span
 
 	if *saveRepo != "" {
 		f, err := os.Create(*saveRepo)
@@ -68,10 +72,12 @@ func Capplan(args []string, stdout io.Writer) error {
 	}
 
 	store := core.NewModelStore(core.StalePolicy{})
+	store.SetObserver(o)
 	eng, err := core.NewEngine(core.Options{
 		Technique:     tech,
 		Horizon:       *horizon,
 		MaxCandidates: *maxCand,
+		Obs:           o,
 	})
 	if err != nil {
 		return err
@@ -99,6 +105,7 @@ func Capplan(args []string, stdout io.Writer) error {
 				res.Champion.Label, res.TestScore.RMSE, res.TestScore.MAPA,
 				res.ModelsEvaluated, res.Elapsed.Round(1e6))
 		}
+		of.dumpSpans(stdout, o)
 		tail := ser.Values
 		if len(tail) > 96 {
 			tail = tail[len(tail)-96:]
@@ -124,13 +131,14 @@ func Capplan(args []string, stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout, "\nmodel store: %d champions held (valid one week or until RMSE degrades)\n", len(store.Keys()))
+	of.dumpMetrics(stdout, o)
 	return nil
 }
 
 // capplanFromRepo plans from a persisted repository: load → RunFleet →
 // summarise. This is the operational restart path — the agent keeps
 // appending to the repository file between runs.
-func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon, maxCand int) error {
+func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon, maxCand int, of *obsFlags, o *obs.Observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -141,6 +149,7 @@ func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon
 		return err
 	}
 	f.Close()
+	repo.SetObserver(o)
 
 	keys := repo.Keys()
 	if len(keys) == 0 {
@@ -164,10 +173,12 @@ func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon
 		path, len(keys), first.Format("2006-01-02 15:04"), last.Format("2006-01-02 15:04"))
 
 	store := core.NewModelStore(core.StalePolicy{})
+	store.SetObserver(o)
 	res, err := core.RunFleet(repo, first, last, core.FleetOptions{
 		Engine: core.Options{Technique: tech, Horizon: horizon, MaxCandidates: maxCand},
 		Freq:   timeseries.Hourly,
 		Store:  store,
+		Obs:    o,
 	})
 	if err != nil {
 		return err
@@ -175,12 +186,17 @@ func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon
 	fmt.Fprintf(stdout, "fleet run: %d trained, %d failed in %v\n\n", res.Trained, res.Failed, res.Elapsed.Round(1e6))
 	for _, item := range res.Items {
 		if item.Err != nil {
-			fmt.Fprintf(stdout, "%-28s FAILED: %v\n", item.Key, item.Err)
+			fmt.Fprintf(stdout, "%-28s FAILED in %v: %v\n", item.Key, item.Elapsed.Round(1e6), item.Err)
 			continue
 		}
 		r := item.Result
-		fmt.Fprintf(stdout, "%-28s %-44s RMSE %10.3f  MAPA %5.1f%%\n",
-			item.Key, r.Champion.Label, r.TestScore.RMSE, r.TestScore.MAPA)
+		fmt.Fprintf(stdout, "%-28s %-44s RMSE %10.3f  MAPA %5.1f%%  (%v)\n",
+			item.Key, r.Champion.Label, r.TestScore.RMSE, r.TestScore.MAPA, item.Elapsed.Round(1e6))
 	}
+	if res.FirstErr != nil {
+		fmt.Fprintf(stdout, "\nfirst failure: %s: %v\n", res.FirstErrKey, res.FirstErr)
+	}
+	of.dumpSpans(stdout, o)
+	of.dumpMetrics(stdout, o)
 	return nil
 }

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// obsFlags holds the shared observability flags (-v, -trace, -metrics)
+// every command registers the same way.
+type obsFlags struct {
+	verbose *bool
+	trace   *bool
+	metrics *bool
+}
+
+// addObsFlags registers -v, -trace and -metrics on a flag set.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		verbose: fs.Bool("v", false, "log pipeline progress (structured key=value, debug level)"),
+		trace:   fs.Bool("trace", false, "record pipeline spans and print the span tree after each run"),
+		metrics: fs.Bool("metrics", false, "collect counters/histograms and print a Prometheus snapshot at exit"),
+	}
+}
+
+// observer builds the Observer the flags ask for, or nil when every
+// facility is off — the nil path keeps the engine allocation-free.
+func (f *obsFlags) observer(w io.Writer) *obs.Observer {
+	return f.build(w, false)
+}
+
+// build is observer with the metrics facility optionally forced on —
+// a live /metrics endpoint needs a registry even without -metrics.
+func (f *obsFlags) build(w io.Writer, forceMetrics bool) *obs.Observer {
+	if !*f.verbose && !*f.trace && !*f.metrics && !forceMetrics {
+		return nil
+	}
+	cfg := obs.Config{Trace: *f.trace, Metrics: *f.metrics || forceMetrics}
+	if *f.verbose {
+		cfg.LogWriter = w
+		cfg.LogLevel = obs.LevelDebug
+	}
+	return obs.New(cfg)
+}
+
+// dumpSpans drains and prints every finished root span as a tree.
+func (f *obsFlags) dumpSpans(w io.Writer, o *obs.Observer) {
+	if o == nil || !*f.trace {
+		return
+	}
+	for _, sp := range o.TakeSpans() {
+		fmt.Fprintln(w, "--- trace ---")
+		sp.WriteTree(w)
+	}
+}
+
+// dumpMetrics prints the registry in Prometheus text exposition format.
+func (f *obsFlags) dumpMetrics(w io.Writer, o *obs.Observer) {
+	if o == nil || !*f.metrics {
+		return
+	}
+	fmt.Fprintln(w, "--- metrics ---")
+	o.Registry().WritePrometheus(w)
+}

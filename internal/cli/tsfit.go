@@ -24,6 +24,7 @@ func Tsfit(args []string, stdout io.Writer) error {
 	maxCand := fs.Int("max-candidates", 24, "candidate models to evaluate")
 	top := fs.Int("top", 5, "leaderboard length to print")
 	spec := fs.String("spec", "", `fit this exact SARIMA order instead of searching, e.g. "(13,1,2)(1,1,1,24)"`)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,11 +49,13 @@ func Tsfit(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	o := of.observer(stdout)
 	eng, err := core.NewEngine(core.Options{
 		Technique:     tech,
 		Horizon:       *horizon,
 		Level:         *level,
 		MaxCandidates: *maxCand,
+		Obs:           o,
 	})
 	if err != nil {
 		return err
@@ -61,6 +64,7 @@ func Tsfit(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	of.dumpSpans(stdout, o)
 
 	fmt.Fprint(stdout, res.Report())
 
@@ -111,6 +115,7 @@ func Tsfit(args []string, stdout io.Writer) error {
 	fmt.Fprint(stdout, chart.Forecast(tail, fc.Mean, fc.Lower, fc.Upper, chart.Options{
 		Title: fmt.Sprintf("%s — %s forecast", res.SeriesName, res.Champion.Label),
 	}))
+	of.dumpMetrics(stdout, o)
 	return nil
 }
 

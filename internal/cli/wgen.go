@@ -24,17 +24,20 @@ func Wgen(args []string, stdout io.Writer) error {
 	out := fs.String("out", ".", "output directory for CSV files")
 	failRate := fs.Float64("agent-failure-rate", 0.01, "probability an agent poll is missed (creates gaps)")
 	plot := fs.Bool("plot", false, "print sparkline previews of each series")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	o := of.observer(stdout)
 	kind := experiments.Kind(strings.ToLower(*exp))
 	ds, err := experiments.Build(kind, experiments.Options{
-		Days: *days, Seed: *seed, AgentFailureRate: *failRate,
+		Days: *days, Seed: *seed, AgentFailureRate: *failRate, Obs: o,
 	})
 	if err != nil {
 		return err
 	}
+	of.dumpSpans(stdout, o)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
@@ -69,5 +72,6 @@ func Wgen(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "    %s\n", chart.Sparkline(tail))
 		}
 	}
+	of.dumpMetrics(stdout, o)
 	return nil
 }

@@ -87,6 +87,13 @@ func Backtest(s *timeseries.Series, opt BacktestOptions) (*BacktestResult, error
 		return nil, err
 	}
 
+	o := opt.Engine.Obs
+	root := o.StartSpan("backtest")
+	defer root.End()
+	root.Set("series", s.Name)
+	root.Set("folds", folds)
+	root.Set("horizon", horizon)
+
 	res := &BacktestResult{}
 	var sumRMSE, sumMAPA float64
 	for f := 0; f < folds; f++ {
@@ -94,15 +101,26 @@ func Backtest(s *timeseries.Series, opt BacktestOptions) (*BacktestResult, error
 		trainSer := work.Slice(0, origin)
 		actual := work.Values[origin : origin+horizon]
 
-		runRes, err := eng.Run(trainSer)
+		fsp := root.Child("fold")
+		fsp.Set("origin", origin)
+		runRes, err := eng.WithParentSpan(fsp).Run(trainSer)
 		if err != nil {
-			return nil, fmt.Errorf("core: backtest fold %d: %w", f, err)
+			err = fmt.Errorf("core: backtest fold %d: %w", f, err)
+			fsp.Fail(err)
+			fsp.End()
+			root.Fail(err)
+			return nil, err
 		}
 		fc := runRes.Forecast.Mean
 		if len(fc) != horizon {
 			return nil, fmt.Errorf("core: backtest fold %d produced %d steps, want %d", f, len(fc), horizon)
 		}
 		score := metrics.Evaluate(actual, fc)
+		fsp.Set("champion", runRes.Champion.Label)
+		fsp.Set("rmse", score.RMSE)
+		fsp.End()
+		o.Debug("backtest fold scored", "series", s.Name, "fold", f,
+			"champion", runRes.Champion.Label, "rmse", score.RMSE)
 		res.Folds = append(res.Folds, FoldResult{
 			Origin:     origin,
 			OriginTime: work.TimeAt(origin),

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ets"
 	"repro/internal/metrics"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/tbats"
 	"repro/internal/timeseries"
 )
@@ -84,6 +85,9 @@ type Options struct {
 	KnownShockPhases []int
 	// Analyze overrides analysis options.
 	Analyze AnalyzeOptions
+	// Obs receives logs, pipeline spans and metrics for every run. nil
+	// (the default) disables observability at zero cost.
+	Obs *obs.Observer
 }
 
 // CandidateResult records one evaluated model.
@@ -165,6 +169,40 @@ type Result struct {
 // Engine runs the Figure 4 pipeline.
 type Engine struct {
 	opt Options
+	// parent, when set, nests the run's trace under an enclosing span
+	// (the fleet runner's per-workload span).
+	parent *obs.Span
+}
+
+// WithParentSpan nests every subsequent Run trace under sp instead of
+// opening a new root span. It returns the engine for chaining.
+func (e *Engine) WithParentSpan(sp *obs.Span) *Engine {
+	e.parent = sp
+	return e
+}
+
+// startSpan opens the run's root span: a child of the configured parent
+// when nested, a fresh observer root otherwise.
+func (e *Engine) startSpan(name string) *obs.Span {
+	if e.parent != nil {
+		return e.parent.Child(name)
+	}
+	return e.opt.Obs.StartSpan(name)
+}
+
+// candidateFamily names the model family of a candidate for span
+// attributes and metric labels.
+func candidateFamily(c *CandidateResult) string {
+	switch {
+	case c.tbatsCfg != nil:
+		return "TBATS"
+	case c.isETS:
+		return "HES"
+	case c.cand.Spec.IsSeasonal():
+		return "SARIMAX"
+	default:
+		return "ARIMA"
+	}
 }
 
 // NewEngine validates options and returns an Engine.
@@ -192,39 +230,91 @@ func NewEngine(opt Options) (*Engine, error) {
 
 // Run executes the pipeline on a series: gap repair → Table 1 split →
 // analysis → candidate grid → parallel fit/score → champion → forecast.
+// Stage failures come back wrapped with their Figure 4 stage name
+// ("analyse: …"), so a fleet-scale failure is attributable without a
+// debugger.
 func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
+	o := e.opt.Obs
 	began := time.Now()
+	run := e.startSpan("engine.run")
+	defer run.End()
+	run.Set("series", s.Name)
+	run.Set("technique", e.opt.Technique.String())
+
+	// Stage 0 (Figure 4): fetch the series into working memory.
+	sp := run.Child("fetch")
 	work := s.Clone()
+	sp.Set("observations", work.Len())
+	sp.Set("freq", work.Freq.String())
+	sp.End()
+
 	// Stage 1 (Figure 4): missing values → linear interpolation.
 	// Interpolation repairs occasional gaps; a series that is mostly
 	// holes has no signal to learn and is refused.
+	sp = run.Child("interpolate")
 	if miss := work.MissingCount(); miss > 0 {
+		sp.Set("missing", miss)
 		if frac := float64(miss) / float64(work.Len()); frac > 0.25 {
-			return nil, fmt.Errorf("core: series %q is %.0f%% missing — too sparse to model", s.Name, frac*100)
+			err := fmt.Errorf("interpolate: series %q is %.0f%% missing — too sparse to model", s.Name, frac*100)
+			sp.Fail(err)
+			sp.End()
+			run.Fail(err)
+			return nil, err
 		}
 		if _, err := work.Interpolate(); err != nil {
+			err = fmt.Errorf("interpolate: %w", err)
+			sp.Fail(err)
+			sp.End()
+			run.Fail(err)
 			return nil, err
 		}
 	}
+	sp.End()
+
 	// Stage 2: train/test split per Table 1.
+	sp = run.Child("split")
 	policy, err := PolicyFor(work.Freq)
 	if err != nil {
+		err = fmt.Errorf("split: %w", err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
 		return nil, err
 	}
 	train, test, err := policy.Split(work)
 	if err != nil {
+		err = fmt.Errorf("split: %w", err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
 		return nil, err
 	}
 	horizon := e.opt.Horizon
 	if horizon <= 0 {
 		horizon = policy.Horizon
 	}
+	sp.Set("train", train.Len())
+	sp.Set("test", test.Len())
+	sp.End()
 
 	// Stage 3: characterise the training data.
+	sp = run.Child("analyse")
 	an, err := Analyze(train, e.opt.Analyze)
 	if err != nil {
+		err = fmt.Errorf("analyse: %w", err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
 		return nil, err
 	}
+	sp.Set("period", an.Period)
+	sp.Set("d", an.D)
+	sp.Set("seasonal_d", an.SeasonalD)
+	sp.Set("shocks", len(an.Shocks))
+	sp.End()
+	o.Debug("analysis complete", "series", s.Name,
+		"period", an.Period, "d", an.D, "seasonal_d", an.SeasonalD,
+		"shocks", len(an.Shocks), "extra_periods", len(an.ExtraPeriods))
 	// Merge operator-declared schedules with detected behaviours.
 	if len(e.opt.KnownShockPhases) > 0 {
 		period := max(an.Period, train.Freq.Period())
@@ -247,15 +337,26 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 	}
 
 	// Stage 4: enumerate candidates for the chosen branch.
+	sp = run.Child("build-candidates")
 	cands := e.buildCandidates(train, an)
+	sp.Set("candidates", len(cands))
 	if len(cands) == 0 {
-		return nil, fmt.Errorf("core: no candidates for series %q", s.Name)
+		err := fmt.Errorf("build-candidates: no candidates for series %q", s.Name)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
+		return nil, err
 	}
+	sp.End()
 
 	// Stage 5: fit and score in parallel.
-	results := e.evaluate(train.Values, test.Values, an, cands)
+	sp = run.Child("fit-score")
+	sp.Set("workers", e.opt.Workers)
+	results := e.evaluate(train.Values, test.Values, an, cands, sp)
+	sp.End()
 
 	// Rank: best hold-out RMSE first; failed fits sink.
+	sp = run.Child("champion")
 	sort.SliceStable(results, func(i, j int) bool {
 		if (results[i].Err == nil) != (results[j].Err == nil) {
 			return results[i].Err == nil
@@ -264,19 +365,41 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 	})
 	champion := results[0]
 	if champion.Err != nil {
-		return nil, fmt.Errorf("core: every candidate failed; first error: %w", champion.Err)
+		err := fmt.Errorf("champion: every candidate failed; first error: %w", champion.Err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
+		return nil, err
 	}
+	sp.Set("label", champion.Label)
+	sp.Set("rmse", champion.Score.RMSE)
+	sp.End()
+	o.Count("champion_family_total", 1, obs.L("family", candidateFamily(&champion)))
+	o.Info("champion selected", "series", s.Name, "label", champion.Label,
+		"rmse", champion.Score.RMSE, "mapa", champion.Score.MAPA,
+		"candidates", len(results))
 
 	// Stage 6: champion's test-window forecast for reporting, and the
 	// production forecast from a full-series refit.
+	sp = run.Child("forecast")
+	sp.Set("horizon", horizon)
 	testFC, err := e.refitForecast(champion, train.Values, an, len(test.Values))
 	if err != nil {
-		return nil, fmt.Errorf("core: champion test forecast: %w", err)
+		err = fmt.Errorf("forecast: champion test forecast: %w", err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
+		return nil, err
 	}
 	fullFC, se, lower, upper, diag, err := e.fullForecast(champion, work.Values, an, horizon)
 	if err != nil {
-		return nil, fmt.Errorf("core: champion production forecast: %w", err)
+		err = fmt.Errorf("forecast: champion production forecast: %w", err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
+		return nil, err
 	}
+	sp.End()
 
 	// Baseline scores on the same hold-out window.
 	baselines := map[string]metrics.Score{}
@@ -297,6 +420,7 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 		}
 	}
 
+	run.Set("models_evaluated", len(results))
 	res := &Result{
 		SeriesName:      s.Name,
 		Technique:       e.opt.Technique,
@@ -416,8 +540,13 @@ func (e *Engine) buildCandidates(train *timeseries.Series, an *Analysis) []Candi
 }
 
 // evaluate fits every candidate on train and scores it on test, using a
-// worker pool.
-func (e *Engine) evaluate(train, test []float64, an *Analysis, cands []CandidateResult) []CandidateResult {
+// worker pool. Each candidate gets a child span of parent recording its
+// family, order label, hold-out RMSE, duration and error, plus the
+// models_fitted_total / fit_errors_total counters and a per-technique
+// fit-duration histogram.
+func (e *Engine) evaluate(train, test []float64, an *Analysis, cands []CandidateResult, parent *obs.Span) []CandidateResult {
+	o := e.opt.Obs
+	tech := e.opt.Technique.String()
 	jobs := make(chan int)
 	out := make([]CandidateResult, len(cands))
 	copy(out, cands)
@@ -427,16 +556,30 @@ func (e *Engine) evaluate(train, test []float64, an *Analysis, cands []Candidate
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				csp := parent.Child("fit")
+				csp.Set("candidate", out[idx].Label)
+				csp.Set("family", candidateFamily(&out[idx]))
 				began := time.Now()
 				fc, aic, err := e.fitScore(out[idx], train, an, len(test))
 				out[idx].FitDuration = time.Since(began)
 				out[idx].AIC = aic
+				o.Count("models_fitted_total", 1)
+				o.ObserveDuration("fit_duration_seconds", out[idx].FitDuration, obs.L("technique", tech))
 				if err != nil {
 					out[idx].Err = err
 					out[idx].Score = metrics.Score{RMSE: math.NaN(), MAPE: math.NaN(), MAPA: math.NaN()}
+					o.Count("fit_errors_total", 1)
+					o.Debug("candidate failed", "candidate", out[idx].Label, "err", err)
+					csp.Fail(err)
+					csp.End()
 					continue
 				}
 				out[idx].Score = metrics.Evaluate(test, fc)
+				csp.Set("rmse", out[idx].Score.RMSE)
+				csp.Set("aic", aic)
+				csp.End()
+				o.Debug("candidate scored", "candidate", out[idx].Label,
+					"rmse", out[idx].Score.RMSE, "dur", out[idx].FitDuration)
 			}
 		}()
 	}
@@ -483,7 +626,7 @@ func tbatsCandidates(periods []int) []tbats.Config {
 // fitScore fits one candidate on train and forecasts the test window.
 func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h int) ([]float64, float64, error) {
 	if c.tbatsCfg != nil {
-		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{})
+		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{Obs: e.opt.Obs})
 		if err != nil {
 			return nil, math.NaN(), err
 		}
@@ -494,7 +637,7 @@ func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h in
 		return fc.Mean, m.AIC, nil
 	}
 	if c.isETS {
-		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period})
+		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period, Obs: e.opt.Obs})
 		if err != nil {
 			return nil, math.NaN(), err
 		}
@@ -508,7 +651,7 @@ func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h in
 	if err != nil {
 		return nil, math.NaN(), err
 	}
-	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{})
+	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{Obs: e.opt.Obs})
 	if err != nil {
 		return nil, math.NaN(), err
 	}
@@ -550,7 +693,7 @@ func (e *Engine) refitForecast(c CandidateResult, train []float64, an *Analysis,
 // production forecast with error bars.
 func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
 	if c.tbatsCfg != nil {
-		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{})
+		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{Obs: e.opt.Obs})
 		if ferr != nil {
 			return nil, nil, nil, nil, nil, ferr
 		}
@@ -561,7 +704,7 @@ func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h
 		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
 	}
 	if c.isETS {
-		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period})
+		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period, Obs: e.opt.Obs})
 		if ferr != nil {
 			return nil, nil, nil, nil, nil, ferr
 		}
@@ -575,7 +718,7 @@ func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h
 	if ferr != nil {
 		return nil, nil, nil, nil, nil, ferr
 	}
-	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{})
+	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{Obs: e.opt.Obs})
 	if ferr != nil {
 		return nil, nil, nil, nil, nil, ferr
 	}
@@ -585,11 +728,4 @@ func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h
 	}
 	d := m.Diagnose()
 	return fc.Mean, fc.SE, fc.Lower, fc.Upper, &d, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/metricstore"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -25,6 +26,10 @@ type FleetOptions struct {
 	SkipFresh bool
 	// Store receives champions (optional unless SkipFresh).
 	Store *ModelStore
+	// Obs receives fleet logs, per-workload spans and counters. When set
+	// it is also injected into the per-series engines (unless Engine.Obs
+	// already names a different observer). nil disables observability.
+	Obs *obs.Observer
 }
 
 // FleetItem is one fleet run outcome.
@@ -35,6 +40,9 @@ type FleetItem struct {
 	Skipped bool
 	Result  *Result
 	Err     error
+	// Elapsed is this workload's wall time (fetch + engine run), so slow
+	// series are distinguishable from skipped ones in the result.
+	Elapsed time.Duration
 }
 
 // FleetResult aggregates a fleet run.
@@ -43,6 +51,10 @@ type FleetResult struct {
 	Elapsed time.Duration
 	// Trained, Skipped, Failed count outcomes.
 	Trained, Skipped, Failed int
+	// FirstErr is the first failure in key order (nil when every
+	// workload trained or was skipped); FirstErrKey names its workload.
+	FirstErr    error
+	FirstErrKey string
 }
 
 // RunFleet runs the learning engine over every series in the repository
@@ -60,10 +72,22 @@ func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*F
 	if conc <= 0 {
 		conc = 4
 	}
+	o := opt.Obs
+	engineOpt := opt.Engine
+	if engineOpt.Obs == nil {
+		engineOpt.Obs = o
+	}
 	keys := repo.Keys()
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("core: repository is empty")
 	}
+
+	root := o.StartSpan("fleet.run")
+	defer root.End()
+	root.Set("workloads", len(keys))
+	root.Set("concurrency", conc)
+	o.Info("fleet run start", "workloads", len(keys), "concurrency", conc,
+		"from", from.Format(time.RFC3339), "to", to.Format(time.RFC3339))
 
 	items := make([]FleetItem, len(keys))
 	began := time.Now()
@@ -77,27 +101,54 @@ func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*F
 			defer func() { <-sem }()
 
 			item := FleetItem{Key: k.String()}
-			defer func() { items[i] = item }()
+			wbegan := time.Now()
+			wsp := root.Child("workload")
+			wsp.Set("key", item.Key)
+			defer func() {
+				item.Elapsed = time.Since(wbegan)
+				wsp.End()
+				items[i] = item
+				switch {
+				case item.Skipped:
+					o.Count("fleet_workloads_skipped_fresh_total", 1)
+					o.Debug("workload skipped (champion fresh)", "key", item.Key)
+				case item.Err != nil:
+					o.Count("fleet_workloads_failed_total", 1)
+					o.Warn("workload failed", "key", item.Key, "err", item.Err, "dur", item.Elapsed)
+				default:
+					o.Count("fleet_workloads_run_total", 1)
+					o.Info("workload trained", "key", item.Key,
+						"champion", item.Result.Champion.Label,
+						"rmse", item.Result.TestScore.RMSE, "dur", item.Elapsed)
+				}
+			}()
 
 			if opt.SkipFresh {
 				if _, usable := opt.Store.Get(k.String()); usable {
 					item.Skipped = true
+					wsp.Set("skipped", true)
 					return
 				}
 			}
+			fsp := wsp.Child("fetch")
 			ser, err := repo.Series(k, opt.Freq, from, to)
+			fsp.End()
 			if err != nil {
-				item.Err = err
+				item.Err = fmt.Errorf("fetch: %w", err)
+				fsp.Fail(item.Err)
+				wsp.Fail(item.Err)
 				return
 			}
-			eng, err := NewEngine(opt.Engine)
+			eng, err := NewEngine(engineOpt)
 			if err != nil {
 				item.Err = err
+				wsp.Fail(err)
 				return
 			}
-			res, err := eng.Run(ser)
+			res, err := eng.WithParentSpan(wsp).Run(ser)
 			if err != nil {
 				item.Err = err
+				wsp.Fail(err)
 				return
 			}
 			item.Result = res
@@ -116,9 +167,18 @@ func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*F
 			out.Skipped++
 		case it.Err != nil:
 			out.Failed++
+			if out.FirstErr == nil {
+				out.FirstErr = it.Err
+				out.FirstErrKey = it.Key
+			}
 		default:
 			out.Trained++
 		}
 	}
+	root.Set("trained", out.Trained)
+	root.Set("skipped", out.Skipped)
+	root.Set("failed", out.Failed)
+	o.Info("fleet run done", "trained", out.Trained, "skipped", out.Skipped,
+		"failed", out.Failed, "dur", out.Elapsed)
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // StalePolicy controls when a stored champion must be re-learned,
@@ -61,6 +62,16 @@ type ModelStore struct {
 	policy StalePolicy
 	models map[string]*StoredModel
 	now    func() time.Time
+	obs    *obs.Observer
+}
+
+// SetObserver attaches an observer for staleness-watchdog counters and
+// logs (modelstore_puts_total, modelstore_lookups_total{result=…},
+// modelstore_invalidations_total). nil detaches.
+func (s *ModelStore) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
 }
 
 // NewModelStore returns an empty store with the given staleness policy.
@@ -82,7 +93,6 @@ func (s *ModelStore) SetClock(now func() time.Time) {
 // Put stores (or replaces) the champion for a key.
 func (s *ModelStore) Put(key string, res *Result) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.models[key] = &StoredModel{
 		Key:           key,
 		Result:        res,
@@ -90,6 +100,9 @@ func (s *ModelStore) Put(key string, res *Result) {
 		SelectionRMSE: res.TestScore.RMSE,
 		LiveRMSE:      res.TestScore.RMSE,
 	}
+	o := s.obs
+	s.mu.Unlock()
+	o.Count("modelstore_puts_total", 1)
 }
 
 // Get returns the stored champion and whether it is still usable. A stale
@@ -100,14 +113,19 @@ func (s *ModelStore) Get(key string) (m *StoredModel, usable bool) {
 	defer s.mu.RUnlock()
 	sm, ok := s.models[key]
 	if !ok {
+		s.obs.Count("modelstore_lookups_total", 1, obs.L("result", "miss"))
 		return nil, false
 	}
 	if sm.Invalidated {
+		s.obs.Count("modelstore_lookups_total", 1, obs.L("result", "invalidated"))
 		return sm, false
 	}
 	if s.now().Sub(sm.FittedAt) > s.policy.maxAge() {
+		s.obs.Count("modelstore_lookups_total", 1, obs.L("result", "stale"))
+		s.obs.Debug("stored model stale", "key", key, "fitted_at", sm.FittedAt.Format(time.RFC3339))
 		return sm, false
 	}
+	s.obs.Count("modelstore_lookups_total", 1, obs.L("result", "hit"))
 	return sm, true
 }
 
@@ -124,8 +142,11 @@ func (s *ModelStore) CheckIn(key string, liveRMSE float64) (usable bool, err err
 		return false, fmt.Errorf("core: no stored model for %q", key)
 	}
 	sm.LiveRMSE = liveRMSE
-	if sm.SelectionRMSE > 0 && liveRMSE > sm.SelectionRMSE*s.policy.degrade() {
+	if !sm.Invalidated && sm.SelectionRMSE > 0 && liveRMSE > sm.SelectionRMSE*s.policy.degrade() {
 		sm.Invalidated = true
+		s.obs.Count("modelstore_invalidations_total", 1)
+		s.obs.Warn("model invalidated (accuracy degraded)", "key", key,
+			"selection_rmse", sm.SelectionRMSE, "live_rmse", liveRMSE)
 	}
 	if sm.Invalidated {
 		return false, nil

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
 )
@@ -87,12 +89,28 @@ type FitOptions struct {
 	Period int
 	// MaxIter bounds optimiser iterations (0 = default).
 	MaxIter int
+	// Obs receives fit counters and debug logs (nil disables).
+	Obs *obs.Observer
 }
 
 var errShort = errors.New("ets: series too short")
 
 // Fit estimates an exponential smoothing model on y.
 func Fit(method Method, y []float64, opt FitOptions) (*Model, error) {
+	o := opt.Obs
+	began := time.Now()
+	m, err := fit(method, y, opt)
+	if err != nil {
+		o.Count("ets_fit_errors_total", 1)
+		o.Debug("ets fit failed", "method", method.String(), "err", err)
+		return nil, err
+	}
+	o.Count("ets_fits_total", 1)
+	o.Debug("ets fit", "method", method.String(), "aic", m.AIC, "dur", time.Since(began))
+	return m, nil
+}
+
+func fit(method Method, y []float64, opt FitOptions) (*Model, error) {
 	n := len(y)
 	period := 0
 	if method.hasSeason() {

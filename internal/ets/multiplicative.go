@@ -143,7 +143,7 @@ func (m *MultiplicativeModel) Forecast(h int, level float64) (*Forecast, error) 
 		phiSum += math.Pow(m.Phi, float64(k))
 		si := m.Season[(m.n+k-1)%m.Period]
 		mean[k-1] = (m.Level + phiSum*m.Trend) * si
-		se[k-1] = math.Sqrt(m.Sigma2*acc) * maxf(si, 0.1)
+		se[k-1] = math.Sqrt(m.Sigma2*acc) * max(si, 0.1)
 		cj := m.Alpha * (1 + m.Beta*phiSum)
 		acc += cj * cj
 	}
@@ -158,11 +158,4 @@ func (m *MultiplicativeModel) Forecast(h int, level float64) (*Forecast, error) 
 		}
 	}
 	return &Forecast{Mean: mean, Lower: lower, Upper: upper, SE: se, Level: level}, nil
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

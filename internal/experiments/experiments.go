@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbsim"
 	"repro/internal/metricstore"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
@@ -55,6 +56,9 @@ type Options struct {
 	MaxCandidates int
 	// Workers for parallel model fitting (0 → GOMAXPROCS).
 	Workers int
+	// Obs receives logs, spans and metrics from the agent, repository
+	// and every engine run (nil disables).
+	Obs *obs.Observer
 }
 
 func (o Options) days() int {
@@ -88,10 +92,12 @@ func Build(kind Kind, opt Options) (*Dataset, error) {
 		return nil, err
 	}
 	store := metricstore.New()
+	store.SetObserver(opt.Obs)
 	ag, err := agent.New(agent.Config{
 		Interval:    15 * time.Minute,
 		FailureRate: opt.AgentFailureRate,
 		Seed:        opt.Seed + 1,
+		Obs:         opt.Obs,
 	}, cluster, store)
 	if err != nil {
 		return nil, err
@@ -143,6 +149,7 @@ func engineFor(f Family, opt Options) (*core.Engine, error) {
 		Level:         0.95,
 		Workers:       opt.Workers,
 		MaxCandidates: opt.maxCandidates(),
+		Obs:           opt.Obs,
 	}
 	switch f {
 	case FamilyARIMA:

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -42,6 +43,7 @@ func (k Key) String() string { return k.Target + "/" + k.Metric }
 type Store struct {
 	mu      sync.RWMutex
 	samples map[Key][]Sample // kept sorted by time
+	obs     *obs.Observer
 }
 
 // New returns an empty Store.
@@ -49,11 +51,28 @@ func New() *Store {
 	return &Store{samples: make(map[Key][]Sample)}
 }
 
+// SetObserver attaches an observer for repository counters
+// (metricstore_samples_ingested_total, metricstore_range_queries_total,
+// metricstore_aggregated_buckets_total). nil detaches.
+func (s *Store) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
+}
+
+// observer reads the attached observer under the lock.
+func (s *Store) observer() *obs.Observer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obs
+}
+
 // Put records one sample. Samples may arrive out of order; duplicates
 // (same key and timestamp) overwrite the previous value.
 func (s *Store) Put(smp Sample) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.obs.Count("metricstore_samples_ingested_total", 1)
 	k := Key{Target: smp.Target, Metric: smp.Metric}
 	list := s.samples[k]
 	// Fast path: append in order.
@@ -129,6 +148,7 @@ func (s *Store) Series(k Key, freq timeseries.Frequency, from, to time.Time) (*t
 	counts := make([]int, n)
 
 	s.mu.RLock()
+	o := s.obs
 	list := s.samples[k]
 	// Binary search to the first sample >= from.
 	i := sort.Search(len(list), func(i int) bool { return !list[i].At.Before(from) })
@@ -143,13 +163,19 @@ func (s *Store) Series(k Key, freq timeseries.Frequency, from, to time.Time) (*t
 	s.mu.RUnlock()
 
 	values := make([]float64, n)
+	aggregated := 0
 	for b := range values {
 		if counts[b] == 0 {
 			values[b] = math.NaN()
 		} else {
 			values[b] = sums[b] / float64(counts[b])
+			aggregated++
 		}
 	}
+	o.Count("metricstore_range_queries_total", 1)
+	o.Count("metricstore_aggregated_buckets_total", int64(aggregated))
+	o.Debug("range query", "key", k.String(), "freq", freq.String(),
+		"buckets", n, "aggregated", aggregated)
 	return timeseries.New(k.String(), from, freq, values), nil
 }
 

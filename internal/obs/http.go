@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// MetricsHandler serves the observer's metrics registry: Prometheus
+// text by default, JSON with `?format=json`. A nil observer (or one
+// without metrics) serves an empty exposition, so the endpoint can be
+// registered unconditionally.
+func MetricsHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reg := o.Registry()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+}
+
+// TraceHandler serves the observer's recorded span trees: plain text by
+// default, JSON with `?format=json`.
+func TraceHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			buf, err := o.TraceJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(buf)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		o.WriteSpanTree(w)
+	})
+}

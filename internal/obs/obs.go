@@ -1,0 +1,220 @@
+// Package obs is the observability layer for the learning engine and
+// fleet runner: a leveled structured logger, hierarchical spans tracing
+// the Figure 4 pipeline, and a concurrency-safe metrics registry with
+// Prometheus-style exposition. It is stdlib-only and nil-safe
+// throughout — a nil *Observer (the library default) turns every call
+// into a no-op without allocating, so instrumented hot paths cost
+// nothing when observability is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Config selects which observability facilities an Observer provides.
+// The zero value enables nothing; New on a zero Config still returns a
+// usable (fully nop) Observer.
+type Config struct {
+	// LogWriter receives structured log lines; nil disables logging.
+	LogWriter io.Writer
+	// LogLevel is the minimum level emitted (default LevelInfo).
+	LogLevel Level
+	// Trace records hierarchical spans when true.
+	Trace bool
+	// Metrics attaches a metrics registry when true.
+	Metrics bool
+	// Clock overrides the time source (tests); nil → time.Now.
+	Clock func() time.Time
+}
+
+// Observer bundles the three facilities. All methods are safe on a nil
+// receiver and safe for concurrent use.
+type Observer struct {
+	log     *Logger
+	reg     *Registry
+	traceOn bool
+	clock   func() time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// New builds an Observer from cfg.
+func New(cfg Config) *Observer {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	o := &Observer{traceOn: cfg.Trace, clock: clock}
+	if cfg.LogWriter != nil {
+		o.log = NewLogger(cfg.LogWriter, cfg.LogLevel)
+		o.log.clock = clock
+	}
+	if cfg.Metrics {
+		o.reg = NewRegistry()
+	}
+	return o
+}
+
+// Logger returns the attached logger (nil when logging is disabled).
+func (o *Observer) Logger() *Logger {
+	if o == nil {
+		return nil
+	}
+	return o.log
+}
+
+// Registry returns the attached metrics registry (nil when metrics are
+// disabled).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Debug logs at LevelDebug.
+func (o *Observer) Debug(msg string, keyvals ...any) {
+	if o == nil || o.log == nil {
+		return
+	}
+	o.log.Log(LevelDebug, msg, keyvals...)
+}
+
+// Info logs at LevelInfo.
+func (o *Observer) Info(msg string, keyvals ...any) {
+	if o == nil || o.log == nil {
+		return
+	}
+	o.log.Log(LevelInfo, msg, keyvals...)
+}
+
+// Warn logs at LevelWarn.
+func (o *Observer) Warn(msg string, keyvals ...any) {
+	if o == nil || o.log == nil {
+		return
+	}
+	o.log.Log(LevelWarn, msg, keyvals...)
+}
+
+// Error logs at LevelError.
+func (o *Observer) Error(msg string, keyvals ...any) {
+	if o == nil || o.log == nil {
+		return
+	}
+	o.log.Log(LevelError, msg, keyvals...)
+}
+
+// StartSpan opens a new root span. It returns nil (a valid nop span)
+// when tracing is disabled.
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil || !o.traceOn {
+		return nil
+	}
+	sp := newSpan(name, o.clock)
+	o.mu.Lock()
+	o.roots = append(o.roots, sp)
+	o.mu.Unlock()
+	return sp
+}
+
+// Spans returns the recorded root spans in start order.
+func (o *Observer) Spans() []*Span {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Span(nil), o.roots...)
+}
+
+// TakeSpans returns the recorded root spans and clears the buffer, so a
+// caller rendering per-run traces does not re-print earlier runs.
+func (o *Observer) TakeSpans() []*Span {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := o.roots
+	o.roots = nil
+	return out
+}
+
+// WriteSpanTree renders every recorded root span as an indented tree.
+func (o *Observer) WriteSpanTree(w io.Writer) error {
+	for _, sp := range o.Spans() {
+		if err := sp.WriteTree(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceJSON dumps every recorded root span as a JSON array.
+func (o *Observer) TraceJSON() ([]byte, error) {
+	spans := o.Spans()
+	if spans == nil {
+		spans = []*Span{}
+	}
+	return json.MarshalIndent(spans, "", "  ")
+}
+
+// Count adds delta to the named counter. Nop without a registry.
+func (o *Observer) Count(name string, delta int64, labels ...Label) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Counter(name, labels...).Add(delta)
+}
+
+// SetGauge sets the named gauge. Nop without a registry.
+func (o *Observer) SetGauge(name string, v float64, labels ...Label) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Gauge(name, labels...).Set(v)
+}
+
+// Observe records v into the named histogram. Nop without a registry.
+func (o *Observer) Observe(name string, v float64, labels ...Label) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Histogram(name, labels...).Observe(v)
+}
+
+// ObserveDuration records d in seconds into the named histogram.
+func (o *Observer) ObserveDuration(name string, d time.Duration, labels ...Label) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Histogram(name, labels...).Observe(d.Seconds())
+}
+
+// now returns the observer clock's current time (time.Now for nil).
+func (o *Observer) now() time.Time {
+	if o == nil || o.clock == nil {
+		return time.Now()
+	}
+	return o.clock()
+}
+
+// formatValue renders an attribute or log value compactly: %q only when
+// the string form contains spaces or quotes.
+func formatValue(v any) string {
+	s := fmt.Sprint(v)
+	for _, r := range s {
+		if r == ' ' || r == '"' || r == '=' || r == '\n' {
+			return fmt.Sprintf("%q", s)
+		}
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}

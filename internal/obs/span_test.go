@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic, monotonically advancing time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestSpanNesting(t *testing.T) {
+	clk := newFakeClock()
+	o := New(Config{Trace: true, Clock: clk.now})
+	root := o.StartSpan("engine.run")
+	root.Set("series", "cdbm011/cpu")
+	a := root.Child("analyse")
+	a.Set("period", 24)
+	a.End()
+	fit := root.Child("fit-score")
+	c1 := fit.Child("fit")
+	c1.Set("candidate", "SARIMAX (1,1,1)(1,1,1,24)")
+	c1.End()
+	c2 := fit.Child("fit")
+	c2.Fail(errTest())
+	c2.End()
+	fit.End()
+	root.End()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root has %d children, want 2", got)
+	}
+	if got := len(fit.Children()); got != 2 {
+		t.Fatalf("fit-score has %d children, want 2", got)
+	}
+	if v, ok := root.Attr("series"); !ok || v != "cdbm011/cpu" {
+		t.Errorf("series attr = %v, %v", v, ok)
+	}
+	if root.Find("analyse") != a {
+		t.Error("Find(analyse) missed")
+	}
+	if c2.Err() == nil {
+		t.Error("child error lost")
+	}
+}
+
+func errTest() error { return errSentinel }
+
+var errSentinel = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "candidate exploded" }
+
+// TestSpanDurationMonotonic checks that with a monotone clock every
+// child's duration fits inside its parent's and durations never come
+// out negative.
+func TestSpanDurationMonotonic(t *testing.T) {
+	clk := newFakeClock()
+	o := New(Config{Trace: true, Clock: clk.now})
+	root := o.StartSpan("root")
+	var children []*Span
+	for i := 0; i < 5; i++ {
+		c := root.Child("stage")
+		gc := c.Child("sub")
+		gc.End()
+		c.End()
+		children = append(children, c)
+	}
+	root.End()
+	if root.Duration() <= 0 {
+		t.Fatalf("root duration %v not positive", root.Duration())
+	}
+	var sum time.Duration
+	for _, c := range children {
+		d := c.Duration()
+		if d <= 0 {
+			t.Errorf("child duration %v not positive", d)
+		}
+		if d > root.Duration() {
+			t.Errorf("child duration %v exceeds parent %v", d, root.Duration())
+		}
+		for _, gc := range c.Children() {
+			if gc.Duration() > d {
+				t.Errorf("grandchild duration %v exceeds child %v", gc.Duration(), d)
+			}
+		}
+		sum += d
+	}
+	if sum > root.Duration() {
+		t.Errorf("sequential children sum %v exceeds parent %v", sum, root.Duration())
+	}
+	// End is idempotent: a second End must not move the end time.
+	d := root.Duration()
+	root.End()
+	if root.Duration() != d {
+		t.Error("second End moved the span end time")
+	}
+}
+
+// TestSpanConcurrentChildren attaches children from parallel goroutines
+// (the per-candidate fit span pattern); run under -race.
+func TestSpanConcurrentChildren(t *testing.T) {
+	o := New(Config{Trace: true})
+	root := o.StartSpan("fit-score")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.Child("fit")
+			c.Set("idx", i)
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != n {
+		t.Errorf("got %d children, want %d", got, n)
+	}
+}
+
+func TestSpanTreeRender(t *testing.T) {
+	clk := newFakeClock()
+	o := New(Config{Trace: true, Clock: clk.now})
+	root := o.StartSpan("engine.run")
+	root.Set("technique", "SARIMAX")
+	st := root.Child("split")
+	st.Set("train", 984)
+	st.End()
+	fit := root.Child("fit-score")
+	c := fit.Child("fit")
+	c.Set("candidate", "ARIMA (1,1,0)")
+	c.End()
+	fit.End()
+	root.End()
+
+	var b strings.Builder
+	if err := o.WriteSpanTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"engine.run", "technique=SARIMAX", "├─ split", "train=984", "└─ fit-score", `candidate="ARIMA (1,1,0)"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	o := New(Config{Trace: true})
+	sp := o.StartSpan("run")
+	sp.Set("k", "v")
+	sp.Child("stage").End()
+	sp.End()
+	buf, err := o.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Name     string         `json:"name"`
+		Attrs    map[string]any `json:"attrs"`
+		Children []struct {
+			Name string `json:"name"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf)
+	}
+	if len(decoded) != 1 || decoded[0].Name != "run" || len(decoded[0].Children) != 1 {
+		t.Errorf("unexpected trace shape: %s", buf)
+	}
+	if decoded[0].Attrs["k"] != "v" {
+		t.Errorf("attr lost: %s", buf)
+	}
+}
+
+func TestTakeSpansDrains(t *testing.T) {
+	o := New(Config{Trace: true})
+	o.StartSpan("a").End()
+	if got := len(o.TakeSpans()); got != 1 {
+		t.Fatalf("first take = %d spans, want 1", got)
+	}
+	if got := len(o.TakeSpans()); got != 0 {
+		t.Fatalf("second take = %d spans, want 0", got)
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
@@ -126,6 +128,8 @@ type Model struct {
 type FitOptions struct {
 	// MaxIter bounds optimiser iterations (0 = default heuristic).
 	MaxIter int
+	// Obs receives fit counters and debug logs (nil disables).
+	Obs *obs.Observer
 }
 
 // state bundles the recursion state so fitting and forecasting share code.
@@ -154,6 +158,20 @@ func deepClone(x [][]float64) [][]float64 {
 
 // Fit estimates a TBATS model with the given configuration.
 func Fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
+	o := opt.Obs
+	began := time.Now()
+	m, err := fit(cfg, y, opt)
+	if err != nil {
+		o.Count("tbats_fit_errors_total", 1)
+		o.Debug("tbats fit failed", "config", cfg.String(), "err", err)
+		return nil, err
+	}
+	o.Count("tbats_fits_total", 1)
+	o.Debug("tbats fit", "config", cfg.String(), "aic", m.AIC, "dur", time.Since(began))
+	return m, nil
+}
+
+func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
