@@ -6,9 +6,17 @@
 // threshold early-warning check ("predict when a threshold is likely to
 // be breached").
 //
+// `capplan serve` runs the same pipeline as a long-running service: it
+// replays the simulated agent feed hour by hour while an online
+// evaluator scores live forecast accuracy, refits degraded champions,
+// and raises capacity-breach alerts, all observable over HTTP
+// (/healthz, /readyz, /metrics, /alerts, /accuracy, /trace,
+// /debug/pprof).
+//
 // Usage:
 //
 //	capplan -exp oltp -days 42 -technique sarimax -threshold-cpu 80
+//	capplan serve -exp oltp -days 14 -listen 127.0.0.1:8080 -threshold-cpu 80
 package main
 
 import (

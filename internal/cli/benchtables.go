@@ -4,9 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
-	"net/http/pprof"
 
 	"repro/internal/chart"
 	"repro/internal/experiments"
@@ -23,21 +20,19 @@ func Benchtables(args []string, stdout io.Writer) error {
 	days := fs.Int("days", 42, "days of simulated collection")
 	seed := fs.Uint64("seed", 42, "simulator seed")
 	maxCand := fs.Int("max-candidates", 12, "candidate models per engine run")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof plus /metrics and /trace on this address (e.g. localhost:6060) while the tables run")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// Profiling implies live metrics even without -metrics.
-	o := of.build(stdout, *pprofAddr != "")
-	if *pprofAddr != "" {
-		ln, err := serveDebug(*pprofAddr, o)
-		if err != nil {
-			return err
-		}
+	// -listen implies live metrics even without -metrics.
+	o := of.observer(stdout)
+	ln, err := of.serve(stdout, o, obs.MuxOptions{})
+	if err != nil {
+		return err
+	}
+	if ln != nil {
 		defer ln.Close()
-		fmt.Fprintf(stdout, "debug server on http://%s (pprof: /debug/pprof/, metrics: /metrics, trace: /trace)\n", ln.Addr())
 	}
 
 	opt := experiments.Options{Days: *days, Seed: *seed, MaxCandidates: *maxCand, Obs: o}
@@ -92,26 +87,6 @@ func Benchtables(args []string, stdout io.Writer) error {
 	of.dumpSpans(stdout, o)
 	of.dumpMetrics(stdout, o)
 	return nil
-}
-
-// serveDebug starts the opt-in debug endpoint: the stdlib pprof profiles
-// next to the observer's metrics and trace dumps, so a full-size table
-// run can be profiled while it executes.
-func serveDebug(addr string, o *obs.Observer) (net.Listener, error) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/metrics", obs.MetricsHandler(o))
-	mux.Handle("/trace", obs.TraceHandler(o))
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	go http.Serve(ln, mux) //nolint:errcheck // ends when the listener closes
-	return ln, nil
 }
 
 func printTable(w io.Writer, kind experiments.Kind, title string, opt experiments.Options) error {

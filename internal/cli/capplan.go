@@ -18,8 +18,12 @@ import (
 
 // Capplan runs the end-to-end capacity-planning service: simulate →
 // monitor → forecast every instance/metric → store champions → threshold
-// early warning.
+// early warning. `capplan serve` switches to the long-running service
+// mode (see CapplanServe).
 func Capplan(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return CapplanServe(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	exp := fs.String("exp", "oltp", "workload: olap or oltp")
@@ -43,6 +47,11 @@ func Capplan(args []string, stdout io.Writer) error {
 	}
 
 	o := of.observer(stdout)
+	if ln, err := of.serve(stdout, o, obs.MuxOptions{}); err != nil {
+		return err
+	} else if ln != nil {
+		defer ln.Close()
+	}
 	if *loadRepo != "" {
 		return capplanFromRepo(stdout, *loadRepo, tech, *horizon, *maxCand, of, o)
 	}

@@ -4,36 +4,36 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/obs"
 )
 
-// obsFlags holds the shared observability flags (-v, -trace, -metrics)
-// every command registers the same way.
+// obsFlags holds the shared observability flags (-v, -trace, -metrics,
+// -listen) every command registers the same way.
 type obsFlags struct {
 	verbose *bool
 	trace   *bool
 	metrics *bool
+	listen  *string
 }
 
-// addObsFlags registers -v, -trace and -metrics on a flag set.
+// addObsFlags registers -v, -trace, -metrics and -listen on a flag set.
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	return &obsFlags{
 		verbose: fs.Bool("v", false, "log pipeline progress (structured key=value, debug level)"),
 		trace:   fs.Bool("trace", false, "record pipeline spans and print the span tree after each run"),
 		metrics: fs.Bool("metrics", false, "collect counters/histograms and print a Prometheus snapshot at exit"),
+		listen: fs.String("listen", "", "serve the observability endpoint (/healthz, /readyz, /metrics, "+
+			"/trace, /debug/pprof) on this address while the command runs (e.g. localhost:6060)"),
 	}
 }
 
 // observer builds the Observer the flags ask for, or nil when every
-// facility is off — the nil path keeps the engine allocation-free.
+// facility is off — the nil path keeps the engine allocation-free. A
+// live -listen endpoint needs a registry even without -metrics.
 func (f *obsFlags) observer(w io.Writer) *obs.Observer {
-	return f.build(w, false)
-}
-
-// build is observer with the metrics facility optionally forced on —
-// a live /metrics endpoint needs a registry even without -metrics.
-func (f *obsFlags) build(w io.Writer, forceMetrics bool) *obs.Observer {
+	forceMetrics := *f.listen != ""
 	if !*f.verbose && !*f.trace && !*f.metrics && !forceMetrics {
 		return nil
 	}
@@ -43,6 +43,31 @@ func (f *obsFlags) build(w io.Writer, forceMetrics bool) *obs.Observer {
 		cfg.LogLevel = obs.LevelDebug
 	}
 	return obs.New(cfg)
+}
+
+// serve starts the unified observability endpoint when -listen is set,
+// returning a closer the command defers (nil when the flag is off). The
+// one mux serves every command — this replaces the ad-hoc benchtables
+// -pprof server.
+func (f *obsFlags) serve(w io.Writer, o *obs.Observer, opt obs.MuxOptions) (io.Closer, error) {
+	if *f.listen == "" {
+		return nil, nil
+	}
+	ln, err := obs.Serve(*f.listen, obs.NewServeMux(o, opt))
+	if err != nil {
+		return nil, err
+	}
+	paths := "healthz, readyz, metrics, trace, debug/pprof"
+	extra := make([]string, 0, len(opt.Extra))
+	for p := range opt.Extra {
+		extra = append(extra, p[1:])
+	}
+	sort.Strings(extra)
+	for _, p := range extra {
+		paths += ", " + p
+	}
+	fmt.Fprintf(w, "observability endpoint on http://%s (%s)\n", ln.Addr(), paths)
+	return ln, nil
 }
 
 // dumpSpans drains and prints every finished root span as a tree.

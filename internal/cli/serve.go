@@ -1,0 +1,236 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metricstore"
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// CapplanServe runs capplan as a long-running service: train champions
+// on simulated history, then replay the agent feed hour by hour while
+// the monitor scores live forecast accuracy, invalidates and refits
+// degraded champions, and raises capacity-breach alerts. The unified
+// observability endpoint serves /healthz, /readyz, /metrics, /trace,
+// /alerts, /accuracy and /debug/pprof throughout.
+func CapplanServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("capplan serve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	exp := fs.String("exp", "oltp", "workload: olap or oltp")
+	days := fs.Int("days", 14, "days of simulated history to train on before serving")
+	seed := fs.Uint64("seed", 42, "simulator seed")
+	technique := fs.String("technique", "sarimax", "model family: sarimax, hes, arima or tbats")
+	horizon := fs.Int("horizon", 24, "forecast hours per champion")
+	maxCand := fs.Int("max-candidates", 8, "candidate models per series")
+	failRate := fs.Float64("agent-failure-rate", 0.01, "probability an agent poll is missed")
+	hours := fs.Int("hours", 0, "simulated hours to replay (0 = run until interrupted)")
+	tick := fs.Duration("tick", time.Second, "wall-clock pause per simulated hour (0 = replay as fast as possible)")
+	window := fs.Int("window", 24, "rolling accuracy window (observations)")
+	degrade := fs.Float64("degrade", 2.0, "invalidate a champion when rolling RMSE exceeds this multiple of its selection RMSE")
+	maxAge := fs.Duration("max-age", 7*24*time.Hour, "simulated-time validity window per champion (the paper's one week)")
+	thresholdCPU := fs.Float64("threshold-cpu", 80, "CPU % capacity threshold (0 = off)")
+	thresholdMem := fs.Float64("threshold-memory", 0, "memory MB capacity threshold (0 = off)")
+	thresholdIOPS := fs.Float64("threshold-iops", 0, "logical IOPS capacity threshold (0 = off)")
+	within := fs.Int("within", 24, "alert when a breach is forecast within this many hours")
+	pendingTicks := fs.Int("pending-ticks", 2, "consecutive breaching evaluations before an alert fires")
+	resolveTicks := fs.Int("resolve-ticks", 2, "consecutive clear evaluations before a firing alert resolves")
+	shiftAfter := fs.Int("shift-after", 0, "inject a level shift after this many replayed hours (0 = off; drift demo)")
+	shiftHours := fs.Int("shift-hours", 12, "how long the injected level shift lasts")
+	shiftFactor := fs.Float64("shift-factor", 1.5, "multiplier applied to actuals during the injected shift")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		return err
+	}
+	if *of.listen == "" {
+		*of.listen = "127.0.0.1:8080"
+	}
+
+	// A service logs by default; -v raises to debug.
+	cfg := obs.Config{Metrics: true, Trace: *of.trace, LogWriter: stdout, LogLevel: obs.LevelInfo}
+	if *of.verbose {
+		cfg.LogLevel = obs.LevelDebug
+	}
+	o := obs.New(cfg)
+	stopRT := obs.NewRuntimeCollector(o).Start(5 * time.Second)
+	defer stopRT()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// The store's clock follows simulated time, so the paper's one-week
+	// age policy works at replay speed. simClock is atomic because HTTP
+	// handlers read it concurrently with the replay loop.
+	var simClock atomic.Int64
+	store := core.NewModelStore(core.StalePolicy{MaxAge: *maxAge, DegradeFactor: *degrade})
+	store.SetObserver(o)
+	store.SetClock(func() time.Time { return time.Unix(simClock.Load(), 0).UTC() })
+
+	var rules []monitor.Rule
+	for _, r := range []monitor.Rule{
+		{Metric: "cpu", Threshold: *thresholdCPU, WithinHours: *within},
+		{Metric: "memory", Threshold: *thresholdMem, WithinHours: *within},
+		{Metric: "logical_iops", Threshold: *thresholdIOPS, WithinHours: *within},
+	} {
+		if r.Threshold > 0 {
+			rules = append(rules, r)
+		}
+	}
+
+	var repo *metricstore.Store
+	var startAt time.Time
+	trainWindow := time.Duration(*days) * 24 * time.Hour
+	// refit re-learns a champion from the freshest repository window; the
+	// replay loop calls it synchronously via the monitor.
+	refit := func(key string) (*core.Result, error) {
+		i := strings.LastIndexByte(key, '/')
+		if i < 0 {
+			return nil, fmt.Errorf("serve: malformed key %q", key)
+		}
+		to := time.Unix(simClock.Load(), 0).UTC()
+		from := to.Add(-trainWindow)
+		if from.Before(startAt) {
+			from = startAt
+		}
+		ser, err := repo.Series(metricstore.Key{Target: key[:i], Metric: key[i+1:]}, timeseries.Hourly, from, to)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(core.Options{
+			Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, Obs: o,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(ser)
+	}
+
+	mon, err := monitor.New(monitor.Config{
+		Store:        store,
+		Window:       *window,
+		Rules:        rules,
+		PendingTicks: *pendingTicks,
+		ResolveTicks: *resolveTicks,
+		Refit:        refit,
+		Obs:          o,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The endpoint goes up before training so /healthz answers from the
+	// first second; /readyz flips once the champions are in the store.
+	var ready atomic.Bool
+	ln, err := of.serve(stdout, o, obs.MuxOptions{
+		Ready: ready.Load,
+		Extra: mon.Handlers(),
+	})
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	fmt.Fprintf(stdout, "collecting %d days of %s history (seed %d)...\n", *days, *exp, *seed)
+	ds, err := experiments.Build(experiments.Kind(strings.ToLower(*exp)), experiments.Options{
+		Days: *days, Seed: *seed, AgentFailureRate: *failRate,
+		MaxCandidates: *maxCand, Obs: o,
+	})
+	if err != nil {
+		return err
+	}
+	repo = ds.Store
+	startAt = ds.Start
+	simClock.Store(ds.End.Unix())
+
+	res, err := core.RunFleet(repo, ds.Start, ds.End, core.FleetOptions{
+		Engine: core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand},
+		Freq:   timeseries.Hourly,
+		Store:  store,
+		Obs:    o,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "initial training: %d trained, %d failed in %v\n",
+		res.Trained, res.Failed, res.Elapsed.Round(time.Millisecond))
+	ready.Store(true)
+	fmt.Fprintf(stdout, "ready — replaying the agent feed (1 simulated hour per %v tick)\n", *tick)
+
+	// The replay agent continues the same deterministic feed the history
+	// was collected with.
+	ag, err := agent.New(agent.Config{
+		Interval:    15 * time.Minute,
+		FailureRate: *failRate,
+		Seed:        *seed + 1,
+		Obs:         o,
+	}, ds.Cluster, repo)
+	if err != nil {
+		return err
+	}
+
+	simNow := ds.End
+	hour := 0
+	for ctx.Err() == nil && (*hours == 0 || hour < *hours) {
+		next := simNow.Add(time.Hour)
+		if _, _, err := ag.Collect(simNow, next); err != nil {
+			return err
+		}
+		if *shiftAfter > 0 && *shiftFactor != 1 && hour >= *shiftAfter && hour < *shiftAfter+*shiftHours {
+			scaleSamples(repo, simNow, next, *shiftFactor)
+		}
+		simClock.Store(next.Unix())
+		for _, k := range repo.Keys() {
+			ser, serr := repo.Series(k, timeseries.Hourly, simNow, next)
+			if serr != nil || ser.Len() == 0 || math.IsNaN(ser.Values[0]) {
+				continue
+			}
+			mon.ObserveActual(k.String(), simNow, ser.Values[0])
+		}
+		mon.EvaluateAlerts(next)
+		simNow = next
+		hour++
+		if *tick > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(*tick):
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "replayed %d simulated hours (%s → %s)\n",
+		hour, ds.End.Format("2006-01-02 15:04"), simNow.Format("2006-01-02 15:04"))
+	of.dumpMetrics(stdout, o)
+	return nil
+}
+
+// scaleSamples multiplies every repository sample in [from, to) by
+// factor — the injected level shift of the drift demo. Put overwrites
+// in place, so each sample is scaled exactly once per window.
+func scaleSamples(repo *metricstore.Store, from, to time.Time, factor float64) {
+	for _, k := range repo.Keys() {
+		for _, smp := range repo.Raw(k) {
+			if smp.At.Before(from) || !smp.At.Before(to) {
+				continue
+			}
+			smp.Value *= factor
+			repo.Put(smp)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCapplanServeReplaysAndDumps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a fleet and replays simulated hours")
+	}
+	var out bytes.Buffer
+	err := Capplan([]string{
+		"serve",
+		"-exp", "oltp",
+		"-days", "10",
+		"-seed", "7",
+		"-technique", "hes",
+		"-max-candidates", "4",
+		"-hours", "3",
+		"-tick", "0",
+		"-listen", "127.0.0.1:0",
+		"-metrics",
+	}, &out)
+	if err != nil {
+		t.Fatalf("capplan serve: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"observability endpoint on http://127.0.0.1:",
+		"initial training:",
+		"ready — replaying",
+		"replayed 3 simulated hours",
+		"monitor_actuals_total",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe io.Writer for commands running in the
+// background of a test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestCapplanServeEndpointLive probes the unified endpoint while a
+// serve replay is running: /healthz answers during training, /readyz
+// flips once champions are stored, and /accuracy and /alerts serve
+// JSON snapshots of the live monitor.
+func TestCapplanServeEndpointLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a fleet and replays simulated hours")
+	}
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Capplan([]string{
+			"serve",
+			"-exp", "oltp",
+			"-days", "10",
+			"-seed", "7",
+			"-technique", "hes",
+			"-max-candidates", "4",
+			"-hours", "200",
+			"-tick", "10ms",
+			"-threshold-cpu", "60",
+			"-listen", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	// The listen banner prints the bound address before training starts.
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+	deadline := time.Now().Add(30 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, out.String())
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	// Wait out the initial training via /readyz.
+	for {
+		if code, _ := get("/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never turned ready:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(body), "go_goroutines") {
+		t.Fatalf("metrics = %d:\n%s", code, body)
+	}
+	code, body := get("/accuracy")
+	if code != http.StatusOK {
+		t.Fatalf("accuracy = %d", code)
+	}
+	var scores []map[string]any
+	if err := json.Unmarshal(body, &scores); err != nil {
+		t.Fatalf("accuracy body %s: %v", body, err)
+	}
+	code, body = get("/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("alerts = %d", code)
+	}
+	var alerts []map[string]any
+	if err := json.Unmarshal(body, &alerts); err != nil {
+		t.Fatalf("alerts body %s: %v", body, err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("capplan serve: %v\n%s", err, out.String())
+	}
+}
+
+func TestCapplanServeBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := Capplan([]string{"serve", "-bogus"}, &out); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := CapplanServe([]string{"-technique", "nope"}, &out); err == nil {
+		t.Fatal("bogus technique accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/arima"
 	"repro/internal/chart"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -50,6 +51,11 @@ func Tsfit(args []string, stdout io.Writer) error {
 		return err
 	}
 	o := of.observer(stdout)
+	if ln, err := of.serve(stdout, o, obs.MuxOptions{}); err != nil {
+		return err
+	} else if ln != nil {
+		defer ln.Close()
+	}
 	eng, err := core.NewEngine(core.Options{
 		Technique:     tech,
 		Horizon:       *horizon,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/chart"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // Wgen runs the workload-generator command: simulate an experiment
@@ -30,6 +31,11 @@ func Wgen(args []string, stdout io.Writer) error {
 	}
 
 	o := of.observer(stdout)
+	if ln, err := of.serve(stdout, o, obs.MuxOptions{}); err != nil {
+		return err
+	} else if ln != nil {
+		defer ln.Close()
+	}
 	kind := experiments.Kind(strings.ToLower(*exp))
 	ds, err := experiments.Build(kind, experiments.Options{
 		Days: *days, Seed: *seed, AgentFailureRate: *failRate, Obs: o,

@@ -166,6 +166,13 @@ type Result struct {
 	ModelsEvaluated int
 }
 
+// ChampionFamily names the champion's model family ("SARIMAX", "HES",
+// "ARIMA" or "TBATS") — the label the accuracy monitor keys its rolling
+// scores by.
+func (r *Result) ChampionFamily() string {
+	return candidateFamily(&r.Champion)
+}
+
 // Engine runs the Figure 4 pipeline.
 type Engine struct {
 	opt Options

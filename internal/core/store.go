@@ -67,7 +67,8 @@ type ModelStore struct {
 
 // SetObserver attaches an observer for staleness-watchdog counters and
 // logs (modelstore_puts_total, modelstore_lookups_total{result=…},
-// modelstore_invalidations_total). nil detaches.
+// modelstore_invalidations_total, modelstore_evictions_total{reason=…}).
+// nil detaches.
 func (s *ModelStore) SetObserver(o *obs.Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -144,9 +145,13 @@ func (s *ModelStore) CheckIn(key string, liveRMSE float64) (usable bool, err err
 	sm.LiveRMSE = liveRMSE
 	if !sm.Invalidated && sm.SelectionRMSE > 0 && liveRMSE > sm.SelectionRMSE*s.policy.degrade() {
 		sm.Invalidated = true
+		ratio := liveRMSE / sm.SelectionRMSE
 		s.obs.Count("modelstore_invalidations_total", 1)
+		s.obs.Count("modelstore_evictions_total", 1, obs.L("reason", "degraded"))
 		s.obs.Warn("model invalidated (accuracy degraded)", "key", key,
-			"selection_rmse", sm.SelectionRMSE, "live_rmse", liveRMSE)
+			"selection_rmse", sm.SelectionRMSE, "live_rmse", liveRMSE,
+			"degradation_ratio", fmt.Sprintf("%.2f", ratio),
+			"limit", fmt.Sprintf("%.2f", s.policy.degrade()))
 	}
 	if sm.Invalidated {
 		return false, nil
@@ -189,9 +194,13 @@ func (s *ModelStore) Keys() []string {
 	return out
 }
 
-// Delete removes a stored model.
+// Delete removes a stored model, counting the eviction when the key was
+// actually held.
 func (s *ModelStore) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.models[key]; ok {
+		s.obs.Count("modelstore_evictions_total", 1, obs.L("reason", "deleted"))
+	}
 	delete(s.models, key)
 }

@@ -1,0 +1,152 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timeseries"
+)
+
+// prediction builds a 6-step hourly forecast starting at t0 whose every
+// value is v (no interval bounds, so the mean band is checked).
+func prediction(t0 time.Time, v float64) *core.Prediction {
+	mean := make([]float64, 6)
+	for i := range mean {
+		mean[i] = v
+	}
+	return &core.Prediction{Start: t0, Freq: timeseries.Hourly, Mean: mean}
+}
+
+func TestAlertStateMachine(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Each step is one Observe evaluation: true = forecast breaching.
+	cases := []struct {
+		name         string
+		pending      int
+		resolve      int
+		breaches     []bool
+		wantStates   []AlertState
+		wantFired    bool
+		wantResolved bool
+	}{
+		{
+			name: "pending then firing then resolved", pending: 2, resolve: 2,
+			breaches:     []bool{true, true, false, false},
+			wantStates:   []AlertState{StatePending, StateFiring, StateFiring, StateResolved},
+			wantFired:    true,
+			wantResolved: true,
+		},
+		{
+			name: "single flap never fires", pending: 2, resolve: 2,
+			breaches:   []bool{true, false, true, false},
+			wantStates: []AlertState{StatePending, StateInactive, StatePending, StateInactive},
+		},
+		{
+			name: "firing survives a short dip", pending: 1, resolve: 3,
+			breaches:   []bool{true, true, false, false, true},
+			wantStates: []AlertState{StatePending, StateFiring, StateFiring, StateFiring, StateFiring},
+			wantFired:  true,
+		},
+		{
+			name: "resolved re-fires on a new breach", pending: 1, resolve: 1,
+			breaches:     []bool{true, true, false, true, true},
+			wantStates:   []AlertState{StatePending, StateFiring, StateResolved, StatePending, StateFiring},
+			wantFired:    true,
+			wantResolved: true,
+		},
+		{
+			name: "clear forecasts stay inactive", pending: 2, resolve: 2,
+			breaches:   []bool{false, false, false},
+			wantStates: []AlertState{StateInactive, StateInactive, StateInactive},
+		},
+	}
+	rule := Rule{Metric: "cpu", Threshold: 80, WithinHours: 24}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAlerter([]Rule{rule}, tc.pending, tc.resolve, nil)
+			var fired, resolved bool
+			for i, breach := range tc.breaches {
+				v := 50.0
+				if breach {
+					v = 90.0
+				}
+				now := t0.Add(time.Duration(i) * time.Hour)
+				a.Observe("db1/cpu", now, prediction(now, v))
+				state := stateOf(t, a, tc.breaches)
+				if state != tc.wantStates[i] {
+					t.Fatalf("step %d: state = %v, want %v", i, state, tc.wantStates[i])
+				}
+				if state == StateFiring {
+					fired = true
+				}
+				if state == StateResolved {
+					resolved = true
+				}
+			}
+			if fired != tc.wantFired {
+				t.Fatalf("fired = %v, want %v", fired, tc.wantFired)
+			}
+			if resolved != tc.wantResolved {
+				t.Fatalf("resolved = %v, want %v", resolved, tc.wantResolved)
+			}
+		})
+	}
+}
+
+// stateOf reads the single tracked alert's state; all-clear sequences
+// that never left Inactive report StateInactive.
+func stateOf(t *testing.T, a *Alerter, breaches []bool) AlertState {
+	t.Helper()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, al := range a.alerts {
+		return al.State
+	}
+	return StateInactive
+}
+
+func TestAlertRuleMatchesMetricSuffix(t *testing.T) {
+	r := Rule{Metric: "cpu", Threshold: 80}
+	if !r.matches("cdbm011/cpu") {
+		t.Fatal("should match cpu key")
+	}
+	for _, key := range []string{"cdbm011/memory", "cpu", "cdbm011/cpu2"} {
+		if r.matches(key) {
+			t.Fatalf("should not match %q", key)
+		}
+	}
+}
+
+func TestAlertUsesUpperBoundWhenPresent(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fc := prediction(t0, 70) // mean below threshold
+	fc.Upper = []float64{75, 75, 85, 75, 75, 75}
+	a := NewAlerter([]Rule{{Metric: "cpu", Threshold: 80, WithinHours: 24}}, 1, 1, nil)
+	a.Observe("db1/cpu", t0, fc)
+	alerts := a.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	al := alerts[0]
+	if al.State != StatePending {
+		t.Fatalf("state = %v, want pending", al.State)
+	}
+	if want := t0.Add(2 * time.Hour); !al.BreachAt.Equal(want) {
+		t.Fatalf("breach_at = %v, want %v", al.BreachAt, want)
+	}
+	if al.Value != 85 {
+		t.Fatalf("worst value = %v, want 85", al.Value)
+	}
+}
+
+func TestAlertWithinHoursLimitsLookahead(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fc := prediction(t0, 50)
+	fc.Mean[5] = 95 // breach 5 hours out
+	a := NewAlerter([]Rule{{Metric: "cpu", Threshold: 80, WithinHours: 3}}, 1, 1, nil)
+	a.Observe("db1/cpu", t0, fc)
+	if got := a.Alerts(); len(got) != 0 {
+		t.Fatalf("breach beyond the look-ahead should stay inactive, got %+v", got)
+	}
+}

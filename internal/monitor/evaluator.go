@@ -1,0 +1,240 @@
+package monitor
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// accuracyWindow is the rolling residual ring for one monitored key.
+type accuracyWindow struct {
+	family    string
+	actuals   []float64 // ring buffers, next points at the oldest slot
+	forecasts []float64
+	next      int
+	count     int
+	matched   int64 // lifetime matched observations
+	lastAt    time.Time
+}
+
+func (w *accuracyWindow) push(actual, forecast float64, at time.Time) {
+	if len(w.actuals) < cap(w.actuals) {
+		w.actuals = append(w.actuals, actual)
+		w.forecasts = append(w.forecasts, forecast)
+	} else {
+		w.actuals[w.next] = actual
+		w.forecasts[w.next] = forecast
+		w.next = (w.next + 1) % cap(w.actuals)
+	}
+	if w.count < cap(w.actuals) {
+		w.count++
+	}
+	w.matched++
+	w.lastAt = at
+}
+
+// scores computes rolling RMSE, MAPE and MAPA over the ring.
+func (w *accuracyWindow) scores() (rmse, mape, mapa float64) {
+	if w.count == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	var ss, ps float64
+	pn := 0
+	for i := 0; i < w.count; i++ {
+		d := w.actuals[i] - w.forecasts[i]
+		ss += d * d
+		if w.actuals[i] != 0 {
+			ps += math.Abs(d / w.actuals[i])
+			pn++
+		}
+	}
+	rmse = math.Sqrt(ss / float64(w.count))
+	mape, mapa = math.NaN(), math.NaN()
+	if pn > 0 {
+		mape = 100 * ps / float64(pn)
+		mapa = math.Max(0, 100-mape)
+	}
+	return rmse, mape, mapa
+}
+
+// AccuracyScore is one row of the /accuracy endpoint: the rolling live
+// accuracy of a stored champion.
+type AccuracyScore struct {
+	Key           string    `json:"key"`
+	Family        string    `json:"family"`
+	Window        int       `json:"window"`
+	Points        int       `json:"points"`
+	MatchedTotal  int64     `json:"matched_total"`
+	RollingRMSE   float64   `json:"rolling_rmse"`
+	RollingMAPE   float64   `json:"rolling_mape"`
+	RollingMAPA   float64   `json:"rolling_mapa"`
+	SelectionRMSE float64   `json:"selection_rmse"`
+	Ratio         float64   `json:"degradation_ratio"`
+	Invalidated   bool      `json:"invalidated"`
+	LastAt        time.Time `json:"last_at"`
+}
+
+// verdict reports what one Observe call found, for the monitor's refit
+// decision.
+type verdict struct {
+	// matched is true when the actual aligned with a forecast step.
+	matched bool
+	// beyondHorizon is true when the actual falls past the stored
+	// forecast's last step — the champion needs a refit to keep serving.
+	beyondHorizon bool
+	// usable is the store's verdict after the check-in (false once the
+	// model is invalidated or age-stale).
+	usable bool
+}
+
+// Evaluator maintains rolling forecast accuracy per stored champion. As
+// actuals arrive it matches them against the champion's production
+// forecast, keeps a rolling RMSE/MAPE/MAPA window per (workload, metric,
+// model family), and checks the rolling RMSE into the ModelStore, whose
+// StalePolicy decides when accuracy has degraded far enough to
+// invalidate the champion.
+type Evaluator struct {
+	mu     sync.Mutex
+	store  *core.ModelStore
+	window int
+	// minPoints is how many matched points the ring needs before the
+	// rolling RMSE is trusted for degradation checks.
+	minPoints int
+	wins      map[string]*accuracyWindow
+	obs       *obs.Observer
+}
+
+// NewEvaluator builds an evaluator over store. window is the rolling
+// score length in observations (0 → 24, one hourly day); minPoints gates
+// degradation checks (0 → max(3, window/4)).
+func NewEvaluator(store *core.ModelStore, window, minPoints int, o *obs.Observer) *Evaluator {
+	if window <= 0 {
+		window = 24
+	}
+	if minPoints <= 0 {
+		minPoints = window / 4
+		if minPoints < 3 {
+			minPoints = 3
+		}
+	}
+	return &Evaluator{
+		store:     store,
+		window:    window,
+		minPoints: minPoints,
+		wins:      make(map[string]*accuracyWindow),
+		obs:       o,
+	}
+}
+
+// Observe matches one actual observation for key at time `at` against
+// the stored champion's forecast and updates the rolling scores. When
+// the window holds enough points the rolling RMSE is checked into the
+// ModelStore, which invalidates the champion on degradation.
+func (e *Evaluator) Observe(key string, at time.Time, actual float64) verdict {
+	sm, usable := e.store.Get(key)
+	if sm == nil {
+		e.obs.Count("monitor_actuals_unmatched_total", 1, obs.L("reason", "no_model"))
+		return verdict{}
+	}
+	fc := sm.Result.Forecast
+	if fc == nil || len(fc.Mean) == 0 {
+		e.obs.Count("monitor_actuals_unmatched_total", 1, obs.L("reason", "no_forecast"))
+		return verdict{usable: usable}
+	}
+	idx := int(at.Sub(fc.Start) / fc.Freq.Step())
+	if idx < 0 {
+		e.obs.Count("monitor_actuals_unmatched_total", 1, obs.L("reason", "before_horizon"))
+		return verdict{usable: usable}
+	}
+	if idx >= len(fc.Mean) {
+		e.obs.Count("monitor_actuals_unmatched_total", 1, obs.L("reason", "beyond_horizon"))
+		return verdict{beyondHorizon: true, usable: usable}
+	}
+	family := sm.Result.ChampionFamily()
+
+	e.mu.Lock()
+	w := e.wins[key]
+	if w == nil || w.family != family {
+		w = &accuracyWindow{family: family, actuals: make([]float64, 0, e.window), forecasts: make([]float64, 0, e.window)}
+		e.wins[key] = w
+	}
+	w.push(actual, fc.Mean[idx], at)
+	rmse, mape, mapa := w.scores()
+	points := w.count
+	e.mu.Unlock()
+
+	kl := []obs.Label{obs.L("key", key), obs.L("family", family)}
+	e.obs.Count("monitor_actuals_total", 1)
+	e.obs.SetGauge("monitor_rolling_rmse", rmse, kl...)
+	if !math.IsNaN(mape) {
+		e.obs.SetGauge("monitor_rolling_mape", mape, kl...)
+		e.obs.SetGauge("monitor_rolling_mapa", mapa, kl...)
+	}
+	if points < e.minPoints {
+		return verdict{matched: true, usable: usable}
+	}
+	// The store's StalePolicy owns the degradation decision; it logs the
+	// ratio and emits modelstore_evictions_total when it invalidates.
+	stillUsable, err := e.store.CheckIn(key, rmse)
+	if err != nil {
+		return verdict{matched: true, usable: usable}
+	}
+	return verdict{matched: true, usable: stillUsable}
+}
+
+// Reset clears the rolling window for key — called after a refit so the
+// new champion is scored only against its own forecasts.
+func (e *Evaluator) Reset(key string) {
+	e.mu.Lock()
+	delete(e.wins, key)
+	e.mu.Unlock()
+}
+
+// Accuracy returns the rolling-score snapshot for every monitored key,
+// sorted by key — the /accuracy payload.
+func (e *Evaluator) Accuracy() []AccuracyScore {
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.wins))
+	for k := range e.wins {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]AccuracyScore, 0, len(keys))
+	for _, k := range keys {
+		w := e.wins[k]
+		rmse, mape, mapa := w.scores()
+		out = append(out, AccuracyScore{
+			Key: k, Family: w.family, Window: e.window,
+			Points: w.count, MatchedTotal: w.matched,
+			RollingRMSE: rmse, RollingMAPE: mape, RollingMAPA: mapa,
+			LastAt: w.lastAt,
+		})
+	}
+	e.mu.Unlock()
+	for i := range out {
+		sm, _ := e.store.Get(out[i].Key)
+		if sm != nil {
+			out[i].SelectionRMSE = sm.SelectionRMSE
+			out[i].Invalidated = sm.Invalidated
+			if sm.SelectionRMSE > 0 && !math.IsNaN(out[i].RollingRMSE) {
+				out[i].Ratio = out[i].RollingRMSE / sm.SelectionRMSE
+			}
+		}
+		// encoding/json rejects NaN; empty windows serialise as zero.
+		out[i].RollingRMSE = nanToZero(out[i].RollingRMSE)
+		out[i].RollingMAPE = nanToZero(out[i].RollingMAPE)
+		out[i].RollingMAPA = nanToZero(out[i].RollingMAPA)
+	}
+	return out
+}
+
+func nanToZero(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,172 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// storedResult builds a hand-made engine result: a 24h hourly forecast
+// of constant value v starting at t0, with the given selection RMSE.
+func storedResult(t0 time.Time, v, selectionRMSE float64) *core.Result {
+	mean := make([]float64, 24)
+	for i := range mean {
+		mean[i] = v
+	}
+	return &core.Result{
+		TestScore: metrics.Score{RMSE: selectionRMSE},
+		Forecast:  &core.Prediction{Start: t0, Freq: timeseries.Hourly, Mean: mean},
+	}
+}
+
+func TestAccuracyWindowRing(t *testing.T) {
+	w := &accuracyWindow{
+		actuals:   make([]float64, 0, 3),
+		forecasts: make([]float64, 0, 3),
+	}
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		w.push(10, 10, t0.Add(time.Duration(i)*time.Hour))
+	}
+	if rmse, _, _ := w.scores(); rmse != 0 {
+		t.Fatalf("perfect window rmse = %v", rmse)
+	}
+	// A fourth push evicts the oldest point: residuals become {6, 0, 0}.
+	w.push(16, 10, t0.Add(3*time.Hour))
+	if w.count != 3 || w.matched != 4 {
+		t.Fatalf("count = %d, matched = %d", w.count, w.matched)
+	}
+	rmse, mape, mapa := w.scores()
+	if want := math.Sqrt(36.0 / 3); math.Abs(rmse-want) > 1e-9 {
+		t.Fatalf("rmse = %v, want %v", rmse, want)
+	}
+	if want := 100 * (6.0 / 16) / 3; math.Abs(mape-want) > 1e-9 {
+		t.Fatalf("mape = %v, want %v", mape, want)
+	}
+	if math.Abs(mapa-(100-mape)) > 1e-9 {
+		t.Fatalf("mapa = %v, want %v", mapa, 100-mape)
+	}
+}
+
+func TestEvaluatorDegradationTriggersInvalidation(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	o := obs.New(obs.Config{Metrics: true})
+	store := core.NewModelStore(core.StalePolicy{DegradeFactor: 1.5})
+	store.SetObserver(o)
+	store.Put("db1/cpu", storedResult(t0, 100, 2)) // degrade limit: rmse > 3
+	ev := NewEvaluator(store, 6, 3, o)
+
+	// Three accurate actuals: rolling RMSE 0, champion stays usable.
+	for i := 0; i < 3; i++ {
+		v := ev.Observe("db1/cpu", t0.Add(time.Duration(i)*time.Hour), 100)
+		if !v.matched || !v.usable {
+			t.Fatalf("step %d: verdict = %+v, want matched and usable", i, v)
+		}
+	}
+	if _, usable := store.Get("db1/cpu"); !usable {
+		t.Fatal("accurate champion was invalidated")
+	}
+
+	// One wild actual pushes rolling RMSE to sqrt(400/4) = 10 > 3.
+	v := ev.Observe("db1/cpu", t0.Add(3*time.Hour), 120)
+	if !v.matched || v.usable {
+		t.Fatalf("degraded verdict = %+v, want matched and not usable", v)
+	}
+	sm, usable := store.Get("db1/cpu")
+	if usable || !sm.Invalidated {
+		t.Fatalf("store did not invalidate: usable=%v invalidated=%v", usable, sm.Invalidated)
+	}
+	if n := o.Registry().CounterValue("modelstore_evictions_total"); n != 1 {
+		t.Fatalf("modelstore_evictions_total = %d, want 1", n)
+	}
+
+	scores := ev.Accuracy()
+	if len(scores) != 1 {
+		t.Fatalf("accuracy rows = %d, want 1", len(scores))
+	}
+	s := scores[0]
+	if s.Key != "db1/cpu" || s.Family != "ARIMA" || s.Points != 4 || !s.Invalidated {
+		t.Fatalf("accuracy row = %+v", s)
+	}
+	if math.Abs(s.RollingRMSE-10) > 1e-9 || math.Abs(s.Ratio-5) > 1e-9 {
+		t.Fatalf("rolling_rmse = %v, ratio = %v; want 10 and 5", s.RollingRMSE, s.Ratio)
+	}
+}
+
+func TestEvaluatorMinPointsGatesCheckIn(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	store := core.NewModelStore(core.StalePolicy{DegradeFactor: 1.5})
+	store.Put("db1/cpu", storedResult(t0, 100, 2))
+	ev := NewEvaluator(store, 6, 4, nil)
+	// Two terrible actuals — but below minPoints, so no check-in yet.
+	for i := 0; i < 2; i++ {
+		ev.Observe("db1/cpu", t0.Add(time.Duration(i)*time.Hour), 500)
+	}
+	if sm, _ := store.Get("db1/cpu"); sm.Invalidated {
+		t.Fatal("invalidated before minPoints matched observations")
+	}
+	for i := 2; i < 4; i++ {
+		ev.Observe("db1/cpu", t0.Add(time.Duration(i)*time.Hour), 500)
+	}
+	if sm, _ := store.Get("db1/cpu"); !sm.Invalidated {
+		t.Fatal("not invalidated once minPoints reached")
+	}
+}
+
+func TestEvaluatorUnmatchedReasons(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	o := obs.New(obs.Config{Metrics: true})
+	store := core.NewModelStore(core.StalePolicy{})
+	ev := NewEvaluator(store, 6, 3, o)
+
+	reason := func(r string) int64 {
+		return o.Registry().Counter("monitor_actuals_unmatched_total", obs.L("reason", r)).Value()
+	}
+
+	if v := ev.Observe("ghost/cpu", t0, 50); v.matched {
+		t.Fatal("matched a missing model")
+	}
+	if n := reason("no_model"); n != 1 {
+		t.Fatalf("no_model = %d", n)
+	}
+
+	store.Put("db1/cpu", &core.Result{TestScore: metrics.Score{RMSE: 2}})
+	ev.Observe("db1/cpu", t0, 50)
+	if n := reason("no_forecast"); n != 1 {
+		t.Fatalf("no_forecast = %d", n)
+	}
+
+	store.Put("db1/cpu", storedResult(t0, 100, 2))
+	ev.Observe("db1/cpu", t0.Add(-time.Hour), 50)
+	if n := reason("before_horizon"); n != 1 {
+		t.Fatalf("before_horizon = %d", n)
+	}
+
+	v := ev.Observe("db1/cpu", t0.Add(24*time.Hour), 50)
+	if !v.beyondHorizon || v.matched {
+		t.Fatalf("beyond-horizon verdict = %+v", v)
+	}
+	if n := reason("beyond_horizon"); n != 1 {
+		t.Fatalf("beyond_horizon = %d", n)
+	}
+}
+
+func TestEvaluatorResetClearsWindow(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	store := core.NewModelStore(core.StalePolicy{})
+	store.Put("db1/cpu", storedResult(t0, 100, 2))
+	ev := NewEvaluator(store, 6, 3, nil)
+	ev.Observe("db1/cpu", t0, 100)
+	if len(ev.Accuracy()) != 1 {
+		t.Fatal("expected one tracked window")
+	}
+	ev.Reset("db1/cpu")
+	if got := ev.Accuracy(); len(got) != 0 {
+		t.Fatalf("window survived reset: %+v", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Package monitor closes the paper's Figure 4 loop as a live service:
+// the model store keeps a champion "for one week or until the model's
+// RMSE drops to a point where it is rendered useless", and this package
+// is the part that notices. An online evaluator matches arriving actuals
+// against each stored champion's production forecast and maintains
+// rolling RMSE/MAPE/MAPA windows; when rolling error degrades past the
+// store's StalePolicy factor the champion is invalidated and a refit is
+// triggered. A capacity-headroom alerter walks each champion's forecast
+// horizon and raises pending→firing→resolved alerts when a metric is
+// predicted to cross its threshold within N hours — the "predict when a
+// threshold is likely to be breached" early warning, run continuously.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// RefitFunc re-learns the champion for a key, typically by re-running
+// the engine over the freshest repository window.
+type RefitFunc func(key string) (*core.Result, error)
+
+// Config assembles a Monitor.
+type Config struct {
+	// Store holds the champions being monitored; its StalePolicy decides
+	// degradation. Required.
+	Store *core.ModelStore
+	// Window is the rolling accuracy window in observations (0 → 24).
+	Window int
+	// MinPoints gates degradation checks (0 → max(3, Window/4)).
+	MinPoints int
+	// Rules lists the capacity-breach conditions to watch.
+	Rules []Rule
+	// PendingTicks / ResolveTicks tune the alert state machine (0 → 2).
+	PendingTicks, ResolveTicks int
+	// Refit re-learns an invalidated or horizon-exhausted champion; nil
+	// disables automatic refits (the store still marks models stale).
+	Refit RefitFunc
+	// Obs receives monitor logs, gauges and counters. nil disables.
+	Obs *obs.Observer
+}
+
+// Monitor is the continuous forecast-accuracy and capacity-headroom
+// watchdog. Safe for concurrent use.
+type Monitor struct {
+	store   *core.ModelStore
+	eval    *Evaluator
+	alerter *Alerter
+	refit   RefitFunc
+	obs     *obs.Observer
+}
+
+// New validates cfg and builds a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("monitor: nil model store")
+	}
+	return &Monitor{
+		store:   cfg.Store,
+		eval:    NewEvaluator(cfg.Store, cfg.Window, cfg.MinPoints, cfg.Obs),
+		alerter: NewAlerter(cfg.Rules, cfg.PendingTicks, cfg.ResolveTicks, cfg.Obs),
+		refit:   cfg.Refit,
+		obs:     cfg.Obs,
+	}, nil
+}
+
+// ObserveActual feeds one fresh actual for key at time `at`: the value
+// is scored against the stored champion's forecast, and a refit is
+// triggered when the champion degraded, aged out, or the actual fell
+// past the forecast horizon.
+func (m *Monitor) ObserveActual(key string, at time.Time, actual float64) {
+	v := m.eval.Observe(key, at, actual)
+	switch {
+	case v.beyondHorizon:
+		m.triggerRefit(key, "horizon")
+	case v.matched && !v.usable:
+		reason := "stale"
+		if sm, _ := m.store.Get(key); sm != nil && sm.Invalidated {
+			reason = "degraded"
+		}
+		m.triggerRefit(key, reason)
+	}
+}
+
+// triggerRefit re-learns the champion for key, stores the replacement
+// and resets the rolling window so the new model is scored afresh.
+func (m *Monitor) triggerRefit(key, reason string) {
+	if m.refit == nil {
+		return
+	}
+	began := time.Now()
+	res, err := m.refit(key)
+	if err != nil {
+		m.obs.Count("monitor_refit_errors_total", 1, obs.L("key", key))
+		m.obs.Error("refit failed", "key", key, "reason", reason, "err", err)
+		return
+	}
+	m.store.Put(key, res)
+	m.eval.Reset(key)
+	m.obs.Count("monitor_refits_total", 1, obs.L("reason", reason))
+	m.obs.Info("champion refitted", "key", key, "reason", reason,
+		"champion", res.Champion.Label, "rmse", res.TestScore.RMSE,
+		"dur", time.Since(began).Round(time.Millisecond))
+}
+
+// EvaluateAlerts walks every stored champion's forecast at time now and
+// advances the alert state machines.
+func (m *Monitor) EvaluateAlerts(now time.Time) {
+	for _, key := range m.store.Keys() {
+		sm, _ := m.store.Get(key)
+		if sm == nil || sm.Result == nil {
+			continue
+		}
+		m.alerter.Observe(key, now, sm.Result.Forecast)
+	}
+}
+
+// Accuracy returns the rolling-score snapshot (the /accuracy payload).
+func (m *Monitor) Accuracy() []AccuracyScore { return m.eval.Accuracy() }
+
+// Alerts returns the alert snapshot (the /alerts payload).
+func (m *Monitor) Alerts() []Alert { return m.alerter.Alerts() }
+
+// AccuracyHandler serves the rolling accuracy scores as a JSON array.
+func AccuracyHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Accuracy()) //nolint:errcheck // best-effort endpoint
+	})
+}
+
+// AlertsHandler serves the alert states as a JSON array.
+func AlertsHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Alerts()) //nolint:errcheck // best-effort endpoint
+	})
+}
+
+// Handlers returns the monitor's endpoint map, ready for
+// obs.MuxOptions.Extra.
+func (m *Monitor) Handlers() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/alerts":   AlertsHandler(m),
+		"/accuracy": AccuracyHandler(m),
+	}
+}

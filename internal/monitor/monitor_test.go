@@ -1,0 +1,196 @@
+package monitor
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// TestMonitorDriftEndToEnd closes the loop the ISSUE asks for: replay
+// Experiment-Two-style hourly CPU actuals against a real engine
+// champion, inject a level shift, and watch the monitor detect RMSE
+// degradation, invalidate the champion, trigger refits, and fire —
+// then resolve — a capacity-breach alert, all visible over /accuracy
+// and /alerts.
+func TestMonitorDriftEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays 144 simulated hours with real engine refits")
+	}
+	const key = "cdbm011/cpu"
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Daily-seasonal CPU utilisation with small deterministic noise —
+	// the shape of the paper's hourly experiments.
+	cpu := func(i int) float64 {
+		return 50 + 10*math.Sin(2*math.Pi*float64(i%24)/24) + 1.5*math.Sin(float64(i)*1.7)
+	}
+	const historyHours = 14 * 24
+	actuals := make([]float64, 0, historyHours+200)
+	for i := 0; i < historyHours; i++ {
+		actuals = append(actuals, cpu(i))
+	}
+
+	o := obs.New(obs.Config{Metrics: true})
+	simNow := t0.Add(historyHours * time.Hour)
+	store := core.NewModelStore(core.StalePolicy{DegradeFactor: 1.5})
+	store.SetObserver(o)
+	store.SetClock(func() time.Time { return simNow })
+
+	fit := func(vals []float64, start time.Time) (*core.Result, error) {
+		eng, err := core.NewEngine(core.Options{
+			Technique: core.TechniqueHES, Horizon: 24, MaxCandidates: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(timeseries.New(key, start, timeseries.Hourly, vals))
+	}
+	// Refits re-learn from the freshest 96 hours so the champion tracks
+	// regime changes quickly.
+	refits := 0
+	refit := func(string) (*core.Result, error) {
+		refits++
+		n, w := len(actuals), 96
+		if n < w {
+			w = n
+		}
+		start := t0.Add(time.Duration(n-w) * time.Hour)
+		return fit(append([]float64(nil), actuals[n-w:]...), start)
+	}
+
+	mon, err := New(Config{
+		Store: store, Window: 6, MinPoints: 3,
+		Rules:        []Rule{{Metric: "cpu", Threshold: 80, WithinHours: 24}},
+		PendingTicks: 2, ResolveTicks: 2,
+		Refit: refit, Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := fit(actuals, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(key, res)
+
+	// Replay: 6 clean hours, a 36-hour level shift to ~2.2× (peaks well
+	// past the 80% threshold), then enough clean hours for the refit
+	// window to drain the shifted regime again.
+	var sawFiring, sawResolved bool
+	for h := 0; h < 144; h++ {
+		v := cpu(historyHours + h)
+		if h >= 6 && h < 42 {
+			v *= 2.2
+		}
+		actuals = append(actuals, v)
+		at := simNow
+		simNow = simNow.Add(time.Hour)
+		mon.ObserveActual(key, at, v)
+		mon.EvaluateAlerts(simNow)
+		for _, al := range mon.Alerts() {
+			switch al.State {
+			case StateFiring:
+				sawFiring = true
+			case StateResolved:
+				if sawFiring {
+					sawResolved = true
+				}
+			}
+		}
+	}
+
+	if !sawFiring {
+		t.Error("capacity alert never fired during the level shift")
+	}
+	if !sawResolved {
+		t.Error("capacity alert never resolved after the shift ended")
+	}
+	if refits < 2 {
+		t.Errorf("refits = %d, want >= 2 (shift up and shift back)", refits)
+	}
+	reg := o.Registry()
+	if n := reg.CounterValue("modelstore_evictions_total"); n < 1 {
+		t.Errorf("modelstore_evictions_total = %d, want >= 1", n)
+	}
+	if n := reg.CounterValue("monitor_refits_total"); int(n) != refits {
+		t.Errorf("monitor_refits_total = %d, want %d", n, refits)
+	}
+
+	// The whole story must be visible over the unified endpoint.
+	mux := obs.NewServeMux(o, obs.MuxOptions{Extra: mon.Handlers()})
+	get := func(path string) []byte {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		return rec.Body.Bytes()
+	}
+	var scores []AccuracyScore
+	if err := json.Unmarshal(get("/accuracy"), &scores); err != nil {
+		t.Fatalf("/accuracy: %v", err)
+	}
+	if len(scores) != 1 || scores[0].Key != key || scores[0].Family != "HES" {
+		t.Fatalf("/accuracy = %+v", scores)
+	}
+	var alerts []struct {
+		Key     string    `json:"key"`
+		State   string    `json:"state"`
+		FiredAt time.Time `json:"fired_at"`
+	}
+	if err := json.Unmarshal(get("/alerts"), &alerts); err != nil {
+		t.Fatalf("/alerts: %v", err)
+	}
+	if len(alerts) != 1 || alerts[0].Key != key || alerts[0].FiredAt.IsZero() {
+		t.Fatalf("/alerts = %+v", alerts)
+	}
+}
+
+func TestMonitorRequiresStore(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+func TestMonitorRefitErrorCounted(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	o := obs.New(obs.Config{Metrics: true})
+	store := core.NewModelStore(core.StalePolicy{DegradeFactor: 1.5})
+	store.Put("db1/cpu", storedResult(t0, 100, 2))
+	mon, err := New(Config{
+		Store: store, Window: 6, MinPoints: 3, Obs: o,
+		Refit: func(string) (*core.Result, error) {
+			return nil, errRefit
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the champion: the failing refit must be counted, and the
+	// old (invalidated) champion left in place.
+	for i := 0; i < 3; i++ {
+		mon.ObserveActual("db1/cpu", t0.Add(time.Duration(i)*time.Hour), 500)
+	}
+	if n := o.Registry().CounterValue("monitor_refit_errors_total"); n < 1 {
+		t.Fatalf("monitor_refit_errors_total = %d, want >= 1", n)
+	}
+	if n := o.Registry().CounterValue("monitor_refits_total"); n != 0 {
+		t.Fatalf("monitor_refits_total = %d, want 0", n)
+	}
+	if sm, _ := store.Get("db1/cpu"); sm == nil || !sm.Invalidated {
+		t.Fatal("invalidated champion should remain stored after a failed refit")
+	}
+}
+
+var errRefit = &refitErr{}
+
+type refitErr struct{}
+
+func (*refitErr) Error() string { return "refit exploded" }

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, mux http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestServeMuxHealthz(t *testing.T) {
+	mux := NewServeMux(nil, MuxOptions{Started: time.Now().Add(-2 * time.Second)})
+	code, body := get(t, mux, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz code = %d", code)
+	}
+	var h struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if h.Status != "ok" || h.Uptime < 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestServeMuxReadyz(t *testing.T) {
+	var ready atomic.Bool
+	mux := NewServeMux(nil, MuxOptions{Ready: ready.Load})
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready code = %d, want 503", code)
+	}
+	ready.Store(true)
+	code, body := get(t, mux, "/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("ready = %d %q", code, body)
+	}
+	// Nil ready function means always ready.
+	if code, _ := get(t, NewServeMux(nil, MuxOptions{}), "/readyz"); code != http.StatusOK {
+		t.Fatalf("nil-ready code = %d", code)
+	}
+}
+
+func TestServeMuxMetricsIncludesRuntimeGauges(t *testing.T) {
+	o := New(Config{Metrics: true})
+	NewRuntimeCollector(o).Sample()
+	mux := NewServeMux(o, MuxOptions{})
+	code, body := get(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics code = %d", code)
+	}
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "process_uptime_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServeMuxTraceJSONL(t *testing.T) {
+	o := New(Config{Trace: true})
+	o.StartSpan("alpha").End()
+	o.StartSpan("beta").End()
+	mux := NewServeMux(o, MuxOptions{})
+	code, body := get(t, mux, "/trace?format=jsonl")
+	if code != http.StatusOK {
+		t.Fatalf("trace code = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		var span map[string]any
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("line %q not JSON: %v", line, err)
+		}
+	}
+}
+
+func TestServeMuxExtraAndPprof(t *testing.T) {
+	extra := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "custom")
+	})
+	mux := NewServeMux(nil, MuxOptions{Extra: map[string]http.Handler{"/alerts": extra}})
+	if code, body := get(t, mux, "/alerts"); code != http.StatusOK || body != "custom" {
+		t.Fatalf("extra endpoint = %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline code = %d", code)
+	}
+}
+
+func TestServeListensOverTCP(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0", NewServeMux(nil, MuxOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

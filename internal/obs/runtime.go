@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeCollector samples Go runtime health into an Observer's metrics
+// registry: goroutine count, heap bytes, GC pause quantiles and process
+// uptime. One Sample call records one point; Start runs Sample on a
+// ticker until the returned stop function is called. All methods are
+// nil-safe and nop without a registry, matching the rest of the package.
+type RuntimeCollector struct {
+	o       *Observer
+	started time.Time
+	// lastNumGC remembers how far into MemStats.PauseNs we have read, so
+	// each GC pause is observed exactly once.
+	lastNumGC uint32
+}
+
+// NewRuntimeCollector returns a collector bound to o, stamping the
+// process start for the uptime gauge.
+func NewRuntimeCollector(o *Observer) *RuntimeCollector {
+	return &RuntimeCollector{o: o, started: o.now()}
+}
+
+// Sample records one runtime snapshot:
+//
+//	go_goroutines              current goroutine count
+//	go_heap_alloc_bytes        live heap bytes
+//	go_heap_sys_bytes          heap bytes obtained from the OS
+//	go_gc_cycles_total         completed GC cycles
+//	go_gc_pause_seconds        histogram of individual GC pauses
+//	process_uptime_seconds     seconds since the collector was built
+func (c *RuntimeCollector) Sample() {
+	if c == nil || c.o == nil || c.o.reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.o.SetGauge("go_goroutines", float64(runtime.NumGoroutine()))
+	c.o.SetGauge("go_heap_alloc_bytes", float64(ms.HeapAlloc))
+	c.o.SetGauge("go_heap_sys_bytes", float64(ms.HeapSys))
+	c.o.SetGauge("go_gc_cycles_total", float64(ms.NumGC))
+	c.o.SetGauge("process_uptime_seconds", c.o.now().Sub(c.started).Seconds())
+	// PauseNs is a circular buffer of the most recent 256 pauses; replay
+	// only the cycles completed since the previous sample.
+	from := c.lastNumGC
+	if ms.NumGC > from+uint32(len(ms.PauseNs)) {
+		from = ms.NumGC - uint32(len(ms.PauseNs))
+	}
+	for i := from + 1; i <= ms.NumGC; i++ {
+		pause := ms.PauseNs[(i+uint32(len(ms.PauseNs))-1)%uint32(len(ms.PauseNs))]
+		c.o.Observe("go_gc_pause_seconds", time.Duration(pause).Seconds())
+	}
+	c.lastNumGC = ms.NumGC
+}
+
+// Start samples immediately and then every interval (0 → 5s) on a
+// background goroutine. The returned stop function halts the ticker and
+// waits for the loop to exit; it is safe to call once.
+func (c *RuntimeCollector) Start(interval time.Duration) (stop func()) {
+	if c == nil || c.o == nil || c.o.reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	c.Sample()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Sample()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}

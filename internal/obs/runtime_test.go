@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSample(t *testing.T) {
+	o := New(Config{Metrics: true})
+	c := NewRuntimeCollector(o)
+	runtime.GC() // guarantee at least one pause to record
+	c.Sample()
+	reg := o.Registry()
+	if v := reg.Gauge("go_goroutines").Value(); v < 1 {
+		t.Fatalf("go_goroutines = %v", v)
+	}
+	if v := reg.Gauge("go_heap_alloc_bytes").Value(); v <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %v", v)
+	}
+	if v := reg.Gauge("go_heap_sys_bytes").Value(); v <= 0 {
+		t.Fatalf("go_heap_sys_bytes = %v", v)
+	}
+	if v := reg.Gauge("process_uptime_seconds").Value(); v < 0 {
+		t.Fatalf("process_uptime_seconds = %v", v)
+	}
+	if n := reg.Histogram("go_gc_pause_seconds").Count(); n < 1 {
+		t.Fatalf("go_gc_pause_seconds count = %d, want >= 1", n)
+	}
+	// A second sample must not replay already-recorded pauses.
+	before := reg.Histogram("go_gc_pause_seconds").Count()
+	c.Sample()
+	after := reg.Histogram("go_gc_pause_seconds").Count()
+	if after < before {
+		t.Fatalf("pause count shrank: %d -> %d", before, after)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "go_gc_cycles_total") {
+		t.Fatal("exposition missing go_gc_cycles_total")
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	o := New(Config{Metrics: true})
+	stop := NewRuntimeCollector(o).Start(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	if v := o.Registry().Gauge("go_goroutines").Value(); v < 1 {
+		t.Fatalf("collector never sampled: go_goroutines = %v", v)
+	}
+}
+
+func TestRuntimeCollectorNilSafe(t *testing.T) {
+	// No registry → every call is a nop, including Start.
+	c := NewRuntimeCollector(nil)
+	c.Sample()
+	stop := c.Start(time.Millisecond)
+	stop()
+	var nilC *RuntimeCollector
+	nilC.Sample()
+}
