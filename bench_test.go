@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func BenchmarkTable2aOLAP(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(ds, benchOpt)
+		rows, err := experiments.Table2(context.Background(), ds, benchOpt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkTable2bOLTP(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(ds, benchOpt)
+		rows, err := experiments.Table2(context.Background(), ds, benchOpt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFigure6Predictions(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		charts, err := experiments.Figure6(ds, benchOpt)
+		charts, err := experiments.Figure6(context.Background(), ds, benchOpt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func BenchmarkFigure7Predictions(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		charts, err := experiments.Figure7(ds, benchOpt)
+		charts, err := experiments.Figure7(context.Background(), ds, benchOpt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func BenchmarkAblationSerialFit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(s); err != nil {
+		if _, err := eng.Run(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -221,7 +222,7 @@ func BenchmarkAblationParallelFit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(s); err != nil {
+		if _, err := eng.Run(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -240,7 +241,7 @@ func BenchmarkAblationExogOff(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(s); err != nil {
+		if _, err := eng.Run(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -314,7 +315,7 @@ func BenchmarkAblationHESFit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(s); err != nil {
+		if _, err := eng.Run(context.Background(), s); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -66,7 +67,7 @@ func main() {
 				results[i] = outcome{name: t.name, err: err}
 				return
 			}
-			res, err := eng.Run(series)
+			res, err := eng.Run(context.Background(), series)
 			if err != nil {
 				results[i] = outcome{name: t.name, err: err}
 				return

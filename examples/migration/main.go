@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -42,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := engine.Run(series)
+	res, err := engine.Run(context.Background(), series)
 	if err != nil {
 		log.Fatal(err)
 	}

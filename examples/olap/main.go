@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 
 	// Figure 6: the three families on CPU.
 	fmt.Println("\nfitting the three model families on cdbm011/cpu ...")
-	charts, err := experiments.Figure6(ds, opt)
+	charts, err := experiments.Figure6(context.Background(), ds, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Run(ds.Series["cdbm011/logical_iops"])
+	res, err := eng.Run(context.Background(), ds.Series["cdbm011/logical_iops"])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 
 	// Figure 7: SARIMAX + Exog + Fourier on the three metrics.
 	fmt.Println("\nfitting SARIMAX with Exogenous and Fourier terms on the three key metrics ...")
-	charts, err := experiments.Figure7(ds, opt)
+	charts, err := experiments.Figure7(context.Background(), ds, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := engine.Run(series)
+	result, err := engine.Run(context.Background(), series)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := engine.Run(series)
+	res, err := engine.Run(context.Background(), series)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -77,7 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := engine.Run(series)
+	res, err := engine.Run(context.Background(), series)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -68,7 +69,7 @@ func TestFullPipelineOLTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(ser)
+	res, err := eng.Run(context.Background(), ser)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestDailyGranularityPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(daily)
+	res, err := eng.Run(context.Background(), daily)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestBacktestOnSimulatedWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Backtest(ser, core.BacktestOptions{
+	res, err := core.Backtest(context.Background(), ser, core.BacktestOptions{
 		Engine: core.Options{Technique: core.TechniqueHES},
 		Folds:  3,
 	})

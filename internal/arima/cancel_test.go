@@ -1,0 +1,27 @@
+package arima
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestFitCanceledContext(t *testing.T) {
+	y := simulateARMA(200, []float64{0.6}, []float64{0.3}, 0, 1, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Fit(Spec{P: 1, D: 0, Q: 1}, y, nil, FitOptions{Ctx: ctx})
+	if err == nil {
+		t.Fatal("fit with a cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled wrap", err)
+	}
+}
+
+func TestFitNilContext(t *testing.T) {
+	y := simulateARMA(200, []float64{0.6}, nil, 0, 1, 8)
+	if _, err := Fit(Spec{P: 1, D: 0, Q: 0}, y, nil, FitOptions{}); err != nil {
+		t.Fatalf("fit without a context failed: %v", err)
+	}
+}

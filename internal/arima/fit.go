@@ -1,6 +1,7 @@
 package arima
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,6 +72,12 @@ type FitOptions struct {
 	TolF float64
 	// Method selects CSS (default) or exact-likelihood estimation.
 	Method FitMethod
+	// Ctx carries cancellation and a per-fit deadline into the optimiser:
+	// the simplex search aborts cooperatively once the context is done and
+	// Fit returns an error wrapping the context's cause, so callers can
+	// errors.Is on context.DeadlineExceeded / context.Canceled. nil means
+	// no cancellation.
+	Ctx context.Context
 	// Obs receives fit counters and debug logs (nil disables).
 	Obs *obs.Observer
 }
@@ -212,6 +219,9 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 		return css
 	}
 
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return nil, fmt.Errorf("arima: fit aborted: %w", opt.Ctx.Err())
+	}
 	var result optimize.Result
 	if nParams == 0 {
 		// Pure differencing model (e.g. (0,1,0)): nothing to optimise.
@@ -220,7 +230,11 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 		result = optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
 			MaxIter: opt.MaxIter,
 			TolF:    opt.TolF,
+			Abort:   optimize.ContextAbort(opt.Ctx),
 		})
+	}
+	if result.Aborted {
+		return nil, fmt.Errorf("arima: fit aborted: %w", optimize.AbortCause(opt.Ctx))
 	}
 
 	c, ar, ma, sar, sma, beta := unpack(result.X)

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -10,8 +11,9 @@ import (
 	"repro/internal/obs"
 )
 
-// Benchtables regenerates the paper's tables and figures.
-func Benchtables(args []string, stdout io.Writer) error {
+// Benchtables regenerates the paper's tables and figures. ctx cancels
+// the engine sweeps behind the tables and prediction charts.
+func Benchtables(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	table := fs.String("table", "", "table to regenerate: 2a or 2b")
@@ -38,13 +40,13 @@ func Benchtables(args []string, stdout io.Writer) error {
 	opt := experiments.Options{Days: *days, Seed: *seed, MaxCandidates: *maxCand, Obs: o}
 	ran := false
 	if *all || *table == "2a" {
-		if err := printTable(stdout, experiments.OLAP, "Table 2(a) — Experiment Results - OLAP", opt); err != nil {
+		if err := printTable(ctx, stdout, experiments.OLAP, "Table 2(a) — Experiment Results - OLAP", opt); err != nil {
 			return err
 		}
 		ran = true
 	}
 	if *all || *table == "2b" {
-		if err := printTable(stdout, experiments.OLTP, "Table 2(b) — Experiment Results - OLTP", opt); err != nil {
+		if err := printTable(ctx, stdout, experiments.OLTP, "Table 2(b) — Experiment Results - OLTP", opt); err != nil {
 			return err
 		}
 		ran = true
@@ -70,13 +72,13 @@ func Benchtables(args []string, stdout io.Writer) error {
 		ran = true
 	}
 	if *all || *fig == "6" {
-		if err := printFigure6(stdout, opt); err != nil {
+		if err := printFigure6(ctx, stdout, opt); err != nil {
 			return err
 		}
 		ran = true
 	}
 	if *all || *fig == "7" {
-		if err := printFigure7(stdout, opt); err != nil {
+		if err := printFigure7(ctx, stdout, opt); err != nil {
 			return err
 		}
 		ran = true
@@ -89,13 +91,13 @@ func Benchtables(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func printTable(w io.Writer, kind experiments.Kind, title string, opt experiments.Options) error {
+func printTable(ctx context.Context, w io.Writer, kind experiments.Kind, title string, opt experiments.Options) error {
 	section(w, title)
 	ds, err := experiments.Build(kind, opt)
 	if err != nil {
 		return err
 	}
-	rows, err := experiments.Table2(ds, opt)
+	rows, err := experiments.Table2(ctx, ds, opt)
 	if err != nil {
 		return err
 	}
@@ -144,13 +146,13 @@ func printWorkloadFigure(w io.Writer, kind experiments.Kind, title string, opt e
 	return nil
 }
 
-func printFigure6(w io.Writer, opt experiments.Options) error {
+func printFigure6(ctx context.Context, w io.Writer, opt experiments.Options) error {
 	section(w, "Figure 6 — Experiment 1: Prediction charts Comparing Three ARIMA Techniques (cdbm011/cpu)")
 	ds, err := experiments.Build(experiments.OLAP, opt)
 	if err != nil {
 		return err
 	}
-	charts, err := experiments.Figure6(ds, opt)
+	charts, err := experiments.Figure6(ctx, ds, opt)
 	if err != nil {
 		return err
 	}
@@ -158,13 +160,13 @@ func printFigure6(w io.Writer, opt experiments.Options) error {
 	return nil
 }
 
-func printFigure7(w io.Writer, opt experiments.Options) error {
+func printFigure7(ctx context.Context, w io.Writer, opt experiments.Options) error {
 	section(w, "Figure 7 — Experiment 2: Prediction Charts Using SARIMAX with Exogenous and Fourier Terms")
 	ds, err := experiments.Build(experiments.OLTP, opt)
 	if err != nil {
 		return err
 	}
-	charts, err := experiments.Figure7(ds, opt)
+	charts, err := experiments.Figure7(ctx, ds, opt)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,14 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/chart"
 	"repro/internal/core"
@@ -19,10 +21,11 @@ import (
 // Capplan runs the end-to-end capacity-planning service: simulate →
 // monitor → forecast every instance/metric → store champions → threshold
 // early warning. `capplan serve` switches to the long-running service
-// mode (see CapplanServe).
-func Capplan(args []string, stdout io.Writer) error {
+// mode (see CapplanServe). ctx cancels in-flight model fits; the cmd
+// main wires it to SIGINT/SIGTERM.
+func Capplan(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "serve" {
-		return CapplanServe(args[1:], stdout)
+		return CapplanServe(ctx, args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
 	fs.SetOutput(stdout)
@@ -33,6 +36,7 @@ func Capplan(args []string, stdout io.Writer) error {
 	horizon := fs.Int("horizon", 24, "forecast hours")
 	thresholdCPU := fs.Float64("threshold-cpu", 0, "CPU % SLA threshold to check (0 = off)")
 	maxCand := fs.Int("max-candidates", 12, "candidate models per series")
+	fitTimeout := fs.Duration("fit-timeout", 0, "per-candidate fit deadline (0 = no limit)")
 	saveRepo := fs.String("save-repo", "", "write the collected metric repository to this file (gob)")
 	loadRepo := fs.String("load-repo", "", "plan from a previously saved repository instead of simulating")
 	report := fs.Bool("report", false, "print the full engine report per series")
@@ -53,7 +57,7 @@ func Capplan(args []string, stdout io.Writer) error {
 		defer ln.Close()
 	}
 	if *loadRepo != "" {
-		return capplanFromRepo(stdout, *loadRepo, tech, *horizon, *maxCand, of, o)
+		return capplanFromRepo(ctx, stdout, *loadRepo, tech, *horizon, *maxCand, *fitTimeout, of, o)
 	}
 
 	fmt.Fprintf(stdout, "collecting %d days of %s workload (agent: 15-minute polls, hourly aggregation)...\n", *days, *exp)
@@ -86,6 +90,7 @@ func Capplan(args []string, stdout io.Writer) error {
 		Technique:     tech,
 		Horizon:       *horizon,
 		MaxCandidates: *maxCand,
+		FitTimeout:    *fitTimeout,
 		Obs:           o,
 	})
 	if err != nil {
@@ -99,8 +104,11 @@ func Capplan(args []string, stdout io.Writer) error {
 	sort.Strings(keys)
 
 	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ser := ds.Series[key]
-		res, err := eng.Run(ser)
+		res, err := eng.Run(ctx, ser)
 		if err != nil {
 			fmt.Fprintf(stdout, "\n=== %s: SKIPPED (%v)\n", key, err)
 			continue
@@ -147,7 +155,7 @@ func Capplan(args []string, stdout io.Writer) error {
 // capplanFromRepo plans from a persisted repository: load → RunFleet →
 // summarise. This is the operational restart path — the agent keeps
 // appending to the repository file between runs.
-func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon, maxCand int, of *obsFlags, o *obs.Observer) error {
+func capplanFromRepo(ctx context.Context, stdout io.Writer, path string, tech core.Technique, horizon, maxCand int, fitTimeout time.Duration, of *obsFlags, o *obs.Observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -183,8 +191,8 @@ func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon
 
 	store := core.NewModelStore(core.StalePolicy{})
 	store.SetObserver(o)
-	res, err := core.RunFleet(repo, first, last, core.FleetOptions{
-		Engine: core.Options{Technique: tech, Horizon: horizon, MaxCandidates: maxCand},
+	res, err := core.RunFleet(ctx, repo, first, last, core.FleetOptions{
+		Engine: core.Options{Technique: tech, Horizon: horizon, MaxCandidates: maxCand, FitTimeout: fitTimeout},
 		Freq:   timeseries.Hourly,
 		Store:  store,
 		Obs:    o,
@@ -192,7 +200,12 @@ func capplanFromRepo(stdout io.Writer, path string, tech core.Technique, horizon
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "fleet run: %d trained, %d failed in %v\n\n", res.Trained, res.Failed, res.Elapsed.Round(1e6))
+	if res.Canceled {
+		fmt.Fprintf(stdout, "fleet run CANCELED: %d trained, %d failed, %d unprocessed in %v\n\n",
+			res.Trained, res.Failed, res.Unprocessed, res.Elapsed.Round(1e6))
+	} else {
+		fmt.Fprintf(stdout, "fleet run: %d trained, %d failed in %v\n\n", res.Trained, res.Failed, res.Elapsed.Round(1e6))
+	}
 	for _, item := range res.Items {
 		if item.Err != nil {
 			fmt.Fprintf(stdout, "%-28s FAILED in %v: %v\n", item.Key, item.Elapsed.Round(1e6), item.Err)

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestCapplanSaveThenLoadRepo(t *testing.T) {
 	repoFile := filepath.Join(dir, "repo.gob")
 
 	var out bytes.Buffer
-	err := Capplan([]string{
+	err := Capplan(context.Background(), []string{
 		"-exp", "olap", "-days", "14", "-technique", "hes", "-save-repo", repoFile,
 	}, &out)
 	if err != nil {
@@ -26,7 +27,7 @@ func TestCapplanSaveThenLoadRepo(t *testing.T) {
 	}
 
 	out.Reset()
-	err = Capplan([]string{
+	err = Capplan(context.Background(), []string{
 		"-load-repo", repoFile, "-technique", "hes", "-max-candidates", "4",
 	}, &out)
 	if err != nil {
@@ -46,7 +47,7 @@ func TestCapplanSaveThenLoadRepo(t *testing.T) {
 
 func TestCapplanLoadRepoMissingFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := Capplan([]string{"-load-repo", "/nonexistent.gob"}, &out); err == nil {
+	if err := Capplan(context.Background(), []string{"-load-repo", "/nonexistent.gob"}, &out); err == nil {
 		t.Fatal("missing repo file should fail")
 	}
 }
@@ -54,12 +55,12 @@ func TestCapplanLoadRepoMissingFile(t *testing.T) {
 func TestTsfitExactSpec(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := Wgen([]string{"-exp", "olap", "-days", "14", "-out", dir}, &out); err != nil {
+	if err := Wgen(context.Background(), []string{"-exp", "olap", "-days", "14", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
 	in := filepath.Join(dir, "cdbm012_cpu.csv")
-	err := Tsfit([]string{"-in", in, "-spec", "(1,1,1)(0,1,1,24)", "-horizon", "6"}, &out)
+	err := Tsfit(context.Background(), []string{"-in", in, "-spec", "(1,1,1)(0,1,1,24)", "-horizon", "6"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestTsfitExactSpec(t *testing.T) {
 func TestTsfitBadSpec(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := Wgen([]string{"-exp", "olap", "-days", "7", "-out", dir}, &out); err != nil {
+	if err := Wgen(context.Background(), []string{"-exp", "olap", "-days", "7", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	in := filepath.Join(dir, "cdbm011_cpu.csv")
-	if err := Tsfit([]string{"-in", in, "-spec", "garbage"}, &out); err == nil {
+	if err := Tsfit(context.Background(), []string{"-in", in, "-spec", "garbage"}, &out); err == nil {
 		t.Fatal("bad spec should fail")
 	}
 }

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,7 +23,7 @@ func TestParseTechnique(t *testing.T) {
 func TestWgenWritesCSVs(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	err := Wgen([]string{"-exp", "olap", "-days", "3", "-out", dir, "-plot"}, &out)
+	err := Wgen(context.Background(), []string{"-exp", "olap", "-days", "3", "-out", dir, "-plot"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,14 +49,14 @@ func TestWgenWritesCSVs(t *testing.T) {
 
 func TestWgenUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := Wgen([]string{"-exp", "nope", "-days", "3"}, &out); err == nil {
+	if err := Wgen(context.Background(), []string{"-exp", "nope", "-days", "3"}, &out); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
 }
 
 func TestWgenBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := Wgen([]string{"-definitely-not-a-flag"}, &out); err == nil {
+	if err := Wgen(context.Background(), []string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Fatal("bad flag should fail")
 	}
 }
@@ -64,12 +65,12 @@ func TestTsfitEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
 	// Generate a small dataset first.
-	if err := Wgen([]string{"-exp", "olap", "-days", "14", "-out", dir}, &out); err != nil {
+	if err := Wgen(context.Background(), []string{"-exp", "olap", "-days", "14", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
 	in := filepath.Join(dir, "cdbm012_cpu.csv")
-	err := Tsfit([]string{"-in", in, "-technique", "hes", "-top", "3"}, &out)
+	err := Tsfit(context.Background(), []string{"-in", in, "-technique", "hes", "-top", "3"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +84,10 @@ func TestTsfitEndToEnd(t *testing.T) {
 
 func TestTsfitMissingInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := Tsfit(nil, &out); err == nil {
+	if err := Tsfit(context.Background(), nil, &out); err == nil {
 		t.Fatal("missing -in should fail")
 	}
-	if err := Tsfit([]string{"-in", "/nonexistent.csv"}, &out); err == nil {
+	if err := Tsfit(context.Background(), []string{"-in", "/nonexistent.csv"}, &out); err == nil {
 		t.Fatal("unreadable input should fail")
 	}
 }
@@ -98,7 +99,7 @@ func TestCapplanRunsAndSavesRepo(t *testing.T) {
 	dir := t.TempDir()
 	repoFile := filepath.Join(dir, "repo.gob")
 	var out bytes.Buffer
-	err := Capplan([]string{
+	err := Capplan(context.Background(), []string{
 		"-exp", "olap", "-days", "14", "-technique", "hes",
 		"-threshold-cpu", "60", "-save-repo", repoFile,
 	}, &out)
@@ -122,21 +123,21 @@ func TestCapplanRunsAndSavesRepo(t *testing.T) {
 
 func TestCapplanBadTechnique(t *testing.T) {
 	var out bytes.Buffer
-	if err := Capplan([]string{"-technique", "nope"}, &out); err == nil {
+	if err := Capplan(context.Background(), []string{"-technique", "nope"}, &out); err == nil {
 		t.Fatal("bad technique should fail")
 	}
 }
 
 func TestBenchtablesSelectionRequired(t *testing.T) {
 	var out bytes.Buffer
-	if err := Benchtables(nil, &out); err == nil {
+	if err := Benchtables(context.Background(), nil, &out); err == nil {
 		t.Fatal("no selection should fail")
 	}
 }
 
 func TestBenchtablesFigure1(t *testing.T) {
 	var out bytes.Buffer
-	err := Benchtables([]string{"-fig", "1", "-days", "7", "-max-candidates", "4"}, &out)
+	err := Benchtables(context.Background(), []string{"-fig", "1", "-days", "7", "-max-candidates", "4"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestBenchtablesTable2aReduced(t *testing.T) {
 		t.Skip("slow")
 	}
 	var out bytes.Buffer
-	err := Benchtables([]string{"-table", "2a", "-days", "10", "-max-candidates", "4"}, &out)
+	err := Benchtables(context.Background(), []string{"-table", "2a", "-days", "10", "-max-candidates", "4"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

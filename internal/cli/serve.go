@@ -27,8 +27,10 @@ import (
 // the monitor scores live forecast accuracy, invalidates and refits
 // degraded champions, and raises capacity-breach alerts. The unified
 // observability endpoint serves /healthz, /readyz, /metrics, /trace,
-// /alerts, /accuracy and /debug/pprof throughout.
-func CapplanServe(args []string, stdout io.Writer) error {
+// /alerts, /accuracy and /debug/pprof throughout. ctx is the service
+// lifetime: the cmd main wires it to SIGINT/SIGTERM, and cancellation
+// reaches every in-flight candidate fit for a prompt, clean exit.
+func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("capplan serve", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	exp := fs.String("exp", "oltp", "workload: olap or oltp")
@@ -37,6 +39,7 @@ func CapplanServe(args []string, stdout io.Writer) error {
 	technique := fs.String("technique", "sarimax", "model family: sarimax, hes, arima or tbats")
 	horizon := fs.Int("horizon", 24, "forecast hours per champion")
 	maxCand := fs.Int("max-candidates", 8, "candidate models per series")
+	fitTimeout := fs.Duration("fit-timeout", 30*time.Second, "per-candidate fit deadline (0 = no limit); a service must not let one optimisation wedge a worker")
 	failRate := fs.Float64("agent-failure-rate", 0.01, "probability an agent poll is missed")
 	hours := fs.Int("hours", 0, "simulated hours to replay (0 = run until interrupted)")
 	tick := fs.Duration("tick", time.Second, "wall-clock pause per simulated hour (0 = replay as fast as possible)")
@@ -73,7 +76,12 @@ func CapplanServe(args []string, stdout io.Writer) error {
 	stopRT := obs.NewRuntimeCollector(o).Start(5 * time.Second)
 	defer stopRT()
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Parent on the caller's ctx so a cancellation from the cmd main and
+	// a direct signal both stop the loop.
+	ctx, cancel := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	// The store's clock follows simulated time, so the paper's one-week
@@ -100,7 +108,7 @@ func CapplanServe(args []string, stdout io.Writer) error {
 	trainWindow := time.Duration(*days) * 24 * time.Hour
 	// refit re-learns a champion from the freshest repository window; the
 	// replay loop calls it synchronously via the monitor.
-	refit := func(key string) (*core.Result, error) {
+	refit := func(rctx context.Context, key string) (*core.Result, error) {
 		i := strings.LastIndexByte(key, '/')
 		if i < 0 {
 			return nil, fmt.Errorf("serve: malformed key %q", key)
@@ -115,12 +123,13 @@ func CapplanServe(args []string, stdout io.Writer) error {
 			return nil, err
 		}
 		eng, err := core.NewEngine(core.Options{
-			Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, Obs: o,
+			Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand,
+			FitTimeout: *fitTimeout, Obs: o,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return eng.Run(ser)
+		return eng.Run(rctx, ser)
 	}
 
 	mon, err := monitor.New(monitor.Config{
@@ -160,14 +169,19 @@ func CapplanServe(args []string, stdout io.Writer) error {
 	startAt = ds.Start
 	simClock.Store(ds.End.Unix())
 
-	res, err := core.RunFleet(repo, ds.Start, ds.End, core.FleetOptions{
-		Engine: core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand},
+	res, err := core.RunFleet(ctx, repo, ds.Start, ds.End, core.FleetOptions{
+		Engine: core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, FitTimeout: *fitTimeout},
 		Freq:   timeseries.Hourly,
 		Store:  store,
 		Obs:    o,
 	})
 	if err != nil {
 		return err
+	}
+	if res.Canceled {
+		fmt.Fprintf(stdout, "initial training canceled: %d trained, %d unprocessed — shutting down\n",
+			res.Trained, res.Unprocessed)
+		return nil
 	}
 	fmt.Fprintf(stdout, "initial training: %d trained, %d failed in %v\n",
 		res.Trained, res.Failed, res.Elapsed.Round(time.Millisecond))
@@ -202,7 +216,7 @@ func CapplanServe(args []string, stdout io.Writer) error {
 			if serr != nil || ser.Len() == 0 || math.IsNaN(ser.Values[0]) {
 				continue
 			}
-			mon.ObserveActual(k.String(), simNow, ser.Values[0])
+			mon.ObserveActual(ctx, k.String(), simNow, ser.Values[0])
 		}
 		mon.EvaluateAlerts(next)
 		simNow = next

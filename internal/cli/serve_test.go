@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -17,7 +18,7 @@ func TestCapplanServeReplaysAndDumps(t *testing.T) {
 		t.Skip("trains a fleet and replays simulated hours")
 	}
 	var out bytes.Buffer
-	err := Capplan([]string{
+	err := Capplan(context.Background(), []string{
 		"serve",
 		"-exp", "oltp",
 		"-days", "10",
@@ -76,7 +77,7 @@ func TestCapplanServeEndpointLive(t *testing.T) {
 	var out syncBuffer
 	done := make(chan error, 1)
 	go func() {
-		done <- Capplan([]string{
+		done <- Capplan(context.Background(), []string{
 			"serve",
 			"-exp", "oltp",
 			"-days", "10",
@@ -161,12 +162,64 @@ func TestCapplanServeEndpointLive(t *testing.T) {
 	}
 }
 
+// TestCapplanServeCtxCancel cancels the caller's context mid-replay —
+// the path a SIGTERM takes through the cmd main — and expects a clean
+// (error-free) exit well inside a shutdown grace period.
+func TestCapplanServeCtxCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a fleet and replays simulated hours")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Capplan(ctx, []string{
+			"serve",
+			"-exp", "oltp",
+			"-days", "10",
+			"-seed", "7",
+			"-technique", "hes",
+			"-max-candidates", "4",
+			"-hours", "0", // run until cancelled
+			"-tick", "10ms",
+			"-listen", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	// Wait for the replay loop, then cancel like a signal would.
+	deadline := time.Now().Add(60 * time.Second)
+	for !strings.Contains(out.String(), "ready — replaying") {
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before ready: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never became ready:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled serve returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("serve did not exit within 10s of cancellation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "replayed") {
+		t.Errorf("shutdown summary missing from output:\n%s", out.String())
+	}
+}
+
 func TestCapplanServeBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := Capplan([]string{"serve", "-bogus"}, &out); err == nil {
+	if err := Capplan(context.Background(), []string{"serve", "-bogus"}, &out); err == nil {
 		t.Fatal("bogus flag accepted")
 	}
-	if err := CapplanServe([]string{"-technique", "nope"}, &out); err == nil {
+	if err := CapplanServe(context.Background(), []string{"-technique", "nope"}, &out); err == nil {
 		t.Fatal("bogus technique accepted")
 	}
 }

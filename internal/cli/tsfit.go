@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -14,8 +15,9 @@ import (
 )
 
 // Tsfit runs the single-series fit command: read a CSV series, run the
-// learning engine, print the leaderboard, forecast and chart.
-func Tsfit(args []string, stdout io.Writer) error {
+// learning engine, print the leaderboard, forecast and chart. ctx
+// cancels in-flight candidate fits.
+func Tsfit(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tsfit", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	in := fs.String("in", "", "input CSV file (timestamp,value)")
@@ -23,6 +25,7 @@ func Tsfit(args []string, stdout io.Writer) error {
 	horizon := fs.Int("horizon", 0, "forecast steps (0 = Table 1 default for the frequency)")
 	level := fs.Float64("level", 0.95, "prediction-interval coverage")
 	maxCand := fs.Int("max-candidates", 24, "candidate models to evaluate")
+	fitTimeout := fs.Duration("fit-timeout", 0, "per-candidate fit deadline (0 = no limit)")
 	top := fs.Int("top", 5, "leaderboard length to print")
 	spec := fs.String("spec", "", `fit this exact SARIMA order instead of searching, e.g. "(13,1,2)(1,1,1,24)"`)
 	of := addObsFlags(fs)
@@ -61,12 +64,13 @@ func Tsfit(args []string, stdout io.Writer) error {
 		Horizon:       *horizon,
 		Level:         *level,
 		MaxCandidates: *maxCand,
+		FitTimeout:    *fitTimeout,
 		Obs:           o,
 	})
 	if err != nil {
 		return err
 	}
-	res, err := eng.Run(ser)
+	res, err := eng.Run(ctx, ser)
 	if err != nil {
 		return err
 	}

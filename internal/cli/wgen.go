@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,7 +17,8 @@ import (
 
 // Wgen runs the workload-generator command: simulate an experiment
 // workload, collect it through the agent, and export per-series CSVs.
-func Wgen(args []string, stdout io.Writer) error {
+// ctx stops the export loop between series.
+func Wgen(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgen", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	exp := fs.String("exp", "olap", "experiment workload: olap (Experiment One) or oltp (Experiment Two)")
@@ -55,6 +57,9 @@ func Wgen(args []string, stdout io.Writer) error {
 	}
 	sort.Strings(keys)
 	for _, key := range keys {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ser := ds.Series[key]
 		name := strings.ReplaceAll(key, "/", "_") + ".csv"
 		path := filepath.Join(*out, name)

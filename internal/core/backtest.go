@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,8 +50,9 @@ type BacktestResult struct {
 // Backtest runs a rolling-origin evaluation of the engine on a series:
 // for each fold the engine trains on data up to the origin, forecasts
 // the next horizon observations, and is scored against the actuals; the
-// origin then advances by one horizon.
-func Backtest(s *timeseries.Series, opt BacktestOptions) (*BacktestResult, error) {
+// origin then advances by one horizon. Cancelling ctx aborts the
+// in-flight fold and fails the backtest.
+func Backtest(ctx context.Context, s *timeseries.Series, opt BacktestOptions) (*BacktestResult, error) {
 	work := s.Clone()
 	if work.HasMissing() {
 		if _, err := work.Interpolate(); err != nil {
@@ -103,7 +105,7 @@ func Backtest(s *timeseries.Series, opt BacktestOptions) (*BacktestResult, error
 
 		fsp := root.Child("fold")
 		fsp.Set("origin", origin)
-		runRes, err := eng.WithParentSpan(fsp).Run(trainSer)
+		runRes, err := eng.WithParentSpan(fsp).Run(ctx, trainSer)
 		if err != nil {
 			err = fmt.Errorf("core: backtest fold %d: %w", f, err)
 			fsp.Fail(err)

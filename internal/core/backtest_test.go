@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestBacktestRollingOrigins(t *testing.T) {
 	s := seasonalTrending(11)
-	res, err := Backtest(s, BacktestOptions{
+	res, err := Backtest(context.Background(), s, BacktestOptions{
 		Engine: Options{Technique: TechniqueHES},
 		Folds:  3,
 	})
@@ -46,7 +47,7 @@ func TestBacktestRollingOrigins(t *testing.T) {
 
 func TestBacktestTooShort(t *testing.T) {
 	s := timeseries.New("s", t0, timeseries.Hourly, make([]float64, 100))
-	if _, err := Backtest(s, BacktestOptions{Engine: Options{Technique: TechniqueHES}, Folds: 5}); err == nil {
+	if _, err := Backtest(context.Background(), s, BacktestOptions{Engine: Options{Technique: TechniqueHES}, Folds: 5}); err == nil {
 		t.Fatal("short series should fail")
 	}
 }
@@ -54,14 +55,14 @@ func TestBacktestTooShort(t *testing.T) {
 func TestBacktestRepairsGaps(t *testing.T) {
 	s := seasonalTrending(12)
 	s.Values[100] = math.NaN()
-	if _, err := Backtest(s, BacktestOptions{Engine: Options{Technique: TechniqueHES}, Folds: 2}); err != nil {
+	if _, err := Backtest(context.Background(), s, BacktestOptions{Engine: Options{Technique: TechniqueHES}, Folds: 2}); err != nil {
 		t.Fatalf("backtest should repair gaps: %v", err)
 	}
 }
 
 func TestBacktestCustomHorizon(t *testing.T) {
 	s := seasonalTrending(13)
-	res, err := Backtest(s, BacktestOptions{
+	res, err := Backtest(context.Background(), s, BacktestOptions{
 		Engine:  Options{Technique: TechniqueHES},
 		Horizon: 12,
 		Folds:   2,
@@ -79,7 +80,7 @@ func TestReportContents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(14))
+	res, err := e.Run(context.Background(), seasonalTrending(14))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestEngineTBATSBranch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(s)
+	res, err := e.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

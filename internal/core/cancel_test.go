@@ -1,0 +1,235 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+func TestEngineRunCanceledContext(t *testing.T) {
+	e, err := NewEngine(Options{Technique: TechniqueHES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, seasonalTrending(11)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled ctx = %v, want context.Canceled wrap", err)
+	}
+}
+
+func TestEngineRunNilContext(t *testing.T) {
+	e, err := NewEngine(Options{Technique: TechniqueHES, MaxCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(nil, seasonalTrending(12)); err != nil { //nolint:staticcheck // nil ctx tolerance is part of the contract
+		t.Fatalf("Run with nil ctx failed: %v", err)
+	}
+}
+
+// TestEvaluateCancelNoDeadlock cancels the run from inside the first
+// candidate fit: the producer's send must select on ctx.Done, so the
+// run returns promptly instead of deadlocking on the jobs channel.
+func TestEvaluateCancelNoDeadlock(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := obs.New(obs.Config{Metrics: true})
+	e, err := NewEngine(Options{
+		Technique: TechniqueHES,
+		Workers:   1,
+		Obs:       o,
+		fitHook: func(fctx context.Context, label string) error {
+			cancel()
+			return fctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, rerr := e.Run(ctx, seasonalTrending(13))
+		done <- rerr
+	}()
+	select {
+	case rerr := <-done:
+		if !errors.Is(rerr, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled wrap", rerr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked after mid-evaluate cancellation")
+	}
+	if n := o.Registry().CounterValue("fit_errors_total"); n < 1 {
+		t.Fatalf("fit_errors_total = %d, want >= 1", n)
+	}
+}
+
+// TestFitTimeoutIsolatesSlowCandidate wedges one candidate until its
+// per-fit deadline fires and checks the champion still comes from the
+// surviving candidates, with the timeout visible in the cause-labelled
+// error counter.
+func TestFitTimeoutIsolatesSlowCandidate(t *testing.T) {
+	const slow = "HES SES"
+	o := obs.New(obs.Config{Metrics: true})
+	e, err := NewEngine(Options{
+		Technique:  TechniqueHES,
+		FitTimeout: 200 * time.Millisecond,
+		Obs:        o,
+		fitHook: func(fctx context.Context, label string) error {
+			if label != slow {
+				return nil
+			}
+			<-fctx.Done() // a runaway optimisation, stopped only by the deadline
+			return fmt.Errorf("slow fit aborted: %w", fctx.Err())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), seasonalTrending(14))
+	if err != nil {
+		t.Fatalf("run failed outright: %v", err)
+	}
+	if res.Champion.Label == slow {
+		t.Fatalf("timed-out candidate %q won", slow)
+	}
+	var timedOut *CandidateResult
+	for i := range res.Candidates {
+		if res.Candidates[i].Label == slow {
+			timedOut = &res.Candidates[i]
+		}
+	}
+	if timedOut == nil || timedOut.Err == nil {
+		t.Fatalf("slow candidate not recorded as failed: %+v", timedOut)
+	}
+	if !errors.Is(timedOut.Err, context.DeadlineExceeded) {
+		t.Fatalf("slow candidate err = %v, want DeadlineExceeded wrap", timedOut.Err)
+	}
+	reg := o.Registry()
+	if n := reg.Counter("fit_errors_total", obs.L("cause", "timeout")).Value(); n != 1 {
+		t.Fatalf("fit_errors_total{cause=timeout} = %d, want 1", n)
+	}
+}
+
+func TestPanickingCandidateIsolated(t *testing.T) {
+	const bomb = "HES Holt"
+	o := obs.New(obs.Config{Metrics: true})
+	e, err := NewEngine(Options{
+		Technique: TechniqueHES,
+		Obs:       o,
+		fitHook: func(fctx context.Context, label string) error {
+			if label == bomb {
+				panic("numerical blow-up")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), seasonalTrending(15))
+	if err != nil {
+		t.Fatalf("one panicking candidate killed the run: %v", err)
+	}
+	if res.Champion.Label == bomb {
+		t.Fatalf("panicking candidate %q won", bomb)
+	}
+	var failed *CandidateResult
+	for i := range res.Candidates {
+		if res.Candidates[i].Label == bomb {
+			failed = &res.Candidates[i]
+		}
+	}
+	if failed == nil || failed.Err == nil || !strings.Contains(failed.Err.Error(), "panicked") {
+		t.Fatalf("panicking candidate not recorded: %+v", failed)
+	}
+	reg := o.Registry()
+	if n := reg.CounterValue("fit_panics_total"); n != 1 {
+		t.Fatalf("fit_panics_total = %d, want 1", n)
+	}
+	if n := reg.Counter("fit_errors_total", obs.L("cause", "error")).Value(); n != 1 {
+		t.Fatalf("fit_errors_total{cause=error} = %d, want 1", n)
+	}
+}
+
+// cancelOnLog cancels a context the first time the log stream mentions
+// the trigger string — a deterministic way to stop a fleet run right
+// after its first workload trains.
+type cancelOnLog struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	trigger string
+	cancel  context.CancelFunc
+	fired   bool
+}
+
+func (w *cancelOnLog) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.fired && strings.Contains(w.buf.String(), w.trigger) {
+		w.fired = true
+		w.cancel()
+	}
+	return len(p), nil
+}
+
+func TestRunFleetCancelPartial(t *testing.T) {
+	repo, from, to := fillRepo(t, 1008)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lw := &cancelOnLog{trigger: "workload trained", cancel: cancel}
+	o := obs.New(obs.Config{Metrics: true, LogWriter: lw, LogLevel: obs.LevelInfo})
+
+	before := runtime.NumGoroutine()
+	began := time.Now()
+	res, err := RunFleet(ctx, repo, from, to, FleetOptions{
+		Engine:      Options{Technique: TechniqueHES},
+		Freq:        timeseries.Hourly,
+		Concurrency: 1,
+		Obs:         o,
+	})
+	if err != nil {
+		t.Fatalf("cancelled fleet run returned an error instead of partial results: %v", err)
+	}
+	if !res.Canceled {
+		t.Fatal("FleetResult.Canceled not set after mid-run cancellation")
+	}
+	if res.Trained < 1 {
+		t.Fatalf("trained = %d, want >= 1 (cancel fired after the first success)", res.Trained)
+	}
+	if got := len(res.Items) + res.Unprocessed; got != 3 {
+		t.Fatalf("items(%d) + unprocessed(%d) = %d, want 3", len(res.Items), res.Unprocessed, got)
+	}
+	for _, it := range res.Items {
+		if it.Err != nil && !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("post-cancel item %s failed with %v, want a context.Canceled wrap", it.Key, it.Err)
+		}
+	}
+	// Prompt: an HES fit takes milliseconds, so even one in-flight
+	// candidate plus teardown is far under this bound.
+	if took := time.Since(began); took > 30*time.Second {
+		t.Fatalf("cancelled fleet run took %v", took)
+	}
+	if n := o.Registry().CounterValue("fleet_runs_canceled_total"); n != 1 {
+		t.Fatalf("fleet_runs_canceled_total = %d, want 1", n)
+	}
+	// No leaked workers: the pool must drain before RunFleet returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines %d -> %d: fleet workers leaked", before, after)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -85,9 +86,21 @@ type Options struct {
 	KnownShockPhases []int
 	// Analyze overrides analysis options.
 	Analyze AnalyzeOptions
+	// FitTimeout bounds each candidate fit's wall time (0 = no limit).
+	// A candidate that exceeds it is scored as a timed-out failure —
+	// visible in fit_errors_total{cause="timeout"} and on its fit span —
+	// while the rest of the grid still competes for champion, so one
+	// pathological optimisation cannot wedge a worker. `capplan serve`
+	// defaults this to 30s.
+	FitTimeout time.Duration
 	// Obs receives logs, pipeline spans and metrics for every run. nil
 	// (the default) disables observability at zero cost.
 	Obs *obs.Observer
+
+	// fitHook is a test seam: when set it runs at the start of every
+	// candidate fit with the candidate's fit context and label, and a
+	// non-nil error (or a panic) stands in for the real fit outcome.
+	fitHook func(ctx context.Context, label string) error
 }
 
 // CandidateResult records one evaluated model.
@@ -239,14 +252,24 @@ func NewEngine(opt Options) (*Engine, error) {
 // analysis → candidate grid → parallel fit/score → champion → forecast.
 // Stage failures come back wrapped with their Figure 4 stage name
 // ("analyse: …"), so a fleet-scale failure is attributable without a
-// debugger.
-func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
+// debugger. ctx cancels the run cooperatively: in-flight candidate fits
+// abort inside their optimisers and Run returns an error wrapping the
+// context's cause (nil ctx means background).
+func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := e.opt.Obs
 	began := time.Now()
 	run := e.startSpan("engine.run")
 	defer run.End()
 	run.Set("series", s.Name)
 	run.Set("technique", e.opt.Technique.String())
+	if err := ctx.Err(); err != nil {
+		err = fmt.Errorf("run: %w", err)
+		run.Fail(err)
+		return nil, err
+	}
 
 	// Stage 0 (Figure 4): fetch the series into working memory.
 	sp := run.Child("fetch")
@@ -359,7 +382,14 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 	// Stage 5: fit and score in parallel.
 	sp = run.Child("fit-score")
 	sp.Set("workers", e.opt.Workers)
-	results := e.evaluate(train.Values, test.Values, an, cands, sp)
+	results := e.evaluate(ctx, train.Values, test.Values, an, cands, sp)
+	if err := ctx.Err(); err != nil {
+		err = fmt.Errorf("fit-score: %w", err)
+		sp.Fail(err)
+		sp.End()
+		run.Fail(err)
+		return nil, err
+	}
 	sp.End()
 
 	// Rank: best hold-out RMSE first; failed fits sink.
@@ -390,7 +420,7 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 	// production forecast from a full-series refit.
 	sp = run.Child("forecast")
 	sp.Set("horizon", horizon)
-	testFC, err := e.refitForecast(champion, train.Values, an, len(test.Values))
+	testFC, err := e.refitForecast(ctx, champion, train.Values, an, len(test.Values))
 	if err != nil {
 		err = fmt.Errorf("forecast: champion test forecast: %w", err)
 		sp.Fail(err)
@@ -398,7 +428,7 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 		run.Fail(err)
 		return nil, err
 	}
-	fullFC, se, lower, upper, diag, err := e.fullForecast(champion, work.Values, an, horizon)
+	fullFC, se, lower, upper, diag, err := e.fullForecast(ctx, champion, work.Values, an, horizon)
 	if err != nil {
 		err = fmt.Errorf("forecast: champion production forecast: %w", err)
 		sp.Fail(err)
@@ -418,6 +448,10 @@ func (e *Engine) Run(s *timeseries.Series) (*Result, error) {
 		}
 		bfc, berr := naive.Predict(bm, train.Values, period, len(test.Values), e.opt.Level)
 		if berr != nil {
+			// A missing baseline row must be distinguishable from a scored
+			// one — count and log instead of silently dropping it.
+			o.Count("baseline_errors_total", 1, obs.L("method", bm.String()))
+			o.Debug("baseline failed", "series", s.Name, "method", bm.String(), "err", berr)
 			continue
 		}
 		score := metrics.Evaluate(test.Values, bfc.Mean)
@@ -550,52 +584,112 @@ func (e *Engine) buildCandidates(train *timeseries.Series, an *Analysis) []Candi
 // worker pool. Each candidate gets a child span of parent recording its
 // family, order label, hold-out RMSE, duration and error, plus the
 // models_fitted_total / fit_errors_total counters and a per-technique
-// fit-duration histogram.
-func (e *Engine) evaluate(train, test []float64, an *Analysis, cands []CandidateResult, parent *obs.Span) []CandidateResult {
+// fit-duration histogram. Cancelling ctx stops feeding the pool, aborts
+// in-flight fits via their optimisers, and marks unqueued candidates
+// failed; a per-candidate panic is contained to that candidate.
+func (e *Engine) evaluate(ctx context.Context, train, test []float64, an *Analysis, cands []CandidateResult, parent *obs.Span) []CandidateResult {
 	o := e.opt.Obs
-	tech := e.opt.Technique.String()
 	jobs := make(chan int)
 	out := make([]CandidateResult, len(cands))
 	copy(out, cands)
+	queued := make([]bool, len(cands))
 	var wg sync.WaitGroup
 	for w := 0; w < e.opt.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				csp := parent.Child("fit")
-				csp.Set("candidate", out[idx].Label)
-				csp.Set("family", candidateFamily(&out[idx]))
-				began := time.Now()
-				fc, aic, err := e.fitScore(out[idx], train, an, len(test))
-				out[idx].FitDuration = time.Since(began)
-				out[idx].AIC = aic
-				o.Count("models_fitted_total", 1)
-				o.ObserveDuration("fit_duration_seconds", out[idx].FitDuration, obs.L("technique", tech))
-				if err != nil {
-					out[idx].Err = err
-					out[idx].Score = metrics.Score{RMSE: math.NaN(), MAPE: math.NaN(), MAPA: math.NaN()}
-					o.Count("fit_errors_total", 1)
-					o.Debug("candidate failed", "candidate", out[idx].Label, "err", err)
-					csp.Fail(err)
-					csp.End()
-					continue
-				}
-				out[idx].Score = metrics.Evaluate(test, fc)
-				csp.Set("rmse", out[idx].Score.RMSE)
-				csp.Set("aic", aic)
-				csp.End()
-				o.Debug("candidate scored", "candidate", out[idx].Label,
-					"rmse", out[idx].Score.RMSE, "dur", out[idx].FitDuration)
+				e.fitCandidate(ctx, &out[idx], train, test, an, parent)
 			}
 		}()
 	}
+	// The jobs channel is unbuffered, so once ctx is done no worker may
+	// ever receive again — the send must select on ctx.Done or the
+	// producer deadlocks.
+feed:
 	for i := range cands {
-		jobs <- i
+		select {
+		case jobs <- i:
+			queued[i] = true
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	for i := range out {
+		if !queued[i] {
+			markFailed(&out[i], fmt.Errorf("fit-score: %w", ctx.Err()))
+			o.Count("fit_errors_total", 1, obs.L("cause", obs.ErrClass(ctx.Err())))
+		}
+	}
 	return out
+}
+
+// fitCandidate fits and scores one candidate under its own span, fit
+// deadline and panic barrier, writing the outcome into c.
+func (e *Engine) fitCandidate(ctx context.Context, c *CandidateResult, train, test []float64, an *Analysis, parent *obs.Span) {
+	o := e.opt.Obs
+	csp := parent.Child("fit")
+	csp.Set("candidate", c.Label)
+	csp.Set("family", candidateFamily(c))
+	fctx := ctx
+	if e.opt.FitTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, e.opt.FitTimeout)
+		defer cancel()
+	}
+	began := time.Now()
+	fc, aic, err := e.fitScoreSafe(fctx, c, train, an, len(test))
+	c.FitDuration = time.Since(began)
+	c.AIC = aic
+	o.Count("models_fitted_total", 1)
+	o.ObserveDuration("fit_duration_seconds", c.FitDuration, obs.L("technique", e.opt.Technique.String()))
+	if err != nil {
+		markFailed(c, err)
+		cause := obs.ErrClass(err)
+		o.Count("fit_errors_total", 1, obs.L("cause", cause))
+		o.Debug("candidate failed", "candidate", c.Label, "cause", cause, "err", err)
+		if cause != "error" {
+			csp.Set("cause", cause)
+		}
+		csp.Fail(err)
+		csp.End()
+		return
+	}
+	c.Score = metrics.Evaluate(test, fc)
+	csp.Set("rmse", c.Score.RMSE)
+	csp.Set("aic", aic)
+	csp.End()
+	o.Debug("candidate scored", "candidate", c.Label,
+		"rmse", c.Score.RMSE, "dur", c.FitDuration)
+}
+
+// fitScoreSafe wraps fitScore with a panic barrier: a numerical blow-up
+// inside one candidate's optimiser kills that candidate, not the run.
+func (e *Engine) fitScoreSafe(ctx context.Context, c *CandidateResult, train []float64, an *Analysis, h int) (fc []float64, aic float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.opt.Obs.Count("fit_panics_total", 1)
+			fc, aic = nil, math.NaN()
+			err = fmt.Errorf("candidate %q panicked: %v", c.Label, r)
+		}
+	}()
+	if e.opt.fitHook != nil {
+		if herr := e.opt.fitHook(ctx, c.Label); herr != nil {
+			return nil, math.NaN(), herr
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, math.NaN(), fmt.Errorf("fit aborted: %w", cerr)
+	}
+	return e.fitScore(ctx, *c, train, an, h)
+}
+
+// markFailed records a candidate failure so ranking sinks it.
+func markFailed(c *CandidateResult, err error) {
+	c.Err = err
+	c.Score = metrics.Score{RMSE: math.NaN(), MAPE: math.NaN(), MAPA: math.NaN()}
 }
 
 // tbatsCandidates enumerates a compact TBATS structure set (the §4.3
@@ -631,9 +725,11 @@ func tbatsCandidates(periods []int) []tbats.Config {
 }
 
 // fitScore fits one candidate on train and forecasts the test window.
-func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h int) ([]float64, float64, error) {
+// ctx reaches the family optimisers, carrying cancellation and the
+// per-candidate fit deadline.
+func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float64, an *Analysis, h int) ([]float64, float64, error) {
 	if c.tbatsCfg != nil {
-		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{Obs: e.opt.Obs})
+		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
 		if err != nil {
 			return nil, math.NaN(), err
 		}
@@ -644,7 +740,7 @@ func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h in
 		return fc.Mean, m.AIC, nil
 	}
 	if c.isETS {
-		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period, Obs: e.opt.Obs})
+		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period, Ctx: ctx, Obs: e.opt.Obs})
 		if err != nil {
 			return nil, math.NaN(), err
 		}
@@ -658,7 +754,7 @@ func (e *Engine) fitScore(c CandidateResult, train []float64, an *Analysis, h in
 	if err != nil {
 		return nil, math.NaN(), err
 	}
-	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{Obs: e.opt.Obs})
+	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
 	if err != nil {
 		return nil, math.NaN(), err
 	}
@@ -691,16 +787,16 @@ func (e *Engine) regressorsFor(c CandidateResult, an *Analysis, n int) (*Regress
 
 // refitForecast reproduces the champion's test-window forecast (train
 // fit) for charting.
-func (e *Engine) refitForecast(c CandidateResult, train []float64, an *Analysis, h int) ([]float64, error) {
-	fc, _, err := e.fitScore(c, train, an, h)
+func (e *Engine) refitForecast(ctx context.Context, c CandidateResult, train []float64, an *Analysis, h int) ([]float64, error) {
+	fc, _, err := e.fitScore(ctx, c, train, an, h)
 	return fc, err
 }
 
 // fullForecast refits the champion on the whole series and produces the
 // production forecast with error bars.
-func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
+func (e *Engine) fullForecast(ctx context.Context, c CandidateResult, full []float64, an *Analysis, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
 	if c.tbatsCfg != nil {
-		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{Obs: e.opt.Obs})
+		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
 		if ferr != nil {
 			return nil, nil, nil, nil, nil, ferr
 		}
@@ -711,7 +807,7 @@ func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h
 		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
 	}
 	if c.isETS {
-		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period, Obs: e.opt.Obs})
+		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period, Ctx: ctx, Obs: e.opt.Obs})
 		if ferr != nil {
 			return nil, nil, nil, nil, nil, ferr
 		}
@@ -725,7 +821,7 @@ func (e *Engine) fullForecast(c CandidateResult, full []float64, an *Analysis, h
 	if ferr != nil {
 		return nil, nil, nil, nil, nil, ferr
 	}
-	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{Obs: e.opt.Obs})
+	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
 	if ferr != nil {
 		return nil, nil, nil, nil, nil, ferr
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -31,7 +32,7 @@ func TestEngineSARIMAXEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(1))
+	res, err := e.Run(context.Background(), seasonalTrending(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestEngineHESEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(2))
+	res, err := e.Run(context.Background(), seasonalTrending(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestEngineARIMABaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(3))
+	res, err := e.Run(context.Background(), seasonalTrending(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +125,11 @@ func TestSeasonalBeatsPlainARIMA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resSX, err := sx.Run(s)
+	resSX, err := sx.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resAR, err := ar.Run(s)
+	resAR, err := ar.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +151,11 @@ func TestExogenousImprovesShockForecast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resWith, err := with.Run(s)
+	resWith, err := with.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resWithout, err := without.Run(s)
+	resWithout, err := without.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestEngineInterpolatesGaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(s); err != nil {
+	if _, err := e.Run(context.Background(), s); err != nil {
 		t.Fatalf("engine should repair gaps: %v", err)
 	}
 	// Original series untouched (engine clones).
@@ -196,7 +197,7 @@ func TestEngineInterpolatesGaps(t *testing.T) {
 func TestEngineShortSeriesFails(t *testing.T) {
 	e, _ := NewEngine(Options{Technique: TechniqueHES})
 	short := timeseries.New("s", t0, timeseries.Hourly, make([]float64, 10))
-	if _, err := e.Run(short); err == nil {
+	if _, err := e.Run(context.Background(), short); err == nil {
 		t.Fatal("short series should fail")
 	}
 }
@@ -215,7 +216,7 @@ func TestEngineHorizonOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(7))
+	res, err := e.Run(context.Background(), seasonalTrending(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,11 +239,11 @@ func TestEngineParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := serial.Run(s)
+	r1, err := serial.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := parallel.Run(s)
+	r2, err := parallel.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,10 +48,18 @@ type FleetItem struct {
 
 // FleetResult aggregates a fleet run.
 type FleetResult struct {
+	// Items holds the attempted workloads in key order. On cancellation
+	// it is partial: workloads never dequeued before ctx fired are
+	// absent, not recorded as failures.
 	Items   []FleetItem
 	Elapsed time.Duration
 	// Trained, Skipped, Failed count outcomes.
 	Trained, Skipped, Failed int
+	// Canceled is true when the run stopped early because ctx was done;
+	// Items then covers only the workloads attempted before the stop.
+	Canceled bool
+	// Unprocessed counts workloads never attempted due to cancellation.
+	Unprocessed int
 	// FirstErr is the first failure in key order (nil when every
 	// workload trained or was skipped); FirstErrKey names its workload.
 	FirstErr    error
@@ -61,7 +70,15 @@ type FleetResult struct {
 // between from and to — the §8 operational mode ("applied across several
 // thousand customers, covering 1000's of workloads"). Champions land in
 // opt.Store when provided. Items are returned in key order.
-func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*FleetResult, error) {
+//
+// A bounded pool of opt.Concurrency workers drains the key queue; when
+// ctx is cancelled the queue stops feeding, in-flight engine runs abort
+// cooperatively, and the partial FleetResult comes back with Canceled
+// set — never an error, so completed champions survive a shutdown.
+func RunFleet(ctx context.Context, repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*FleetResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if repo == nil {
 		return nil, fmt.Errorf("core: nil repository")
 	}
@@ -90,76 +107,45 @@ func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*F
 		"from", from.Format(time.RFC3339), "to", to.Format(time.RFC3339))
 
 	items := make([]FleetItem, len(keys))
+	attempted := make([]bool, len(keys))
 	began := time.Now()
-	sem := make(chan struct{}, conc)
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for i, k := range keys {
+	for w := 0; w < conc; w++ {
 		wg.Add(1)
-		go func(i int, k metricstore.Key) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			item := FleetItem{Key: k.String()}
-			wbegan := time.Now()
-			wsp := root.Child("workload")
-			wsp.Set("key", item.Key)
-			defer func() {
-				item.Elapsed = time.Since(wbegan)
-				wsp.End()
-				items[i] = item
-				switch {
-				case item.Skipped:
-					o.Count("fleet_workloads_skipped_fresh_total", 1)
-					o.Debug("workload skipped (champion fresh)", "key", item.Key)
-				case item.Err != nil:
-					o.Count("fleet_workloads_failed_total", 1)
-					o.Warn("workload failed", "key", item.Key, "err", item.Err, "dur", item.Elapsed)
-				default:
-					o.Count("fleet_workloads_run_total", 1)
-					o.Info("workload trained", "key", item.Key,
-						"champion", item.Result.Champion.Label,
-						"rmse", item.Result.TestScore.RMSE, "dur", item.Elapsed)
-				}
-			}()
-
-			if opt.SkipFresh {
-				if _, usable := opt.Store.Get(k.String()); usable {
-					item.Skipped = true
-					wsp.Set("skipped", true)
-					return
-				}
+			for i := range jobs {
+				items[i] = fleetWorkload(ctx, repo, keys[i], from, to, engineOpt, opt, root, o)
 			}
-			fsp := wsp.Child("fetch")
-			ser, err := repo.Series(k, opt.Freq, from, to)
-			fsp.End()
-			if err != nil {
-				item.Err = fmt.Errorf("fetch: %w", err)
-				fsp.Fail(item.Err)
-				wsp.Fail(item.Err)
-				return
-			}
-			eng, err := NewEngine(engineOpt)
-			if err != nil {
-				item.Err = err
-				wsp.Fail(err)
-				return
-			}
-			res, err := eng.WithParentSpan(wsp).Run(ser)
-			if err != nil {
-				item.Err = err
-				wsp.Fail(err)
-				return
-			}
-			item.Result = res
-			if opt.Store != nil {
-				opt.Store.Put(k.String(), res)
-			}
-		}(i, k)
+		}()
 	}
+	// Unbuffered queue: each send must race ctx.Done, otherwise a
+	// cancellation with all workers gone would deadlock the producer.
+feed:
+	for i := range keys {
+		select {
+		case jobs <- i:
+			attempted[i] = true
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
 
-	out := &FleetResult{Items: items, Elapsed: time.Since(began)}
+	out := &FleetResult{Elapsed: time.Since(began)}
+	for i := range items {
+		if attempted[i] {
+			out.Items = append(out.Items, items[i])
+		} else {
+			out.Unprocessed++
+		}
+	}
+	if ctx.Err() != nil {
+		out.Canceled = true
+		o.Count("fleet_runs_canceled_total", 1)
+	}
 	sort.Slice(out.Items, func(a, b int) bool { return out.Items[a].Key < out.Items[b].Key })
 	for _, it := range out.Items {
 		switch {
@@ -178,7 +164,80 @@ func RunFleet(repo *metricstore.Store, from, to time.Time, opt FleetOptions) (*F
 	root.Set("trained", out.Trained)
 	root.Set("skipped", out.Skipped)
 	root.Set("failed", out.Failed)
-	o.Info("fleet run done", "trained", out.Trained, "skipped", out.Skipped,
-		"failed", out.Failed, "dur", out.Elapsed)
+	if out.Canceled {
+		root.Set("canceled", true)
+		root.Set("unprocessed", out.Unprocessed)
+		o.Warn("fleet run canceled", "trained", out.Trained, "skipped", out.Skipped,
+			"failed", out.Failed, "unprocessed", out.Unprocessed, "dur", out.Elapsed)
+	} else {
+		o.Info("fleet run done", "trained", out.Trained, "skipped", out.Skipped,
+			"failed", out.Failed, "dur", out.Elapsed)
+	}
 	return out, nil
+}
+
+// fleetWorkload trains one workload under its own span, returning the
+// item via a named result so the deferred accounting sees the final
+// state.
+func fleetWorkload(ctx context.Context, repo *metricstore.Store, k metricstore.Key,
+	from, to time.Time, engineOpt Options, opt FleetOptions, root *obs.Span, o *obs.Observer) (item FleetItem) {
+
+	item = FleetItem{Key: k.String()}
+	wbegan := time.Now()
+	wsp := root.Child("workload")
+	wsp.Set("key", item.Key)
+	defer func() {
+		item.Elapsed = time.Since(wbegan)
+		wsp.End()
+		switch {
+		case item.Skipped:
+			o.Count("fleet_workloads_skipped_fresh_total", 1)
+			o.Debug("workload skipped (champion fresh)", "key", item.Key)
+		case item.Err != nil:
+			o.Count("fleet_workloads_failed_total", 1)
+			o.Warn("workload failed", "key", item.Key, "err", item.Err, "dur", item.Elapsed)
+		default:
+			o.Count("fleet_workloads_run_total", 1)
+			o.Info("workload trained", "key", item.Key,
+				"champion", item.Result.Champion.Label,
+				"rmse", item.Result.TestScore.RMSE, "dur", item.Elapsed)
+		}
+	}()
+
+	if opt.SkipFresh {
+		if _, usable := opt.Store.Get(k.String()); usable {
+			item.Skipped = true
+			wsp.Set("skipped", true)
+			return item
+		}
+	}
+	fsp := wsp.Child("fetch")
+	ser, err := repo.Series(k, opt.Freq, from, to)
+	if err != nil {
+		item.Err = fmt.Errorf("fetch: %w", err)
+		// Fail before End: an ended span is immutable, so the order
+		// matters for the error to land on the fetch span.
+		fsp.Fail(item.Err)
+		fsp.End()
+		wsp.Fail(item.Err)
+		return item
+	}
+	fsp.End()
+	eng, err := NewEngine(engineOpt)
+	if err != nil {
+		item.Err = err
+		wsp.Fail(err)
+		return item
+	}
+	res, err := eng.WithParentSpan(wsp).Run(ctx, ser)
+	if err != nil {
+		item.Err = err
+		wsp.Fail(err)
+		return item
+	}
+	item.Result = res
+	if opt.Store != nil {
+		opt.Store.Put(k.String(), res)
+	}
+	return item
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -31,7 +32,7 @@ func fillRepo(t *testing.T, n int) (*metricstore.Store, time.Time, time.Time) {
 func TestRunFleetTrainsEverySeries(t *testing.T) {
 	repo, from, to := fillRepo(t, 1008)
 	store := NewModelStore(StalePolicy{})
-	res, err := RunFleet(repo, from, to, FleetOptions{
+	res, err := RunFleet(context.Background(), repo, from, to, FleetOptions{
 		Engine: Options{Technique: TechniqueHES},
 		Freq:   timeseries.Hourly,
 		Store:  store,
@@ -41,6 +42,9 @@ func TestRunFleetTrainsEverySeries(t *testing.T) {
 	}
 	if res.Trained != 3 || res.Failed != 0 || res.Skipped != 0 {
 		t.Fatalf("outcome = %d/%d/%d", res.Trained, res.Skipped, res.Failed)
+	}
+	if res.Canceled || res.Unprocessed != 0 {
+		t.Fatalf("uncancelled run reports Canceled=%v Unprocessed=%d", res.Canceled, res.Unprocessed)
 	}
 	if len(store.Keys()) != 3 {
 		t.Fatalf("store holds %d champions", len(store.Keys()))
@@ -66,7 +70,7 @@ func TestRunFleetSkipFresh(t *testing.T) {
 		SkipFresh: true,
 	}
 	// First run trains everything.
-	res1, err := RunFleet(repo, from, to, opt)
+	res1, err := RunFleet(context.Background(), repo, from, to, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +78,7 @@ func TestRunFleetSkipFresh(t *testing.T) {
 		t.Fatalf("first run trained %d", res1.Trained)
 	}
 	// Second run skips everything (champions are fresh).
-	res2, err := RunFleet(repo, from, to, opt)
+	res2, err := RunFleet(context.Background(), repo, from, to, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +89,7 @@ func TestRunFleetSkipFresh(t *testing.T) {
 	if _, err := store.CheckIn("dbB/cpu", 1e12); err != nil {
 		t.Fatal(err)
 	}
-	res3, err := RunFleet(repo, from, to, opt)
+	res3, err := RunFleet(context.Background(), repo, from, to, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,15 +99,15 @@ func TestRunFleetSkipFresh(t *testing.T) {
 }
 
 func TestRunFleetValidation(t *testing.T) {
-	if _, err := RunFleet(nil, t0, t0.Add(time.Hour), FleetOptions{}); err == nil {
+	if _, err := RunFleet(context.Background(), nil, t0, t0.Add(time.Hour), FleetOptions{}); err == nil {
 		t.Fatal("nil repo should fail")
 	}
 	repo := metricstore.New()
-	if _, err := RunFleet(repo, t0, t0.Add(time.Hour), FleetOptions{Freq: timeseries.Hourly}); err == nil {
+	if _, err := RunFleet(context.Background(), repo, t0, t0.Add(time.Hour), FleetOptions{Freq: timeseries.Hourly}); err == nil {
 		t.Fatal("empty repo should fail")
 	}
 	repo.Put(metricstore.Sample{Target: "d", Metric: "m", At: t0, Value: 1})
-	if _, err := RunFleet(repo, t0, t0.Add(time.Hour), FleetOptions{SkipFresh: true, Freq: timeseries.Hourly}); err == nil {
+	if _, err := RunFleet(context.Background(), repo, t0, t0.Add(time.Hour), FleetOptions{SkipFresh: true, Freq: timeseries.Hourly}); err == nil {
 		t.Fatal("SkipFresh without store should fail")
 	}
 }
@@ -112,7 +116,7 @@ func TestRunFleetPartialFailure(t *testing.T) {
 	repo, from, to := fillRepo(t, 1008)
 	// Add a too-short series that will fail the engine.
 	repo.Put(metricstore.Sample{Target: "tiny", Metric: "cpu", At: from, Value: 1})
-	res, err := RunFleet(repo, from, to, FleetOptions{
+	res, err := RunFleet(context.Background(), repo, from, to, FleetOptions{
 		Engine: Options{Technique: TechniqueHES},
 		Freq:   timeseries.Hourly,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestKnownShockPhasesForceExogCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(s)
+	res, err := e.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestKnownShockPhasesMergeWithDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(s)
+	res, err := e.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestKnownShockPhaseNormalisation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(s)
+	res, err := e.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func TestEngineRunTraceAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(3))
+	res, err := e.Run(context.Background(), seasonalTrending(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestEngineStageErrorsNamed(t *testing.T) {
 		}
 	}
 	ser := timeseries.New("holes", t0, timeseries.Hourly, values)
-	_, err = e.Run(ser)
+	_, err = e.Run(context.Background(), ser)
 	if err == nil || !strings.HasPrefix(err.Error(), "interpolate:") {
 		t.Errorf("sparse-series error not stage-wrapped: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestFleetRecordsElapsedAndFirstErr(t *testing.T) {
 	repo.Put(metricstore.Sample{Target: "aaBroken", Metric: "cpu", At: from.Add(time.Hour), Value: 2})
 
 	o := obs.New(obs.Config{Metrics: true})
-	res, err := RunFleet(repo, from, to, FleetOptions{
+	res, err := RunFleet(context.Background(), repo, from, to, FleetOptions{
 		Engine: Options{Technique: TechniqueHES},
 		Freq:   timeseries.Hourly,
 		Obs:    o,
@@ -144,7 +145,7 @@ func TestModelStoreWatchdogCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(seasonalTrending(4))
+	res, err := e.Run(context.Background(), seasonalTrending(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestEngineNilObserver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(seasonalTrending(5)); err != nil {
+	if _, err := e.Run(context.Background(), seasonalTrending(5)); err != nil {
 		t.Fatal(err)
 	}
 }

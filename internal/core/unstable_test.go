@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -57,7 +58,7 @@ func TestUnstableWarningInReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(timeseries.New("faulty", t0, timeseries.Hourly, y))
+	res, err := e.Run(context.Background(), timeseries.New("faulty", t0, timeseries.Hourly, y))
 	if err != nil {
 		t.Fatal(err)
 	}

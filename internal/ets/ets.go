@@ -8,6 +8,7 @@
 package ets
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -89,6 +90,10 @@ type FitOptions struct {
 	Period int
 	// MaxIter bounds optimiser iterations (0 = default).
 	MaxIter int
+	// Ctx carries cancellation and a per-fit deadline into the optimiser;
+	// a done context aborts the fit with an error wrapping the context's
+	// cause. nil means no cancellation.
+	Ctx context.Context
 	// Obs receives fit counters and debug logs (nil disables).
 	Obs *obs.Observer
 }
@@ -184,7 +189,13 @@ func fit(method Method, y []float64, opt FitOptions) (*Model, error) {
 	if method.damped() {
 		x0[i] = logit(0.8)
 	}
-	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{MaxIter: opt.MaxIter})
+	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+		MaxIter: opt.MaxIter,
+		Abort:   optimize.ContextAbort(opt.Ctx),
+	})
+	if res.Aborted {
+		return nil, fmt.Errorf("ets: fit aborted: %w", optimize.AbortCause(opt.Ctx))
+	}
 	alpha, beta, gamma, phi := unpack(res.X)
 	sse, level, trend, season, fitted, resid := run(method, y, period, alpha, beta, gamma, phi, l0, b0, s0, true)
 

@@ -107,7 +107,13 @@ func FitMultiplicative(y []float64, period int, damped bool, opt FitOptions) (*M
 	if damped {
 		x0 = append(x0, logit(0.8))
 	}
-	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{MaxIter: opt.MaxIter})
+	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+		MaxIter: opt.MaxIter,
+		Abort:   optimize.ContextAbort(opt.Ctx),
+	})
+	if res.Aborted {
+		return nil, fmt.Errorf("ets: fit aborted: %w", optimize.AbortCause(opt.Ctx))
+	}
 	alpha, beta, gamma, phi := unpack(res.X)
 	sse, level, trend, season, fitted, resid := run(alpha, beta, gamma, phi, true)
 

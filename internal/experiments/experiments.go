@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -180,8 +181,8 @@ type Table2Row struct {
 
 // Table2 reproduces Table 2(a) (OLAP) or 2(b) (OLTP): for every
 // instance × metric it runs the three families and reports hold-out
-// accuracy.
-func Table2(ds *Dataset, opt Options) ([]Table2Row, error) {
+// accuracy. ctx cancels the sweep between and inside engine runs.
+func Table2(ctx context.Context, ds *Dataset, opt Options) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, metric := range dbsim.AllMetrics {
 		for _, inst := range ds.Cluster.Instances() {
@@ -195,7 +196,7 @@ func Table2(ds *Dataset, opt Options) ([]Table2Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := eng.Run(ser)
+				res, err := eng.Run(ctx, ser)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s on %s: %w", fam, key, err)
 				}
@@ -230,25 +231,25 @@ type PredictionSeries struct {
 
 // Figure6 reproduces the Experiment One prediction charts: CPU on
 // cdbm011, one chart per family (ARIMA vs SARIMAX vs SARIMAX+FFT+Exog).
-func Figure6(ds *Dataset, opt Options) ([]PredictionSeries, error) {
+func Figure6(ctx context.Context, ds *Dataset, opt Options) ([]PredictionSeries, error) {
 	if ds.Kind != OLAP {
 		return nil, fmt.Errorf("experiments: Figure 6 needs the OLAP dataset")
 	}
-	return predictionCharts(ds, opt, []string{"cdbm011/cpu"}, Families)
+	return predictionCharts(ctx, ds, opt, []string{"cdbm011/cpu"}, Families)
 }
 
 // Figure7 reproduces the Experiment Two prediction charts: SARIMAX with
 // Exogenous and Fourier terms across CPU, memory and logical IOPS on
 // cdbm011.
-func Figure7(ds *Dataset, opt Options) ([]PredictionSeries, error) {
+func Figure7(ctx context.Context, ds *Dataset, opt Options) ([]PredictionSeries, error) {
 	if ds.Kind != OLTP {
 		return nil, fmt.Errorf("experiments: Figure 7 needs the OLTP dataset")
 	}
 	keys := []string{"cdbm011/cpu", "cdbm011/memory", "cdbm011/logical_iops"}
-	return predictionCharts(ds, opt, keys, []Family{FamilySARIMAXFFTExog})
+	return predictionCharts(ctx, ds, opt, keys, []Family{FamilySARIMAXFFTExog})
 }
 
-func predictionCharts(ds *Dataset, opt Options, keys []string, fams []Family) ([]PredictionSeries, error) {
+func predictionCharts(ctx context.Context, ds *Dataset, opt Options, keys []string, fams []Family) ([]PredictionSeries, error) {
 	var out []PredictionSeries
 	for _, key := range keys {
 		ser, ok := ds.Series[key]
@@ -260,7 +261,7 @@ func predictionCharts(ds *Dataset, opt Options, keys []string, fams []Family) ([
 			if err != nil {
 				return nil, err
 			}
-			res, err := eng.Run(ser)
+			res, err := eng.Run(ctx, ser)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s on %s: %w", fam, key, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -60,7 +61,7 @@ func TestTable2ShapeOLAP(t *testing.T) {
 		t.Skip("full table run is slow")
 	}
 	ds := buildOnce(t, OLAP)
-	rows, err := Table2(ds, quickOpt)
+	rows, err := Table2(context.Background(), ds, quickOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTable2ShapeOLAP(t *testing.T) {
 
 func TestFigure6OLAPOnly(t *testing.T) {
 	ds := buildOnce(t, OLTP)
-	if _, err := Figure6(ds, quickOpt); err == nil {
+	if _, err := Figure6(context.Background(), ds, quickOpt); err == nil {
 		t.Fatal("Figure 6 must reject the OLTP dataset")
 	}
 }
@@ -115,7 +116,7 @@ func TestFigure6Charts(t *testing.T) {
 		t.Skip("slow")
 	}
 	ds := buildOnce(t, OLAP)
-	charts, err := Figure6(ds, quickOpt)
+	charts, err := Figure6(context.Background(), ds, quickOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestFigure7Charts(t *testing.T) {
 		t.Skip("slow")
 	}
 	ds := buildOnce(t, OLTP)
-	charts, err := Figure7(ds, quickOpt)
+	charts, err := Figure7(context.Background(), ds, quickOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -22,8 +23,9 @@ import (
 )
 
 // RefitFunc re-learns the champion for a key, typically by re-running
-// the engine over the freshest repository window.
-type RefitFunc func(key string) (*core.Result, error)
+// the engine over the freshest repository window. ctx carries the
+// serve loop's shutdown signal into the refit's candidate fits.
+type RefitFunc func(ctx context.Context, key string) (*core.Result, error)
 
 // Config assembles a Monitor.
 type Config struct {
@@ -73,28 +75,37 @@ func New(cfg Config) (*Monitor, error) {
 // is scored against the stored champion's forecast, and a refit is
 // triggered when the champion degraded, aged out, or the actual fell
 // past the forecast horizon.
-func (m *Monitor) ObserveActual(key string, at time.Time, actual float64) {
+func (m *Monitor) ObserveActual(ctx context.Context, key string, at time.Time, actual float64) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	v := m.eval.Observe(key, at, actual)
 	switch {
 	case v.beyondHorizon:
-		m.triggerRefit(key, "horizon")
+		m.triggerRefit(ctx, key, "horizon")
 	case v.matched && !v.usable:
 		reason := "stale"
 		if sm, _ := m.store.Get(key); sm != nil && sm.Invalidated {
 			reason = "degraded"
 		}
-		m.triggerRefit(key, reason)
+		m.triggerRefit(ctx, key, reason)
 	}
 }
 
 // triggerRefit re-learns the champion for key, stores the replacement
-// and resets the rolling window so the new model is scored afresh.
-func (m *Monitor) triggerRefit(key, reason string) {
+// and resets the rolling window so the new model is scored afresh. A
+// shutdown in progress (ctx done) skips the refit instead of starting
+// a grid search that would only be aborted.
+func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 	if m.refit == nil {
 		return
 	}
+	if ctx.Err() != nil {
+		m.obs.Debug("refit skipped: shutting down", "key", key, "reason", reason)
+		return
+	}
 	began := time.Now()
-	res, err := m.refit(key)
+	res, err := m.refit(ctx, key)
 	if err != nil {
 		m.obs.Count("monitor_refit_errors_total", 1, obs.L("key", key))
 		m.obs.Error("refit failed", "key", key, "reason", reason, "err", err)

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -49,12 +50,12 @@ func TestMonitorDriftEndToEnd(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return eng.Run(timeseries.New(key, start, timeseries.Hourly, vals))
+		return eng.Run(context.Background(), timeseries.New(key, start, timeseries.Hourly, vals))
 	}
 	// Refits re-learn from the freshest 96 hours so the champion tracks
 	// regime changes quickly.
 	refits := 0
-	refit := func(string) (*core.Result, error) {
+	refit := func(context.Context, string) (*core.Result, error) {
 		refits++
 		n, w := len(actuals), 96
 		if n < w {
@@ -92,7 +93,7 @@ func TestMonitorDriftEndToEnd(t *testing.T) {
 		actuals = append(actuals, v)
 		at := simNow
 		simNow = simNow.Add(time.Hour)
-		mon.ObserveActual(key, at, v)
+		mon.ObserveActual(context.Background(), key, at, v)
 		mon.EvaluateAlerts(simNow)
 		for _, al := range mon.Alerts() {
 			switch al.State {
@@ -166,7 +167,7 @@ func TestMonitorRefitErrorCounted(t *testing.T) {
 	store.Put("db1/cpu", storedResult(t0, 100, 2))
 	mon, err := New(Config{
 		Store: store, Window: 6, MinPoints: 3, Obs: o,
-		Refit: func(string) (*core.Result, error) {
+		Refit: func(context.Context, string) (*core.Result, error) {
 			return nil, errRefit
 		},
 	})
@@ -176,7 +177,7 @@ func TestMonitorRefitErrorCounted(t *testing.T) {
 	// Degrade the champion: the failing refit must be counted, and the
 	// old (invalidated) champion left in place.
 	for i := 0; i < 3; i++ {
-		mon.ObserveActual("db1/cpu", t0.Add(time.Duration(i)*time.Hour), 500)
+		mon.ObserveActual(context.Background(), "db1/cpu", t0.Add(time.Duration(i)*time.Hour), 500)
 	}
 	if n := o.Registry().CounterValue("monitor_refit_errors_total"); n < 1 {
 		t.Fatalf("monitor_refit_errors_total = %d, want >= 1", n)

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrClass buckets an error for cancellation-aware counters and span
+// attributes: "timeout" when a deadline expired, "canceled" when the
+// work was cooperatively cancelled, "error" for every other failure and
+// "" for nil. The buckets are deliberately few so metric labels stay
+// low-cardinality — fit_errors_total{cause="timeout"} distinguishes a
+// candidate that blew its FitTimeout budget from one whose optimiser
+// diverged, without a label per error string.
+func ErrClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}

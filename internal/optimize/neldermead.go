@@ -5,6 +5,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,37 @@ type NelderMeadOptions struct {
 	// Step is the initial simplex edge length per dimension; 0 means 0.1
 	// (or 0.00025 for coordinates that start at zero, following fminsearch).
 	Step float64
+	// Abort, when non-nil, is polled every abortCheckEvery objective
+	// evaluations and once per iteration; returning true stops the search
+	// at the current best vertex and marks the Result Aborted. This is the
+	// cooperative-cancellation hook per-candidate fit deadlines ride on —
+	// typically ContextAbort(ctx).
+	Abort func() bool
+}
+
+// abortCheckEvery spaces out Abort polls so a cheap objective is not
+// dominated by cancellation checks; a pathological shrink step evaluates
+// n+1 points, so the hook still fires within one simplex operation.
+const abortCheckEvery = 16
+
+// ContextAbort adapts a context to an Abort hook (nil ctx → nil hook, the
+// never-abort default).
+func ContextAbort(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// AbortCause names the error behind an aborted optimisation: the ctx's
+// error when it is done, context.Canceled otherwise (hook tripped for a
+// reason of its own). Callers wrap it so errors.Is sees
+// context.DeadlineExceeded / context.Canceled.
+func AbortCause(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return context.Canceled
 }
 
 // Result reports the outcome of an optimisation.
@@ -34,6 +66,9 @@ type Result struct {
 	Iterations int
 	Converged  bool
 	Evals      int
+	// Aborted is set when the Abort hook stopped the search early; X/F
+	// then hold the best vertex seen so far and Converged is false.
+	Aborted bool
 }
 
 // NelderMead minimises f starting from x0 using the Nelder-Mead simplex
@@ -62,8 +97,18 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 	}
 
 	evals := 0
+	aborted := false
+	checkAbort := func() bool {
+		if !aborted && opt.Abort != nil && opt.Abort() {
+			aborted = true
+		}
+		return aborted
+	}
 	eval := func(x []float64) float64 {
 		evals++
+		if aborted || (evals%abortCheckEvery == 0 && checkAbort()) {
+			return math.Inf(1)
+		}
 		v := f(x)
 		if math.IsNaN(v) {
 			return math.Inf(1)
@@ -93,7 +138,7 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 	centroid := make([]float64, n)
 	iter := 0
 	converged := false
-	for ; iter < maxIter; iter++ {
+	for ; iter < maxIter && !checkAbort(); iter++ {
 		// Convergence checks.
 		fSpread := math.Abs(simplex[n].f - simplex[0].f)
 		var xDiam float64
@@ -170,6 +215,7 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 	return Result{
 		X: simplex[0].x, F: simplex[0].f,
 		Iterations: iter, Converged: converged, Evals: evals,
+		Aborted: aborted,
 	}
 }
 
@@ -192,6 +238,15 @@ func shrink(simplex []vertex, eval func([]float64) float64) {
 // GoldenSection minimises a unimodal one-dimensional function on [a, b] to
 // the given absolute tolerance and returns the minimiser.
 func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	x, _ := GoldenSectionAbort(f, a, b, tol, nil)
+	return x
+}
+
+// GoldenSectionAbort is GoldenSection with the cooperative-cancellation
+// hook: abort (nil = never) is polled every abortCheckEvery evaluations,
+// and a trip stops the search at the current bracket midpoint, reported
+// through the aborted return.
+func GoldenSectionAbort(f func(float64) float64, a, b, tol float64, abort func() bool) (x float64, aborted bool) {
 	if a > b {
 		a, b = b, a
 	}
@@ -202,7 +257,12 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
 	c := b - invPhi*(b-a)
 	d := a + invPhi*(b-a)
 	fc, fd := f(c), f(d)
+	evals := 2
 	for b-a > tol {
+		evals++
+		if abort != nil && evals%abortCheckEvery == 0 && abort() {
+			return (a + b) / 2, true
+		}
 		if fc < fd {
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)
@@ -213,7 +273,7 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
 			fd = f(d)
 		}
 	}
-	return (a + b) / 2
+	return (a + b) / 2, false
 }
 
 // Gradient estimates ∇f at x by central differences with step h
@@ -248,6 +308,11 @@ func MultiStart(f Objective, starts [][]float64, opt NelderMeadOptions) Result {
 		r := NelderMead(f, s, opt)
 		if i == 0 || r.F < best.F {
 			best = r
+		}
+		if r.Aborted {
+			// Cancellation outranks restarts: report the best so far.
+			best.Aborted = true
+			break
 		}
 	}
 	return best

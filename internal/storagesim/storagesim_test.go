@@ -1,6 +1,7 @@
 package storagesim
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -151,7 +152,7 @@ func TestStorageLatencyForecastable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run(ser)
+	res, err := eng.Run(context.Background(), ser)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package tbats
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -128,6 +129,10 @@ type Model struct {
 type FitOptions struct {
 	// MaxIter bounds optimiser iterations (0 = default heuristic).
 	MaxIter int
+	// Ctx carries cancellation and a per-fit deadline into the optimiser;
+	// a done context aborts the fit with an error wrapping the context's
+	// cause. nil means no cancellation.
+	Ctx context.Context
 	// Obs receives fit counters and debug logs (nil disables).
 	Obs *obs.Observer
 }
@@ -295,7 +300,13 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 	if maxIter == 0 {
 		maxIter = 150 * nPar
 	}
-	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{MaxIter: maxIter})
+	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+		MaxIter: maxIter,
+		Abort:   optimize.ContextAbort(opt.Ctx),
+	})
+	if res.Aborted {
+		return nil, fmt.Errorf("tbats: fit aborted: %w", optimize.AbortCause(opt.Ctx))
+	}
 	alpha, beta, phi, g1, g2, ar, ma := unpack(res.X)
 
 	m := &Model{
@@ -638,6 +649,10 @@ func AutoFit(y []float64, periods []int, opt FitOptions) (*Model, error) {
 		for _, trendCfg := range []struct{ trend, damp bool }{{false, false}, {true, false}, {true, true}} {
 			for _, armaCfg := range []struct{ p, q int }{{0, 0}, {1, 1}} {
 				for _, harm := range harmonicChoices {
+					if opt.Ctx != nil && opt.Ctx.Err() != nil {
+						// Cancellation outranks the remaining grid.
+						return nil, fmt.Errorf("tbats: autofit aborted: %w", opt.Ctx.Err())
+					}
 					cfg := Config{
 						Periods: periods, Harmonics: harm,
 						UseBoxCox: useBC,
