@@ -13,10 +13,17 @@
 // (/healthz, /readyz, /metrics, /alerts, /accuracy, /trace,
 // /debug/pprof).
 //
+// `capplan serve -ingest` instead accepts remote-write batches on
+// POST /api/v1/ingest and trains/monitors over the ingested series;
+// `capplan push` is the matching remote agent, shipping a simulated
+// workload to that collector over HTTP.
+//
 // Usage:
 //
 //	capplan -exp oltp -days 42 -technique sarimax -threshold-cpu 80
 //	capplan serve -exp oltp -days 14 -listen 127.0.0.1:8080 -threshold-cpu 80
+//	capplan serve -ingest -days 7 -listen 127.0.0.1:8080
+//	capplan push -collector http://127.0.0.1:8080 -exp oltp -days 8
 package main
 
 import (

@@ -32,25 +32,33 @@ type Config struct {
 	Obs *obs.Observer
 }
 
+// Sink receives the samples an agent delivers. *metricstore.Store
+// satisfies it for the in-process path; *ingest.Shipper satisfies it
+// for the remote-write path, so the same agent can feed a local or a
+// networked repository.
+type Sink interface {
+	Put(metricstore.Sample)
+}
+
 // Agent polls a simulated cluster and delivers samples to a repository.
 type Agent struct {
 	cfg     Config
 	cluster *dbsim.Cluster
-	store   *metricstore.Store
+	sink    Sink
 }
 
 // New validates the configuration and builds an Agent.
-func New(cfg Config, cluster *dbsim.Cluster, store *metricstore.Store) (*Agent, error) {
+func New(cfg Config, cluster *dbsim.Cluster, sink Sink) (*Agent, error) {
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("agent: interval must be positive")
 	}
 	if cfg.FailureRate < 0 || cfg.FailureRate >= 1 {
 		return nil, fmt.Errorf("agent: failure rate %v outside [0,1)", cfg.FailureRate)
 	}
-	if cluster == nil || store == nil {
-		return nil, fmt.Errorf("agent: nil cluster or store")
+	if cluster == nil || sink == nil {
+		return nil, fmt.Errorf("agent: nil cluster or sink")
 	}
-	return &Agent{cfg: cfg, cluster: cluster, store: store}, nil
+	return &Agent{cfg: cfg, cluster: cluster, sink: sink}, nil
 }
 
 // Collect polls every (instance, metric) pair from `from` (inclusive) to
@@ -86,7 +94,7 @@ func (a *Agent) Collect(from, to time.Time) (delivered, missed int, err error) {
 					o.Error("sample failed", "target", name, "metric", metric.String(), "err", serr)
 					return delivered, missed, serr
 				}
-				a.store.Put(metricstore.Sample{
+				a.sink.Put(metricstore.Sample{
 					Target: name,
 					Metric: metric.String(),
 					At:     t,

@@ -27,6 +27,9 @@ func Capplan(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "serve" {
 		return CapplanServe(ctx, args[1:], stdout)
 	}
+	if len(args) > 0 && args[0] == "push" {
+		return CapplanPush(ctx, args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("capplan", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	exp := fs.String("exp", "oltp", "workload: olap or oltp")

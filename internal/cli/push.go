@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/dbsim"
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// CapplanPush runs the remote half of the paper's architecture (§5.1):
+// a monitoring agent polling a database cluster and shipping the
+// samples over HTTP to a central repository — the collector mounted by
+// `capplan serve -ingest`. The simulated window is replayed instantly;
+// the shipper batches, retries and drains on exit, so the command
+// returns only once every sample is on the server (or reported
+// dropped).
+func CapplanPush(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("capplan push", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	collector := fs.String("collector", "http://127.0.0.1:8080",
+		"base URL of the serve -ingest endpoint ("+ingest.Path+" is appended unless already present)")
+	exp := fs.String("exp", "oltp", "workload: olap or oltp")
+	days := fs.Int("days", 15, "days of history to collect and ship")
+	seed := fs.Uint64("seed", 42, "simulator seed")
+	failRate := fs.Float64("agent-failure-rate", 0.01, "probability an agent poll is missed")
+	batch := fs.Int("batch", 500, "samples per remote-write request")
+	flushEvery := fs.Duration("flush-interval", 2*time.Second, "max time a queued sample waits before shipping")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long to wait for the final drain on exit")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg dbsim.Config
+	switch strings.ToLower(*exp) {
+	case "olap":
+		cfg = workload.OLAPConfig(*seed)
+	case "oltp":
+		cfg = workload.OLTPConfig(*seed)
+	default:
+		return fmt.Errorf("push: unknown workload %q", *exp)
+	}
+	cluster, err := dbsim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	o := of.observer(stdout)
+	if ln, err := of.serve(stdout, o, obs.MuxOptions{}); err != nil {
+		return err
+	} else if ln != nil {
+		defer ln.Close()
+	}
+
+	url := strings.TrimRight(*collector, "/")
+	if !strings.HasSuffix(url, ingest.Path) {
+		url += ingest.Path
+	}
+	shipper, err := ingest.NewShipper(ingest.ShipperConfig{
+		URL:           url,
+		BatchSize:     *batch,
+		FlushInterval: *flushEvery,
+		// The replay produces samples far faster than real time; block
+		// rather than drop when the collector falls behind.
+		BlockOnFull: true,
+		Seed:        *seed,
+		Obs:         o,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The same agent wiring as the simulator path (experiments.Build uses
+	// Seed+1 too), so a pushed repository matches an in-process one.
+	ag, err := agent.New(agent.Config{
+		Interval:    15 * time.Minute,
+		FailureRate: *failRate,
+		Seed:        *seed + 1,
+		Obs:         o,
+	}, cluster, shipper)
+	if err != nil {
+		return err
+	}
+
+	end := cfg.Start.Add(time.Duration(*days) * 24 * time.Hour)
+	fmt.Fprintf(stdout, "pushing %d days of %s samples (%s → %s) to %s\n",
+		*days, *exp, cfg.Start.Format("2006-01-02 15:04"), end.Format("2006-01-02 15:04"), url)
+	collected, failed, collectErr := ag.Collect(cfg.Start, end)
+
+	drainCtx, cancel := context.WithTimeout(ctx, *drainTimeout)
+	defer cancel()
+	closeErr := shipper.Close(drainCtx)
+
+	st := shipper.Stats()
+	fmt.Fprintf(stdout, "collected %d samples (%d polls missed); shipped %d in %d batches, %d retries, %d dropped\n",
+		collected, failed, st.SamplesShipped, st.BatchesSent, st.Retries, st.Dropped)
+	of.dumpMetrics(stdout, o)
+	if collectErr != nil {
+		return collectErr
+	}
+	return closeErr
+}

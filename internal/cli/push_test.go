@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCapplanPushIntoServeIngest runs the two-process architecture in
+// one test: `capplan serve -ingest` waits for remote samples, `capplan
+// push` ships a simulated workload at it, and the server trains, flips
+// ready and follows the ingested feed.
+func TestCapplanPushIntoServeIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ships a workload over HTTP and trains a fleet")
+	}
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Capplan(context.Background(), []string{
+			"serve",
+			"-ingest",
+			"-days", "7",
+			"-technique", "hes",
+			"-max-candidates", "4",
+			"-hours", "2",
+			"-tick", "0",
+			"-listen", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+	deadline := time.Now().Add(30 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var pushOut bytes.Buffer
+	if err := Capplan(context.Background(), []string{
+		"push",
+		"-collector", "http://" + addr,
+		"-exp", "oltp",
+		"-days", "8", // one day beyond the training window, so hours remain to follow
+		"-seed", "7",
+	}, &pushOut); err != nil {
+		t.Fatalf("capplan push: %v\n%s", err, pushOut.String())
+	}
+	if got := pushOut.String(); !strings.Contains(got, "0 dropped") {
+		t.Fatalf("push reported loss:\n%s", got)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("capplan serve -ingest: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("serve did not finish following the feed:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"waiting for 168 hours of remote samples",
+		"training on ingested window",
+		"initial training:",
+		"ready — following the ingested feed",
+		"followed 2 ingested hours",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("serve output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCapplanServeIngestInterrupted cancels serve while it is still
+// waiting for a training window — the operator stopping a collector
+// that never received agents — and expects a clean exit.
+func TestCapplanServeIngestInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Capplan(ctx, []string{
+			"serve", "-ingest", "-days", "7", "-tick", "0", "-listen", "127.0.0.1:0",
+		}, &out)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(out.String(), "waiting for") {
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never reached the wait loop:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted serve returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after cancellation")
+	}
+	if !strings.Contains(out.String(), "interrupted before a full training window") {
+		t.Errorf("missing interruption notice:\n%s", out.String())
+	}
+}
+
+func TestCapplanPushBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := Capplan(context.Background(), []string{"push", "-bogus"}, &out); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := CapplanPush(context.Background(), []string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}

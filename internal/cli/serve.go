@@ -16,6 +16,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ingest"
 	"repro/internal/metricstore"
 	"repro/internal/monitor"
 	"repro/internal/obs"
@@ -55,6 +56,10 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	shiftAfter := fs.Int("shift-after", 0, "inject a level shift after this many replayed hours (0 = off; drift demo)")
 	shiftHours := fs.Int("shift-hours", 12, "how long the injected level shift lasts")
 	shiftFactor := fs.Float64("shift-factor", 1.5, "multiplier applied to actuals during the injected shift")
+	ingestOn := fs.Bool("ingest", false, "accept remote-write batches on POST "+ingest.Path+
+		" and train/monitor over the ingested series instead of the built-in simulator")
+	ingestMaxBatch := fs.Int("ingest-max-batch", 50000, "max samples per remote-write request")
+	ingestInflight := fs.Int("ingest-max-inflight", 4, "concurrent ingest requests before the collector answers 429")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,15 +152,43 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 
 	// The endpoint goes up before training so /healthz answers from the
 	// first second; /readyz flips once the champions are in the store.
+	// In ingest mode it also carries the remote-write collector, so
+	// agents can ship from the first second too.
 	var ready atomic.Bool
+	extra := mon.Handlers()
+	if *ingestOn {
+		repo = metricstore.New()
+		repo.SetObserver(o)
+		col, cerr := ingest.NewCollector(ingest.ServerConfig{
+			Store:       repo,
+			MaxBatch:    *ingestMaxBatch,
+			MaxInFlight: *ingestInflight,
+			Obs:         o,
+		})
+		if cerr != nil {
+			return cerr
+		}
+		extra[ingest.Path] = col
+	}
 	ln, err := of.serve(stdout, o, obs.MuxOptions{
 		Ready: ready.Load,
-		Extra: mon.Handlers(),
+		Extra: extra,
 	})
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
+
+	if *ingestOn {
+		return serveIngested(ctx, stdout, o, repo, mon, &simClock, &ready, &startAt, ingestedOptions{
+			engine: core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, FitTimeout: *fitTimeout},
+			store:  store,
+			days:   *days,
+			hours:  *hours,
+			tick:   *tick,
+			dump:   func() { of.dumpMetrics(stdout, o) },
+		})
+	}
 
 	fmt.Fprintf(stdout, "collecting %d days of %s history (seed %d)...\n", *days, *exp, *seed)
 	ds, err := experiments.Build(experiments.Kind(strings.ToLower(*exp)), experiments.Options{
@@ -211,13 +244,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 			scaleSamples(repo, simNow, next, *shiftFactor)
 		}
 		simClock.Store(next.Unix())
-		for _, k := range repo.Keys() {
-			ser, serr := repo.Series(k, timeseries.Hourly, simNow, next)
-			if serr != nil || ser.Len() == 0 || math.IsNaN(ser.Values[0]) {
-				continue
-			}
-			mon.ObserveActual(ctx, k.String(), simNow, ser.Values[0])
-		}
+		observeHour(ctx, repo, mon, simNow, next)
 		mon.EvaluateAlerts(next)
 		simNow = next
 		hour++
@@ -232,6 +259,137 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		hour, ds.End.Format("2006-01-02 15:04"), simNow.Format("2006-01-02 15:04"))
 	of.dumpMetrics(stdout, o)
 	return nil
+}
+
+// ingestedOptions carries the serve parameters the ingest-mode loop
+// needs.
+type ingestedOptions struct {
+	engine core.Options
+	store  *core.ModelStore
+	days   int
+	hours  int
+	tick   time.Duration
+	dump   func()
+}
+
+// serveIngested is serve's remote-repository mode: wait until remote
+// agents have shipped a full training window, train the fleet on it,
+// then follow the ingested feed hour by hour through the monitor —
+// the two-process version of the simulated replay loop.
+func serveIngested(ctx context.Context, stdout io.Writer, o *obs.Observer,
+	repo *metricstore.Store, mon *monitor.Monitor, simClock *atomic.Int64,
+	ready *atomic.Bool, startAt *time.Time, opt ingestedOptions) error {
+	poll := opt.tick
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	trainHours := opt.days * 24
+	fmt.Fprintf(stdout, "ingest mode: waiting for %d hours of remote samples on POST %s\n",
+		trainHours, ingest.Path)
+
+	var first, last time.Time
+	for {
+		var ok bool
+		if first, last, ok = commonWindow(repo); ok && coveredHours(first, last) >= trainHours {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "interrupted before a full training window was ingested")
+			return nil
+		case <-time.After(poll):
+		}
+	}
+	*startAt = first
+	trainTo := first.Add(time.Duration(trainHours) * time.Hour)
+	simClock.Store(trainTo.Unix())
+	fmt.Fprintf(stdout, "training on ingested window %s → %s (%d series)\n",
+		first.Format("2006-01-02 15:04"), trainTo.Format("2006-01-02 15:04"), len(repo.Keys()))
+
+	res, err := core.RunFleet(ctx, repo, first, trainTo, core.FleetOptions{
+		Engine: opt.engine,
+		Freq:   timeseries.Hourly,
+		Store:  opt.store,
+		Obs:    o,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Canceled {
+		fmt.Fprintf(stdout, "initial training canceled: %d trained, %d unprocessed — shutting down\n",
+			res.Trained, res.Unprocessed)
+		return nil
+	}
+	fmt.Fprintf(stdout, "initial training: %d trained, %d failed in %v\n",
+		res.Trained, res.Failed, res.Elapsed.Round(time.Millisecond))
+	ready.Store(true)
+	fmt.Fprintln(stdout, "ready — following the ingested feed")
+
+	simNow := trainTo
+	hour := 0
+	more := func() bool { return ctx.Err() == nil && (opt.hours == 0 || hour < opt.hours) }
+	for more() {
+		// Consume every hour the remote agents have completed: a bucket
+		// [simNow, simNow+1h) counts once a sample at or past its end
+		// has arrived on every series.
+		if _, l, ok := commonWindow(repo); ok {
+			for next := simNow.Add(time.Hour); more() && !l.Before(next); next = simNow.Add(time.Hour) {
+				simClock.Store(next.Unix())
+				observeHour(ctx, repo, mon, simNow, next)
+				mon.EvaluateAlerts(next)
+				simNow = next
+				hour++
+			}
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(poll):
+		}
+	}
+	fmt.Fprintf(stdout, "followed %d ingested hours (%s → %s)\n",
+		hour, trainTo.Format("2006-01-02 15:04"), simNow.Format("2006-01-02 15:04"))
+	opt.dump()
+	return nil
+}
+
+// observeHour feeds the monitor every series' actual for the hour
+// [from, to); empty or gap buckets are skipped.
+func observeHour(ctx context.Context, repo *metricstore.Store, mon *monitor.Monitor, from, to time.Time) {
+	for _, k := range repo.Keys() {
+		ser, err := repo.Series(k, timeseries.Hourly, from, to)
+		if err != nil || ser.Len() == 0 || math.IsNaN(ser.Values[0]) {
+			continue
+		}
+		mon.ObserveActual(ctx, k.String(), from, ser.Values[0])
+	}
+}
+
+// commonWindow intersects every key's covered time range. ok is false
+// while the repository is empty.
+func commonWindow(repo *metricstore.Store) (first, last time.Time, ok bool) {
+	for _, k := range repo.Keys() {
+		f, l, kok := repo.TimeRange(k)
+		if !kok {
+			continue
+		}
+		if !ok || f.After(first) {
+			first = f
+		}
+		if !ok || l.Before(last) {
+			last = l
+		}
+		ok = true
+	}
+	return first, last, ok
+}
+
+// coveredHours counts the hourly buckets the closed sample range
+// [first, last] touches when first sits on a bucket boundary.
+func coveredHours(first, last time.Time) int {
+	if last.Before(first) {
+		return 0
+	}
+	return int(last.Sub(first)/time.Hour) + 1
 }
 
 // scaleSamples multiplies every repository sample in [from, to) by

@@ -1,0 +1,108 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/metricstore"
+	"repro/internal/obs"
+)
+
+// BatchSink receives validated sample batches. *metricstore.Store
+// satisfies it with a single lock acquisition per batch.
+type BatchSink interface {
+	PutBatch([]metricstore.Sample)
+}
+
+// ServerConfig tunes the collector.
+type ServerConfig struct {
+	// Store receives every accepted batch. Required.
+	Store BatchSink
+	// MaxBatch caps samples per request (0 → 50000); larger batches are
+	// rejected with 400 before they reach the store.
+	MaxBatch int
+	// MaxBodyBytes caps the compressed request body (0 → 8 MiB).
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently decoded requests; excess requests
+	// get 429 + Retry-After instead of queueing (0 → 4).
+	MaxInFlight int
+	// RetryAfter is the backpressure hint sent with a 429 (0 → 1s worth:
+	// the header carries whole seconds, minimum 1).
+	RetryAfter int
+	// Obs receives ingest_requests_total{code}, ingest_samples_total and
+	// ingest_decode_errors_total. nil disables.
+	Obs *obs.Observer
+}
+
+// Collector is the repository's remote-write endpoint: POST Path with a
+// gzip-compressed version-1 batch. It implements http.Handler.
+type Collector struct {
+	cfg      ServerConfig
+	inflight chan struct{}
+}
+
+// NewCollector validates cfg and builds the endpoint handler.
+func NewCollector(cfg ServerConfig) (*Collector, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ingest: collector needs a store")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 50000
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 1
+	}
+	return &Collector{cfg: cfg, inflight: make(chan struct{}, cfg.MaxInFlight)}, nil
+}
+
+// ServeHTTP decodes, validates and appends one batch. Responses:
+// 204 accepted, 400 malformed, 405 not POST, 413 oversized body,
+// 429 over the in-flight limit (with Retry-After).
+func (c *Collector) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	o := c.cfg.Obs
+	if req.Method != http.MethodPost {
+		o.Count("ingest_requests_total", 1, obs.L("code", "405"))
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Backpressure: admission is a non-blocking semaphore acquire, so a
+	// slow store surfaces to shippers as 429 instead of piled-up
+	// goroutines.
+	select {
+	case c.inflight <- struct{}{}:
+		defer func() { <-c.inflight }()
+	default:
+		o.Count("ingest_requests_total", 1, obs.L("code", "429"))
+		w.Header().Set("Retry-After", strconv.Itoa(c.cfg.RetryAfter))
+		http.Error(w, "ingest over capacity, retry later", http.StatusTooManyRequests)
+		return
+	}
+	body := http.MaxBytesReader(w, req.Body, c.cfg.MaxBodyBytes)
+	samples, err := DecodeBatch(body, c.cfg.MaxBatch)
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		o.Count("ingest_decode_errors_total", 1)
+		o.Count("ingest_requests_total", 1, obs.L("code", strconv.Itoa(code)))
+		o.Warn("ingest batch rejected", "err", err, "remote", req.RemoteAddr)
+		http.Error(w, err.Error(), code)
+		return
+	}
+	c.cfg.Store.PutBatch(samples)
+	o.Count("ingest_samples_total", int64(len(samples)))
+	o.Count("ingest_requests_total", 1, obs.L("code", "204"))
+	o.Debug("ingest batch accepted", "samples", len(samples), "remote", req.RemoteAddr)
+	w.WriteHeader(http.StatusNoContent)
+}

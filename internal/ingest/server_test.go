@@ -1,0 +1,137 @@
+package ingest
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metricstore"
+	"repro/internal/obs"
+)
+
+func postBatch(t *testing.T, h http.Handler, samples []metricstore.Sample) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, Path, &buf)
+	req.Header.Set("Content-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestCollectorAcceptsBatch(t *testing.T) {
+	store := metricstore.New()
+	o := obs.New(obs.Config{Metrics: true})
+	c, err := NewCollector(ServerConfig{Store: store, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := wireSamples(10)
+	if rec := postBatch(t, c, in); rec.Code != http.StatusNoContent {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body)
+	}
+	k := metricstore.Key{Target: "cdbm011", Metric: "cpu"}
+	if got := store.Count(k); got != 10 {
+		t.Fatalf("stored = %d, want 10", got)
+	}
+	reg := o.Registry()
+	if got := reg.CounterValue("ingest_samples_total"); got != 10 {
+		t.Fatalf("ingest_samples_total = %d", got)
+	}
+	if got := reg.CounterValue("ingest_requests_total"); got != 1 {
+		t.Fatalf("ingest_requests_total = %d", got)
+	}
+}
+
+func TestCollectorMethodNotAllowed(t *testing.T) {
+	c, _ := NewCollector(ServerConfig{Store: metricstore.New()})
+	req := httptest.NewRequest(http.MethodGet, Path, nil)
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("code = %d", rec.Code)
+	}
+}
+
+func TestCollectorRejectsGarbage(t *testing.T) {
+	o := obs.New(obs.Config{Metrics: true})
+	c, _ := NewCollector(ServerConfig{Store: metricstore.New(), Obs: o})
+	req := httptest.NewRequest(http.MethodPost, Path, strings.NewReader("not gzip"))
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if got := o.Registry().CounterValue("ingest_decode_errors_total"); got != 1 {
+		t.Fatalf("ingest_decode_errors_total = %d", got)
+	}
+}
+
+func TestCollectorRejectsOversizedBatch(t *testing.T) {
+	c, _ := NewCollector(ServerConfig{Store: metricstore.New(), MaxBatch: 5})
+	if rec := postBatch(t, c, wireSamples(6)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if rec := postBatch(t, c, wireSamples(5)); rec.Code != http.StatusNoContent {
+		t.Fatalf("code = %d", rec.Code)
+	}
+}
+
+func TestCollectorRejectsOversizedBody(t *testing.T) {
+	c, _ := NewCollector(ServerConfig{Store: metricstore.New(), MaxBodyBytes: 16})
+	if rec := postBatch(t, c, wireSamples(1000)); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d", rec.Code)
+	}
+}
+
+// blockingSink parks PutBatch until released, so a test can hold a
+// request in flight.
+type blockingSink struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingSink) PutBatch([]metricstore.Sample) {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+}
+
+func TestCollectorBackpressure(t *testing.T) {
+	sink := &blockingSink{entered: make(chan struct{}), release: make(chan struct{})}
+	o := obs.New(obs.Config{Metrics: true})
+	c, err := NewCollector(ServerConfig{Store: sink, MaxInFlight: 1, RetryAfter: 3, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postBatch(t, c, wireSamples(1))
+	}()
+	<-sink.entered // first request holds the only slot
+	rec := postBatch(t, c, wireSamples(1))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q", got)
+	}
+	close(sink.release)
+	<-done
+	if got := o.Registry().Counter("ingest_requests_total", obs.L("code", "429")).Value(); got != 1 {
+		t.Fatalf("429 count = %d", got)
+	}
+}
+
+func TestNewCollectorNeedsStore(t *testing.T) {
+	if _, err := NewCollector(ServerConfig{}); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}

@@ -1,0 +1,319 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/obs"
+)
+
+// ShipperConfig tunes the remote-write client.
+type ShipperConfig struct {
+	// URL is the collector endpoint, e.g. "http://host:8080/api/v1/ingest".
+	// Required.
+	URL string
+	// BatchSize triggers a flush when this many samples are buffered
+	// (0 → 500).
+	BatchSize int
+	// FlushInterval triggers a flush even when the batch is short
+	// (0 → 2s).
+	FlushInterval time.Duration
+	// QueueSize bounds the in-memory buffer between Put and the sender
+	// (0 → 8192). When full, Put drops (or blocks, see BlockOnFull).
+	QueueSize int
+	// BlockOnFull makes Put block until queue space frees instead of
+	// dropping — backpressure propagates to the producer. Replay-style
+	// producers (capplan push) want this; live pollers usually do not.
+	BlockOnFull bool
+	// MaxAttempts bounds delivery tries per batch, first attempt
+	// included (0 → 8). An exhausted batch is dropped and counted.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential retry delay (0 → 100ms); each
+	// retry doubles it up to MaxBackoff (0 → 5s), plus up to 50% jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Client posts the batches (nil → a client with a 10s timeout).
+	Client *http.Client
+	// Seed drives retry jitter (deterministic tests).
+	Seed uint64
+	// Obs receives shipper_batches_sent_total, shipper_retries_total,
+	// shipper_samples_dropped_total and the shipper_queue_depth gauge.
+	Obs *obs.Observer
+}
+
+// ShipperStats is a point-in-time delivery summary.
+type ShipperStats struct {
+	BatchesSent    int64
+	SamplesShipped int64
+	Retries        int64
+	Dropped        int64
+}
+
+// Shipper buffers samples and ships them to a collector in compressed
+// batches with retries. It satisfies the agent's Sink interface, so an
+// agent can deliver to a remote repository exactly as it would to a
+// local *metricstore.Store. Delivery is at-least-once: a batch whose
+// response is lost may be resent, and the repository's (key, timestamp)
+// overwrite semantics absorb the duplicates.
+type Shipper struct {
+	cfg    ShipperConfig
+	queue  chan metricstore.Sample
+	ctx    context.Context // send lifetime; cancelled by a hard shutdown
+	cancel context.CancelFunc
+	drain  chan struct{} // closed by Close to start the graceful drain
+	done   chan struct{} // closed when the run loop exits
+
+	mu     sync.RWMutex // guards closed against racing Puts
+	closed bool
+	once   sync.Once
+
+	rng *rand.Rand // run-loop only
+
+	sent    atomic.Int64
+	shipped atomic.Int64
+	retries atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewShipper validates cfg and starts the background sender.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("ingest: shipper needs a collector URL")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 500
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Second
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8192
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Shipper{
+		cfg:    cfg,
+		queue:  make(chan metricstore.Sample, cfg.QueueSize),
+		ctx:    ctx,
+		cancel: cancel,
+		drain:  make(chan struct{}),
+		done:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(int64(cfg.Seed))),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Put buffers one sample for shipment. With a full queue it drops the
+// sample (counted in shipper_samples_dropped_total) unless BlockOnFull
+// is set, in which case it waits for space. After Close every Put is a
+// counted drop.
+func (s *Shipper) Put(smp metricstore.Sample) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.drop(1)
+		return
+	}
+	if s.cfg.BlockOnFull {
+		select {
+		case s.queue <- smp:
+		case <-s.ctx.Done():
+			s.drop(1)
+			return
+		}
+	} else {
+		select {
+		case s.queue <- smp:
+		default:
+			s.drop(1)
+			return
+		}
+	}
+	s.cfg.Obs.SetGauge("shipper_queue_depth", float64(len(s.queue)))
+}
+
+// Close stops intake, drains and flushes the queue, and waits for the
+// sender to exit. ctx bounds the drain: when it expires the in-flight
+// send is aborted and whatever remains buffered is dropped (counted).
+// It returns an error when any sample was dropped over the shipper's
+// lifetime, so replay producers can detect loss.
+func (s *Shipper) Close(ctx context.Context) error {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.drain)
+	})
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		s.cancel() // abort the in-flight send and the backoff sleeps
+		<-s.done
+	}
+	s.cancel()
+	if n := s.dropped.Load(); n > 0 {
+		return fmt.Errorf("ingest: shipper dropped %d samples", n)
+	}
+	return nil
+}
+
+// Stats returns the delivery counters.
+func (s *Shipper) Stats() ShipperStats {
+	return ShipperStats{
+		BatchesSent:    s.sent.Load(),
+		SamplesShipped: s.shipped.Load(),
+		Retries:        s.retries.Load(),
+		Dropped:        s.dropped.Load(),
+	}
+}
+
+// run is the single sender goroutine: batch on size or interval, drain
+// on Close, stop on hard cancellation.
+func (s *Shipper) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]metricstore.Sample, 0, s.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.send(batch)
+		batch = batch[:0]
+		s.cfg.Obs.SetGauge("shipper_queue_depth", float64(len(s.queue)))
+	}
+	for {
+		select {
+		case smp := <-s.queue:
+			batch = append(batch, smp)
+			if len(batch) >= s.cfg.BatchSize {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-s.ctx.Done():
+			s.drop(int64(len(batch) + len(s.queue)))
+			return
+		case <-s.drain:
+			// Graceful shutdown: Close flipped `closed` under the write
+			// lock before signalling, so no Put can enqueue after this
+			// loop observes an empty queue.
+			for {
+				select {
+				case smp := <-s.queue:
+					batch = append(batch, smp)
+					if len(batch) >= s.cfg.BatchSize {
+						flush()
+					}
+				case <-s.ctx.Done():
+					s.drop(int64(len(batch) + len(s.queue)))
+					return
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// send delivers one batch with exponential backoff + jitter, honouring
+// Retry-After hints. Permanent rejections (4xx other than 429) and
+// exhausted attempts drop the batch.
+func (s *Shipper) send(batch []metricstore.Sample) {
+	o := s.cfg.Obs
+	backoff := s.cfg.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		permanent, retryAfter, err := s.post(batch)
+		if err == nil {
+			s.sent.Add(1)
+			s.shipped.Add(int64(len(batch)))
+			o.Count("shipper_batches_sent_total", 1)
+			o.Debug("batch shipped", "samples", len(batch), "attempt", attempt)
+			return
+		}
+		if permanent || attempt >= s.cfg.MaxAttempts || s.ctx.Err() != nil {
+			s.drop(int64(len(batch)))
+			o.Error("batch dropped", "samples", len(batch), "attempts", attempt, "err", err)
+			return
+		}
+		s.retries.Add(1)
+		o.Count("shipper_retries_total", 1)
+		delay := backoff + time.Duration(s.rng.Int63n(int64(backoff)/2+1))
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		o.Warn("batch send failed, retrying", "samples", len(batch),
+			"attempt", attempt, "delay", delay, "err", err)
+		if backoff *= 2; backoff > s.cfg.MaxBackoff {
+			backoff = s.cfg.MaxBackoff
+		}
+		select {
+		case <-time.After(delay):
+		case <-s.ctx.Done():
+			s.drop(int64(len(batch)))
+			return
+		}
+	}
+}
+
+// post performs one HTTP delivery attempt.
+func (s *Shipper) post(batch []metricstore.Sample) (permanent bool, retryAfter time.Duration, err error) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, batch); err != nil {
+		return true, 0, err // an unencodable batch will never succeed
+	}
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodPost, s.cfg.URL, &buf)
+	if err != nil {
+		return true, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode < 300:
+		return false, 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return false, retryAfter, fmt.Errorf("ingest: collector over capacity (429)")
+	case resp.StatusCode >= 500:
+		return false, 0, fmt.Errorf("ingest: collector error %s", resp.Status)
+	default:
+		return true, 0, fmt.Errorf("ingest: collector rejected batch: %s", resp.Status)
+	}
+}
+
+// drop counts lost samples.
+func (s *Shipper) drop(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.dropped.Add(n)
+	s.cfg.Obs.Count("shipper_samples_dropped_total", n)
+}

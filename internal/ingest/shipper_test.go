@@ -1,0 +1,225 @@
+package ingest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/metricstore"
+	"repro/internal/obs"
+)
+
+// The shipper must slot into the agent's delivery path.
+var _ agent.Sink = (*Shipper)(nil)
+var _ BatchSink = (*metricstore.Store)(nil)
+
+// newCollectorServer backs an httptest server with a fresh store.
+func newCollectorServer(t *testing.T) (*httptest.Server, *metricstore.Store) {
+	t.Helper()
+	store := metricstore.New()
+	c, err := NewCollector(ServerConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c)
+	t.Cleanup(srv.Close)
+	return srv, store
+}
+
+func fastShipper(t *testing.T, url string, mut func(*ShipperConfig)) *Shipper {
+	t.Helper()
+	cfg := ShipperConfig{
+		URL:           url + Path,
+		BatchSize:     4,
+		FlushInterval: 20 * time.Millisecond,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    5 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := NewShipper(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShipperFlushesOnBatchSize(t *testing.T) {
+	srv, store := newCollectorServer(t)
+	s := fastShipper(t, srv.URL, func(c *ShipperConfig) { c.FlushInterval = time.Hour })
+	for _, smp := range wireSamples(4) {
+		s.Put(smp)
+	}
+	k := metricstore.Key{Target: "cdbm011", Metric: "cpu"}
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Count(k) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("size-triggered flush never delivered: stored %d", store.Count(k))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.BatchesSent != 1 || st.SamplesShipped != 4 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShipperFlushesOnInterval(t *testing.T) {
+	srv, store := newCollectorServer(t)
+	s := fastShipper(t, srv.URL, nil)
+	s.Put(wireSamples(1)[0]) // one sample, well under BatchSize
+	k := metricstore.Key{Target: "cdbm011", Metric: "cpu"}
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Count(k) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShipperCloseDrains(t *testing.T) {
+	srv, store := newCollectorServer(t)
+	s := fastShipper(t, srv.URL, func(c *ShipperConfig) { c.FlushInterval = time.Hour; c.BatchSize = 1000 })
+	in := wireSamples(37)
+	for _, smp := range in {
+		s.Put(smp)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Count(metricstore.Key{Target: "cdbm011", Metric: "cpu"}); got != len(in) {
+		t.Fatalf("stored = %d, want %d", got, len(in))
+	}
+	// Put after Close is a counted drop, not a panic.
+	s.Put(in[0])
+	if st := s.Stats(); st.Dropped != 1 {
+		t.Fatalf("post-close drop not counted: %+v", st)
+	}
+}
+
+func TestShipperRetriesTransientErrors(t *testing.T) {
+	store := metricstore.New()
+	c, err := NewCollector(ServerConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		c.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	s := fastShipper(t, srv.URL, nil)
+	for _, smp := range wireSamples(4) {
+		s.Put(smp)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Retries < 2 || st.Dropped != 0 || st.SamplesShipped != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := store.Count(metricstore.Key{Target: "cdbm011", Metric: "cpu"}); got != 4 {
+		t.Fatalf("stored = %d", got)
+	}
+}
+
+func TestShipperHonoursRetryAfterOn429(t *testing.T) {
+	store := metricstore.New()
+	c, err := NewCollector(ServerConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0") // malformed-ish hint: fall back to backoff
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		c.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	s := fastShipper(t, srv.URL, nil)
+	for _, smp := range wireSamples(4) {
+		s.Put(smp)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Retries != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShipperDropsOnPermanentRejection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	o := obs.New(obs.Config{Metrics: true})
+	s := fastShipper(t, srv.URL, func(c *ShipperConfig) { c.Obs = o })
+	for _, smp := range wireSamples(4) {
+		s.Put(smp)
+	}
+	if err := s.Close(context.Background()); err == nil {
+		t.Fatal("Close should report the dropped batch")
+	}
+	st := s.Stats()
+	if st.Dropped != 4 || st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := o.Registry().CounterValue("shipper_samples_dropped_total"); got != 4 {
+		t.Fatalf("shipper_samples_dropped_total = %d", got)
+	}
+}
+
+func TestShipperQueueFullDrops(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	defer close(block)
+	s := fastShipper(t, srv.URL, func(c *ShipperConfig) {
+		c.QueueSize = 2
+		c.BatchSize = 1 // every sample goes straight into a (stuck) send
+		c.FlushInterval = time.Hour
+	})
+	// One sample in flight, two queued, the rest must drop.
+	for _, smp := range wireSamples(10) {
+		s.Put(smp)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Dropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("full queue never dropped: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_ = s.Close(ctx) // bounded shutdown with the server still stuck
+}
+
+func TestShipperNeedsURL(t *testing.T) {
+	if _, err := NewShipper(ShipperConfig{}); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+}

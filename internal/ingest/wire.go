@@ -1,0 +1,125 @@
+// Package ingest is the networked remote-write path of the paper's §5.1
+// architecture: agents on database hosts ship metric samples over HTTP
+// to the central repository instead of calling it in-process. The
+// package has two halves — a collector (an http.Handler that decodes,
+// validates and batch-appends samples into a metricstore under
+// backpressure) and a Shipper (a metricstore-compatible sink that
+// buffers samples into a bounded queue and flushes gzip-compressed
+// batches with exponential-backoff retries). Delivery is at-least-once;
+// the repository's (key, timestamp) overwrite semantics make redelivery
+// idempotent.
+package ingest
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/metricstore"
+)
+
+// WireVersion is the current batch envelope version. Decoders reject
+// versions they do not understand so a fleet can be upgraded
+// collector-first.
+const WireVersion = 1
+
+// Path is the collector's HTTP route on the shared observability mux.
+const Path = "/api/v1/ingest"
+
+// wireSample is the on-the-wire form of one metricstore.Sample.
+// Timestamps travel as Unix milliseconds so the format is independent
+// of Go's time encoding.
+type wireSample struct {
+	Target string  `json:"target"`
+	Metric string  `json:"metric"`
+	AtMs   int64   `json:"at_ms"`
+	Value  float64 `json:"value"`
+}
+
+// wireBatch is the versioned envelope: a JSON document, gzip-compressed
+// on the wire.
+type wireBatch struct {
+	Version int          `json:"version"`
+	Samples []wireSample `json:"samples"`
+}
+
+// ValidateSample checks one sample against the collector's admission
+// rules: non-empty target and metric, a set timestamp, and a finite
+// value (JSON cannot carry NaN/Inf, and the aggregation layer must
+// never see them).
+func ValidateSample(s metricstore.Sample) error {
+	if s.Target == "" {
+		return fmt.Errorf("ingest: sample with empty target")
+	}
+	if s.Metric == "" {
+		return fmt.Errorf("ingest: sample with empty metric")
+	}
+	if s.At.IsZero() {
+		return fmt.Errorf("ingest: sample %s/%s with zero timestamp", s.Target, s.Metric)
+	}
+	if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+		return fmt.Errorf("ingest: sample %s/%s with non-finite value", s.Target, s.Metric)
+	}
+	return nil
+}
+
+// EncodeBatch writes samples to w as a gzip-compressed version-1
+// envelope. Every sample must pass ValidateSample.
+func EncodeBatch(w io.Writer, samples []metricstore.Sample) error {
+	batch := wireBatch{Version: WireVersion, Samples: make([]wireSample, len(samples))}
+	for i, s := range samples {
+		if err := ValidateSample(s); err != nil {
+			return err
+		}
+		batch.Samples[i] = wireSample{
+			Target: s.Target,
+			Metric: s.Metric,
+			AtMs:   s.At.UnixMilli(),
+			Value:  s.Value,
+		}
+	}
+	zw := gzip.NewWriter(w)
+	if err := json.NewEncoder(zw).Encode(batch); err != nil {
+		zw.Close()
+		return fmt.Errorf("ingest: encode batch: %w", err)
+	}
+	return zw.Close()
+}
+
+// DecodeBatch reads one gzip-compressed envelope from r, checks the
+// version, enforces maxSamples (0 = unlimited) and validates every
+// sample. Decoded timestamps are UTC.
+func DecodeBatch(r io.Reader, maxSamples int) ([]metricstore.Sample, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: not a gzip stream: %w", err)
+	}
+	defer zr.Close()
+	var batch wireBatch
+	dec := json.NewDecoder(zr)
+	if err := dec.Decode(&batch); err != nil {
+		return nil, fmt.Errorf("ingest: decode batch: %w", err)
+	}
+	if batch.Version != WireVersion {
+		return nil, fmt.Errorf("ingest: unsupported wire version %d (want %d)", batch.Version, WireVersion)
+	}
+	if maxSamples > 0 && len(batch.Samples) > maxSamples {
+		return nil, fmt.Errorf("ingest: batch of %d samples exceeds limit %d", len(batch.Samples), maxSamples)
+	}
+	out := make([]metricstore.Sample, len(batch.Samples))
+	for i, ws := range batch.Samples {
+		out[i] = metricstore.Sample{
+			Target: ws.Target,
+			Metric: ws.Metric,
+			At:     time.UnixMilli(ws.AtMs).UTC(),
+			Value:  ws.Value,
+		}
+		if err := ValidateSample(out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package metricstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// benchStore mirrors the serve-mode store: observer attached, so the
+// per-Put registry lookup the batched path amortises is measured.
+func benchStore() *Store {
+	s := New()
+	s.SetObserver(obs.New(obs.Config{Metrics: true}))
+	return s
+}
+
+// benchBatch builds an in-order batch spread across targets×metrics —
+// the shape one remote-write request carries.
+func benchBatch(n, targets, metrics int) []Sample {
+	batch := make([]Sample, 0, n)
+	for i := 0; len(batch) < n; i++ {
+		at := t0.Add(time.Duration(i) * 15 * time.Minute)
+		for tg := 0; tg < targets && len(batch) < n; tg++ {
+			for m := 0; m < metrics && len(batch) < n; m++ {
+				batch = append(batch, Sample{
+					Target: fmt.Sprintf("cdbm%03d", tg),
+					Metric: fmt.Sprintf("m%d", m),
+					At:     at,
+					Value:  float64(i),
+				})
+			}
+		}
+	}
+	return batch
+}
+
+// BenchmarkPutBatch measures the single-lock merge path against the
+// per-sample Put loop it replaced.
+func BenchmarkPutBatch(b *testing.B) {
+	for _, size := range []int{256, 4096} {
+		batch := benchBatch(size, 4, 3)
+		b.Run(fmt.Sprintf("batched-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := benchStore()
+				s.PutBatch(batch)
+			}
+		})
+		b.Run(fmt.Sprintf("put-loop-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := benchStore()
+				for _, smp := range batch {
+					s.Put(smp)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPutBatchAppendTail measures repeated tail-extending batches,
+// the steady-state shipper feed.
+func BenchmarkPutBatchAppendTail(b *testing.B) {
+	const chunk = 96
+	batch := benchBatch(chunk*64, 2, 3)
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := benchStore()
+			for off := 0; off < len(batch); off += chunk {
+				s.PutBatch(batch[off : off+chunk])
+			}
+		}
+	})
+	b.Run("put-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := benchStore()
+			for _, smp := range batch {
+				s.Put(smp)
+			}
+		}
+	})
+}

@@ -74,29 +74,58 @@ func (s *Store) Put(smp Sample) {
 	defer s.mu.Unlock()
 	s.obs.Count("metricstore_samples_ingested_total", 1)
 	k := Key{Target: smp.Target, Metric: smp.Metric}
-	list := s.samples[k]
+	s.samples[k] = insertSample(s.samples[k], smp)
+}
+
+// insertSample adds smp to a time-sorted slice, overwriting an existing
+// sample at the same timestamp.
+func insertSample(list []Sample, smp Sample) []Sample {
 	// Fast path: append in order.
 	if n := len(list); n == 0 || smp.At.After(list[n-1].At) {
-		s.samples[k] = append(list, smp)
-		return
+		return append(list, smp)
 	}
 	// Find the insertion point.
 	i := sort.Search(len(list), func(i int) bool { return !list[i].At.Before(smp.At) })
 	if i < len(list) && list[i].At.Equal(smp.At) {
 		list[i] = smp
-		return
+		return list
 	}
 	list = append(list, Sample{})
 	copy(list[i+1:], list[i:])
 	list[i] = smp
-	s.samples[k] = list
+	return list
 }
 
-// PutBatch records many samples.
+// PutBatch records many samples under a single lock acquisition and a
+// single ingestion-counter bump: the batch is walked in order (so later
+// duplicates win exactly as with sequential Put) and each sample is
+// merged into its key's sorted slice, with the slice and map write
+// cached across runs of the same key. A remote-write batch thus skips
+// the per-sample mutex round-trip, observer counter lookup and map
+// store that a Put loop pays.
 func (s *Store) PutBatch(batch []Sample) {
-	for _, smp := range batch {
-		s.Put(smp)
+	if len(batch) == 0 {
+		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.Count("metricstore_samples_ingested_total", int64(len(batch)))
+	var (
+		k    Key
+		list []Sample
+		have bool
+	)
+	for i := range batch {
+		nk := Key{Target: batch[i].Target, Metric: batch[i].Metric}
+		if !have || nk != k {
+			if have {
+				s.samples[k] = list
+			}
+			k, list, have = nk, s.samples[nk], true
+		}
+		list = insertSample(list, batch[i])
+	}
+	s.samples[k] = list
 }
 
 // Keys lists the stored series identities, sorted.

@@ -143,6 +143,66 @@ func TestLoadGarbage(t *testing.T) {
 	}
 }
 
+func TestPutBatchEquivalentToSequentialPut(t *testing.T) {
+	// Out-of-order, multi-key, with intra-batch duplicates and overlap
+	// against pre-stored samples: PutBatch must land exactly where a
+	// Put loop would.
+	pre := []Sample{
+		{Target: "a", Metric: "cpu", At: t0.Add(15 * time.Minute), Value: 1},
+		{Target: "b", Metric: "mem", At: t0, Value: 2},
+	}
+	batch := []Sample{
+		{Target: "a", Metric: "cpu", At: t0.Add(45 * time.Minute), Value: 3},
+		{Target: "b", Metric: "mem", At: t0, Value: 9}, // overwrites pre
+		{Target: "a", Metric: "cpu", At: t0, Value: 4},
+		{Target: "a", Metric: "cpu", At: t0.Add(45 * time.Minute), Value: 7}, // later dup wins
+		{Target: "c", Metric: "io", At: t0.Add(time.Hour), Value: 5},
+	}
+	batched, seq := New(), New()
+	batched.PutBatch(pre)
+	seq.PutBatch(append([]Sample(nil), pre...))
+	batched.PutBatch(batch)
+	for _, smp := range batch {
+		seq.Put(smp)
+	}
+	for _, k := range seq.Keys() {
+		want, got := seq.Raw(k), batched.Raw(k)
+		if len(want) != len(got) {
+			t.Fatalf("%s: len %d vs %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if !want[i].At.Equal(got[i].At) || want[i].Value != got[i].Value {
+				t.Fatalf("%s[%d]: %+v vs %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPutBatchAppendFastPath(t *testing.T) {
+	s := New()
+	k := Key{Target: "d", Metric: "m"}
+	s.PutBatch([]Sample{
+		{Target: "d", Metric: "m", At: t0, Value: 1},
+		{Target: "d", Metric: "m", At: t0.Add(15 * time.Minute), Value: 2},
+	})
+	// Strictly after the tail — exercises the append fast path, with an
+	// intra-batch duplicate.
+	s.PutBatch([]Sample{
+		{Target: "d", Metric: "m", At: t0.Add(30 * time.Minute), Value: 3},
+		{Target: "d", Metric: "m", At: t0.Add(30 * time.Minute), Value: 8},
+		{Target: "d", Metric: "m", At: t0.Add(45 * time.Minute), Value: 4},
+	})
+	raw := s.Raw(k)
+	if len(raw) != 4 || raw[2].Value != 8 || raw[3].Value != 4 {
+		t.Fatalf("raw = %+v", raw)
+	}
+	for i := 1; i < len(raw); i++ {
+		if !raw[i].At.After(raw[i-1].At) {
+			t.Fatalf("not strictly ordered: %+v", raw)
+		}
+	}
+}
+
 func TestConcurrentPutAndRead(t *testing.T) {
 	s := New()
 	var wg sync.WaitGroup
