@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench tables figures examples clean
+.PHONY: all build vet test test-short race bench bench-baseline bench-check tables figures examples clean
 
 all: build vet test
 
@@ -19,13 +19,28 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-detector pass over the concurrent paths (parallel fit workers,
-# fleet runner, metric repository, obs registry/spans).
+# fleet runner, metric repository, obs registry/spans), plus a dedicated
+# full-length pass over the pooled-workspace fit paths that -short trims.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -run 'Pool|Parallel|Concurrent' ./internal/core/ ./internal/arima/
 
 # One benchmark per paper table/figure plus the ablations (reduced sizes).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The fit hot-path benchmarks gated by the committed BENCH_PR5.json
+# baseline (see cmd/benchcheck): bench-baseline rewrites it, bench-check
+# compares and fails on large regressions (allocs/op strict, ns/op loose).
+BENCH_GATE = ^(BenchmarkFitARIMA|BenchmarkFitSARIMAX|BenchmarkEngineRun)$$
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 5x -count 3 . > bench_output.txt
+	$(GO) run ./cmd/benchcheck -update -baseline BENCH_PR5.json bench_output.txt
+
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 1x -count 1 . > bench_output.txt
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR5.json bench_output.txt
 
 # Full-size reproduction of the evaluation tables (42 days, Table 1 splits).
 tables:

@@ -32,6 +32,7 @@ var benchStart = time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
 // BenchmarkTable1Splits measures the Table 1 split policy applied to the
 // three granularities (the bookkeeping step of every engine run).
 func BenchmarkTable1Splits(b *testing.B) {
+	b.ReportAllocs()
 	hourly := timeseries.New("h", benchStart, timeseries.Hourly, make([]float64, 1008))
 	daily := timeseries.New("d", benchStart, timeseries.Daily, make([]float64, 90))
 	weekly := timeseries.New("w", benchStart, timeseries.Weekly, make([]float64, 92))
@@ -52,6 +53,7 @@ func BenchmarkTable1Splits(b *testing.B) {
 // BenchmarkTable2aOLAP regenerates Table 2(a): the three model families
 // on every instance × metric of the OLAP experiment.
 func BenchmarkTable2aOLAP(b *testing.B) {
+	b.ReportAllocs()
 	ds, err := experiments.Build(experiments.OLAP, benchOpt)
 	if err != nil {
 		b.Fatal(err)
@@ -70,6 +72,7 @@ func BenchmarkTable2aOLAP(b *testing.B) {
 
 // BenchmarkTable2bOLTP regenerates Table 2(b) on the OLTP experiment.
 func BenchmarkTable2bOLTP(b *testing.B) {
+	b.ReportAllocs()
 	ds, err := experiments.Build(experiments.OLTP, benchOpt)
 	if err != nil {
 		b.Fatal(err)
@@ -89,6 +92,7 @@ func BenchmarkTable2bOLTP(b *testing.B) {
 // BenchmarkFigure1Visualisation regenerates the Figure 1 pieces:
 // correlograms, decomposition and differencing.
 func BenchmarkFigure1Visualisation(b *testing.B) {
+	b.ReportAllocs()
 	ds, err := experiments.Build(experiments.OLTP, benchOpt)
 	if err != nil {
 		b.Fatal(err)
@@ -104,6 +108,7 @@ func BenchmarkFigure1Visualisation(b *testing.B) {
 // BenchmarkFigure2OLAPWorkload regenerates the Figure 2 workload series:
 // simulate → agent → repository → hourly aggregation.
 func BenchmarkFigure2OLAPWorkload(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ds, err := experiments.Build(experiments.OLAP, benchOpt)
 		if err != nil {
@@ -117,6 +122,7 @@ func BenchmarkFigure2OLAPWorkload(b *testing.B) {
 
 // BenchmarkFigure3OLTPWorkload regenerates the Figure 3 workload series.
 func BenchmarkFigure3OLTPWorkload(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ds, err := experiments.Build(experiments.OLTP, benchOpt)
 		if err != nil {
@@ -131,6 +137,7 @@ func BenchmarkFigure3OLTPWorkload(b *testing.B) {
 // BenchmarkFigure6Predictions regenerates the Figure 6 charts: the three
 // families forecasting OLAP CPU.
 func BenchmarkFigure6Predictions(b *testing.B) {
+	b.ReportAllocs()
 	ds, err := experiments.Build(experiments.OLAP, benchOpt)
 	if err != nil {
 		b.Fatal(err)
@@ -150,6 +157,7 @@ func BenchmarkFigure6Predictions(b *testing.B) {
 // BenchmarkFigure7Predictions regenerates the Figure 7 charts: SARIMAX
 // with Exogenous and Fourier terms on the three OLTP metrics.
 func BenchmarkFigure7Predictions(b *testing.B) {
+	b.ReportAllocs()
 	ds, err := experiments.Build(experiments.OLTP, benchOpt)
 	if err != nil {
 		b.Fatal(err)
@@ -169,6 +177,7 @@ func BenchmarkFigure7Predictions(b *testing.B) {
 // BenchmarkModelGridEnumeration measures building the paper's §6.3 grids
 // (180 + 660 + 666 models) — the model-count parity check.
 func BenchmarkModelGridEnumeration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(arima.ARIMAGrid()) != 180 {
 			b.Fatal("ARIMA grid size")
@@ -200,6 +209,7 @@ func benchSeries() *timeseries.Series {
 // BenchmarkAblationSerialFit is the paper's §9 parallelism claim,
 // baseline side: engine run with a single worker.
 func BenchmarkAblationSerialFit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	eng, err := core.NewEngine(core.Options{Technique: core.TechniqueSARIMAX, Workers: 1, MaxCandidates: 8})
 	if err != nil {
@@ -215,6 +225,7 @@ func BenchmarkAblationSerialFit(b *testing.B) {
 
 // BenchmarkAblationParallelFit is the parallel side: same grid, all cores.
 func BenchmarkAblationParallelFit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	eng, err := core.NewEngine(core.Options{Technique: core.TechniqueSARIMAX, MaxCandidates: 8})
 	if err != nil {
@@ -231,6 +242,7 @@ func BenchmarkAblationParallelFit(b *testing.B) {
 // BenchmarkAblationExogOff measures the engine without exogenous shock
 // regressors (DESIGN.md ablation: what the shocks buy).
 func BenchmarkAblationExogOff(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	eng, err := core.NewEngine(core.Options{
 		Technique: core.TechniqueSARIMAX, MaxCandidates: 8,
@@ -251,6 +263,7 @@ func BenchmarkAblationExogOff(b *testing.B) {
 // headline order (1,1,1)(1,1,1,24) on 984 points — the unit of work the
 // grid search multiplies.
 func BenchmarkAblationSingleSARIMAXFit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	train := s.Values[:984]
 	spec := arima.Spec{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: 24}
@@ -266,6 +279,7 @@ func BenchmarkAblationSingleSARIMAXFit(b *testing.B) {
 // ablation. CSS is the repo default; MLE is the exact Kalman-filter
 // likelihood (statsmodels' route). Same spec, same data.
 func BenchmarkAblationCSSFit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	train := s.Values[:984]
 	spec := arima.Spec{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: 24}
@@ -278,6 +292,7 @@ func BenchmarkAblationCSSFit(b *testing.B) {
 }
 
 func BenchmarkAblationMLEFit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	train := s.Values[:984]
 	spec := arima.Spec{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: 24}
@@ -293,6 +308,7 @@ func BenchmarkAblationMLEFit(b *testing.B) {
 // stepwise alternative to the §6.3 grids (fits ~20 models instead of
 // hundreds).
 func BenchmarkAblationStepwiseSearch(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	train := s.Values[:984]
 	b.ResetTimer()
@@ -308,9 +324,77 @@ func BenchmarkAblationStepwiseSearch(b *testing.B) {
 // BenchmarkAblationHESFit isolates one Holt-Winters fit on the same data
 // (the other branch of Figure 4).
 func BenchmarkAblationHESFit(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSeries()
 	eng, err := core.NewEngine(core.Options{Technique: core.TechniqueHES})
 	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitARIMA measures one steady-state non-seasonal CSS fit the
+// way the engine runs it: a reused workspace and a shared prediffed
+// series, so allocations reflect the pooled hot path rather than
+// first-fit warm-up. Gated against BENCH_PR5.json by `make bench-check`.
+func BenchmarkFitARIMA(b *testing.B) {
+	b.ReportAllocs()
+	s := benchSeries()
+	train := s.Values[:984]
+	spec := arima.Spec{P: 2, D: 1, Q: 2}
+	ws := arima.NewWorkspace()
+	prediff := arima.Prediff(train, spec.D, spec.SD, spec.S)
+	opt := arima.FitOptions{Workspace: ws, PrediffedY: prediff}
+	if _, err := arima.Fit(spec, train, nil, opt); err != nil { // warm-up sizes the buffers
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arima.Fit(spec, train, nil, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitSARIMAX is the PR's headline gate: the paper's
+// (1,1,1)(1,1,1,24) order fitted with workspace reuse. The acceptance
+// target is >= 2x fewer allocs/op than the pre-workspace code (which
+// allocated ~29k objects per fit; see EXPERIMENTS.md).
+func BenchmarkFitSARIMAX(b *testing.B) {
+	b.ReportAllocs()
+	s := benchSeries()
+	train := s.Values[:984]
+	spec := arima.Spec{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: 24}
+	ws := arima.NewWorkspace()
+	prediff := arima.Prediff(train, spec.D, spec.SD, spec.S)
+	opt := arima.FitOptions{Workspace: ws, PrediffedY: prediff}
+	if _, err := arima.Fit(spec, train, nil, opt); err != nil { // warm-up sizes the buffers
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arima.Fit(spec, train, nil, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRun measures one full Figure 4 pipeline run — analysis,
+// precompute, parallel grid fit, champion, forecasts — on the shared
+// 1008-point series, exercising the per-run caches and workspace pool.
+func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	s := benchSeries()
+	eng, err := core.NewEngine(core.Options{Technique: core.TechniqueSARIMAX, MaxCandidates: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), s); err != nil { // warm-up
 		b.Fatal(err)
 	}
 	b.ResetTimer()

@@ -11,7 +11,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
-	"repro/internal/timeseries"
 )
 
 // Model is a fitted SARIMA(X) model.
@@ -80,6 +79,17 @@ type FitOptions struct {
 	Ctx context.Context
 	// Obs receives fit counters and debug logs (nil disables).
 	Obs *obs.Observer
+	// Workspace supplies reusable scratch buffers for the objective hot
+	// path, amortising allocations across fits. A workspace must not be
+	// shared between concurrent fits; nil uses a private one.
+	Workspace *Workspace
+	// PrediffedY optionally supplies Difference(y, spec.D, spec.SD,
+	// spec.S) computed by the caller, letting an engine run share one
+	// differenced series across every candidate with the same
+	// differencing orders. It is only consulted when exog is empty (with
+	// regressors the warm-start series is β-adjusted first) and is
+	// treated as read-only.
+	PrediffedY []float64
 }
 
 // errTooShort is returned when the series cannot support the model order.
@@ -131,22 +141,36 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 		copy(beta0, res.Coef[1:])
 	}
 
-	// Differenced error series for the warm start.
-	makeW := func(beta []float64) []float64 {
+	ws := opt.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+
+	// Differenced error series for the warm start. The β adjustment and
+	// the differencing both write into workspace buffers; when every β is
+	// zero (always true without regressors) the copy of y is skipped
+	// entirely and the differencing reads y directly.
+	makeW := func(beta []float64, dst *[]float64) []float64 {
 		nSeries := y
-		if len(beta) > 0 {
-			nSeries = make([]float64, n)
-			copy(nSeries, y)
+		if !allZero(beta) {
+			ns := grow(&ws.ns, n)
+			copy(ns, y)
 			for j, col := range exog {
 				b := beta[j]
-				for t := range nSeries {
-					nSeries[t] -= b * col[t]
+				for t := range ns {
+					ns[t] -= b * col[t]
 				}
 			}
+			nSeries = ns
 		}
-		return timeseries.Difference(nSeries, spec.D, spec.SD, spec.S)
+		return differenceInto(dst, nSeries, spec.D, spec.SD, spec.S)
 	}
-	w0 := makeW(beta0)
+	var w0 []float64
+	if len(exog) == 0 && opt.PrediffedY != nil {
+		w0 = opt.PrediffedY
+	} else {
+		w0 = makeW(beta0, &ws.w0)
+	}
 
 	estimateIntercept := spec.D == 0 && spec.SD == 0
 
@@ -193,26 +217,26 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 
 	objective := func(x []float64) float64 {
 		c, ar, ma, sar, sma, beta := unpack(x)
-		arFull := expandSeasonal(ar, sar, spec.S)
-		maFull := expandSeasonal(ma, sma, spec.S)
-		if ok, pen := schurCohnStable(arFull); !ok {
+		arFull := ws.expandSeasonalInto(&ws.arFull, ar, sar, spec.S)
+		maFull := ws.expandSeasonalInto(&ws.maFull, ma, sma, spec.S)
+		if ok, pen := ws.schurCohnStable(arFull); !ok {
 			return 1e12 * (1 + pen)
 		}
-		if ok, pen := schurCohnStable(maFull); !ok {
+		if ok, pen := ws.schurCohnStable(maFull); !ok {
 			return 1e12 * (1 + pen)
 		}
 		w := w0
 		if len(beta) > 0 {
-			w = makeW(beta)
+			w = makeW(beta, &ws.weval)
 		}
 		if opt.Method == MethodMLE {
-			ll, _ := kalmanLogLik(w, c, arFull, maFull)
+			ll, _ := ws.kalmanLogLik(w, c, arFull, maFull)
 			if math.IsNaN(ll) || math.IsInf(ll, 0) {
 				return 1e12
 			}
 			return -ll
 		}
-		css, _ := conditionalSS(w, c, arFull, maFull)
+		css, _ := ws.conditionalSSInto(w, c, arFull, maFull)
 		if math.IsNaN(css) || math.IsInf(css, 0) {
 			return 1e12
 		}
@@ -225,7 +249,7 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 	var result optimize.Result
 	if nParams == 0 {
 		// Pure differencing model (e.g. (0,1,0)): nothing to optimise.
-		result = optimize.Result{X: nil, F: objective(nil), Converged: true}
+		result = optimize.Result{X: nil, F: objective(nil), Converged: true, Evals: 1}
 	} else {
 		result = optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
 			MaxIter: opt.MaxIter,
@@ -233,16 +257,23 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 			Abort:   optimize.ContextAbort(opt.Ctx),
 		})
 	}
+	family := "ARIMA"
+	if spec.IsSeasonal() {
+		family = "SARIMAX"
+	}
+	opt.Obs.Count("fit_objective_evals_total", int64(result.Evals), obs.L("family", family))
 	if result.Aborted {
 		return nil, fmt.Errorf("arima: fit aborted: %w", optimize.AbortCause(opt.Ctx))
 	}
 
+	// Final pass with the allocating helpers: the model owns fresh
+	// residual / coefficient slices, never workspace aliases.
 	c, ar, ma, sar, sma, beta := unpack(result.X)
 	arFull := expandSeasonal(ar, sar, spec.S)
 	maFull := expandSeasonal(ma, sma, spec.S)
 	w := w0
 	if len(beta) > 0 {
-		w = makeW(beta)
+		w = makeW(beta, &ws.weval)
 	}
 	css, resid := conditionalSS(w, c, arFull, maFull)
 	warm := spec.MaxARLag()
@@ -281,7 +312,7 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 		BIC:       -2*ll + k*math.Log(float64(neff)),
 		Residuals: resid,
 		y:         clone(y),
-		w:         w,
+		w:         clone(w),
 		Converged: result.Converged,
 	}
 	if len(exog) > 0 {
@@ -300,17 +331,34 @@ func clone(x []float64) []float64 {
 	return append([]float64(nil), x...)
 }
 
+// allZero reports whether every β is zero — in that case the regression
+// adjustment y − X·β is the identity and the copy of y can be skipped.
+func allZero(beta []float64) bool {
+	for _, b := range beta {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // conditionalSS computes the conditional sum of squares and residuals for
 // the differenced series w under the expanded lag polynomials, per
 // equation (2): a_t = w_t − c − Σφᵢw_{t−i} + Σθⱼa_{t−j}. Pre-sample w's
 // are unavailable, so the recursion starts at t = len(arFull); pre-sample
 // residuals are zero.
 func conditionalSS(w []float64, c float64, arFull, maFull []float64) (css float64, resid []float64) {
+	resid = make([]float64, len(w))
+	return conditionalSSIn(w, c, arFull, maFull, resid), resid
+}
+
+// conditionalSSIn is the workspace core of conditionalSS: it writes the
+// innovations into resid (pre-zeroed, length len(w)) and returns the CSS.
+func conditionalSSIn(w []float64, c float64, arFull, maFull []float64, resid []float64) (css float64) {
 	n := len(w)
-	resid = make([]float64, n)
 	warm := len(arFull)
 	if warm > n {
-		return math.Inf(1), resid
+		return math.Inf(1)
 	}
 	for t := warm; t < n; t++ {
 		v := w[t] - c
@@ -330,7 +378,7 @@ func conditionalSS(w []float64, c float64, arFull, maFull []float64) (css float6
 		resid[t] = v
 		css += v * v
 	}
-	return css, resid
+	return css
 }
 
 // hannanRissanen produces initial φ, θ estimates: a long autoregression

@@ -1,0 +1,90 @@
+package arima
+
+import (
+	"math"
+	"testing"
+)
+
+// The §6.3 correlogram pruning must degrade gracefully: pathological
+// inputs (no data, zero variance, absurd caps, windows shorter than the
+// seasonal lag) should fall back to a small non-empty grid, never panic
+// and never return zero candidates — a fleet run cannot afford one
+// degenerate series taking down candidate enumeration.
+
+func checkGrid(t *testing.T, cands []Candidate, maxCandidates int) {
+	t.Helper()
+	if len(cands) == 0 {
+		t.Fatal("pruned grid is empty; want non-empty fallback")
+	}
+	if maxCandidates > 0 && len(cands) > maxCandidates {
+		t.Fatalf("grid has %d candidates, cap is %d", len(cands), maxCandidates)
+	}
+	for _, c := range cands {
+		if err := c.Spec.Validate(); err != nil {
+			t.Fatalf("invalid candidate %v: %v", c.Spec, err)
+		}
+	}
+}
+
+func TestPrunedGridEmptySeries(t *testing.T) {
+	// ACF/PACF of an empty series are all-NaN; no lag is significant and
+	// the AR/MA fallbacks must kick in.
+	checkGrid(t, PrunedGrid(nil, 0, 0, 0, false, 8), 8)
+	checkGrid(t, PrunedGrid([]float64{}, 1, 1, 24, true, 8), 8)
+}
+
+func TestPrunedGridConstantSeries(t *testing.T) {
+	// Zero variance makes every autocorrelation NaN (0/0); NaN compares
+	// false against the band, so no order is "significant".
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = 42
+	}
+	cands := PrunedGrid(y, 1, 1, 24, true, 12)
+	checkGrid(t, cands, 12)
+}
+
+func TestPrunedGridMaxCandidatesZeroAndOne(t *testing.T) {
+	y := make([]float64, 200)
+	for i := range y {
+		y[i] = math.Sin(2*math.Pi*float64(i)/24) + 0.01*float64(i)
+	}
+	// 0 means "use the default cap", not "no candidates".
+	checkGrid(t, PrunedGrid(y, 1, 1, 24, true, 0), 48)
+	one := PrunedGrid(y, 1, 1, 24, true, 1)
+	checkGrid(t, one, 1)
+	if len(one) != 1 {
+		t.Fatalf("maxCandidates=1 returned %d candidates", len(one))
+	}
+}
+
+func TestPrunedGridSeriesShorterThanSeasonalLag(t *testing.T) {
+	// 10 observations against a 24-lag season: seasonal differencing for
+	// the correlogram is impossible and must be skipped, not crash.
+	y := []float64{5, 6, 5, 7, 6, 5, 8, 6, 5, 7}
+	checkGrid(t, PrunedGrid(y, 1, 1, 24, true, 8), 8)
+	// Same with two observations — below every analysis window.
+	checkGrid(t, PrunedGrid([]float64{1, 2}, 0, 1, 24, true, 8), 8)
+}
+
+func TestSignificantOrdersEdgeCases(t *testing.T) {
+	if got := significantOrders(nil, 0.2, 4); len(got) != 0 {
+		t.Fatalf("significantOrders(nil) = %v, want empty", got)
+	}
+	nan := []float64{math.NaN(), math.NaN(), math.NaN()}
+	if got := significantOrders(nan, 0.2, 4); len(got) != 0 {
+		t.Fatalf("significantOrders(NaN) = %v, want empty", got)
+	}
+	if got := significantOrdersFromACF(nan, 0.2, 3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("significantOrdersFromACF(NaN) = %v, want [0]", got)
+	}
+	// A NaN band (ConfidenceBand of an empty window) also selects nothing.
+	vals := []float64{0.9, -0.8, 0.7}
+	if got := significantOrders(vals, math.NaN(), 4); len(got) != 0 {
+		t.Fatalf("significantOrders(band=NaN) = %v, want empty", got)
+	}
+	// The cap is respected when everything is significant.
+	if got := significantOrders(vals, 0.1, 2); len(got) != 2 {
+		t.Fatalf("significantOrders(max=2) = %v, want 2 orders", got)
+	}
+}

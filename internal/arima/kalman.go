@@ -48,12 +48,19 @@ func applyT(ar []float64, x, out []float64) {
 	}
 }
 
-// applyTM computes out = T·M·Tᵀ for symmetric M (r×r, row-major) in two
-// passes using applyT on rows/columns.
-func applyTMT(ar []float64, m []float64, r int, tmp, out []float64) {
+// applyTMT computes out = T·M·Tᵀ for symmetric M (r×r, row-major) in two
+// passes using applyT on rows/columns. col and res are caller-provided
+// scratch vectors of length r — the per-observation Kalman recursion
+// calls this in a loop and must not allocate them each time.
+func applyTMT(ar []float64, m []float64, r int, tmp, out, col, res []float64) {
+	// Pin the scratch lengths to r so the compiler can prove the i < r
+	// loops in-bounds (the buffers arrive as grown workspace slices whose
+	// length it cannot otherwise see).
+	col = col[:r]
+	res = res[:r]
+	m = m[:r*r]
+	tmp = tmp[:r*r]
 	// tmp = T·M (apply T to each column of M).
-	col := make([]float64, r)
-	res := make([]float64, r)
 	for j := 0; j < r; j++ {
 		for i := 0; i < r; i++ {
 			col[i] = m[i*r+j]
@@ -77,18 +84,25 @@ func applyTMT(ar []float64, m []float64, r int, tmp, out []float64) {
 // near-unit-root cases.
 func stationaryCovariance(ar, rvec []float64, r int) []float64 {
 	p := make([]float64, r*r)
-	q := make([]float64, r*r)
+	stationaryCovarianceIn(ar, rvec, r, p,
+		make([]float64, r*r), make([]float64, r*r), make([]float64, r*r),
+		make([]float64, r), make([]float64, r))
+	return p
+}
+
+// stationaryCovarianceIn is the scratch-parameterised core of
+// stationaryCovariance: it solves for P into p using the caller's q /
+// tmp / next matrices and col / res vectors (all overwritten).
+func stationaryCovarianceIn(ar, rvec []float64, r int, p, q, tmp, next, col, res []float64) {
 	for i := 0; i < r; i++ {
 		for j := 0; j < r; j++ {
 			q[i*r+j] = rvec[i] * rvec[j]
 		}
 	}
 	copy(p, q)
-	tmp := make([]float64, r*r)
-	next := make([]float64, r*r)
 	const maxIter = 500
 	for iter := 0; iter < maxIter; iter++ {
-		applyTMT(ar, p, r, tmp, next)
+		applyTMT(ar, p, r, tmp, next, col, res)
 		var diff, scale float64
 		for k := range next {
 			next[k] += q[k]
@@ -112,7 +126,6 @@ func stationaryCovariance(ar, rvec []float64, r int) []float64 {
 			break
 		}
 	}
-	return p
 }
 
 // kalmanLogLik evaluates the exact Gaussian log-likelihood of the
@@ -120,9 +133,17 @@ func stationaryCovariance(ar, rvec []float64, r int) []float64 {
 // concentrated out. It returns the log-likelihood and σ̂².
 // The caller must have verified stationarity and invertibility.
 func kalmanLogLik(w []float64, c float64, arFull, maFull []float64) (loglik, sigma2 float64) {
+	return NewWorkspace().kalmanLogLik(w, c, arFull, maFull)
+}
+
+// kalmanLogLik is the workspace-backed filter: every state vector and
+// covariance matrix lives in retained buffers, so the hundreds of
+// likelihood evaluations of one MLE fit allocate nothing.
+func (ws *Workspace) kalmanLogLik(w []float64, c float64, arFull, maFull []float64) (loglik, sigma2 float64) {
 	n := len(w)
 	r := armaDim(arFull, maFull)
-	rvec := make([]float64, r)
+	rvec := grow(&ws.rvec, r)
+	zero(rvec)
 	rvec[0] = 1
 	for j := 0; j < len(maFull) && j+1 < r; j++ {
 		// Harvey form uses the MA polynomial 1 + ψ₁B + … with our
@@ -130,12 +151,17 @@ func kalmanLogLik(w []float64, c float64, arFull, maFull []float64) (loglik, sig
 		rvec[j+1] = -maFull[j]
 	}
 
-	x := make([]float64, r) // state mean
-	p := stationaryCovariance(arFull, rvec, r)
-	tmp := make([]float64, r*r)
-	next := make([]float64, r*r)
-	k := make([]float64, r)
-	xNext := make([]float64, r)
+	x := grow(&ws.x, r) // state mean
+	zero(x)
+	col := grow(&ws.col, r)
+	res := grow(&ws.res, r)
+	p := grow(&ws.pmat, r*r)
+	q := grow(&ws.qmat, r*r)
+	tmp := grow(&ws.tmpmat, r*r)
+	next := grow(&ws.nextmat, r*r)
+	stationaryCovarianceIn(arFull, rvec, r, p, q, tmp, next, col, res)
+	k := grow(&ws.kvec, r)
+	xNext := grow(&ws.xNext, r)
 
 	var sumLogF, sumV2F float64
 	nEff := 0
@@ -168,7 +194,7 @@ func kalmanLogLik(w []float64, c float64, arFull, maFull []float64) (loglik, sig
 			x[i] = xNext[i] + k[i]*v/f
 		}
 		// P⁺ = T·P·Tᵀ − K·Kᵀ/F + R·Rᵀ.
-		applyTMT(arFull, p, r, tmp, next)
+		applyTMT(arFull, p, r, tmp, next, col, res)
 		for i := 0; i < r; i++ {
 			for j := 0; j < r; j++ {
 				next[i*r+j] += rvec[i]*rvec[j] - k[i]*k[j]/f

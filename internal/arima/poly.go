@@ -1,7 +1,5 @@
 package arima
 
-import "math"
-
 // Polynomials here follow the Box-Jenkins convention of equation (2): an
 // AR polynomial φ(B) = 1 − φ₁B − … − φ_pB^p is stored as its lag
 // coefficients [φ₁ … φ_p]; the implicit leading 1 is not stored. The same
@@ -58,37 +56,7 @@ func expandSeasonal(nonseasonal []float64, seasonal []float64, s int) []float64 
 // The second return value is a measure of violation (0 when stable) used
 // as an optimisation penalty.
 func schurCohnStable(lagCoeffs []float64) (bool, float64) {
-	// Convert to the a-parameter form used by the recursion:
-	// y_t = Σ a_i y_{t−i} means a_i = lagCoeffs[i−1].
-	n := len(lagCoeffs)
-	// Trim trailing zeros.
-	for n > 0 && lagCoeffs[n-1] == 0 {
-		n--
-	}
-	if n == 0 {
-		return true, 0
-	}
-	a := make([]float64, n)
-	copy(a, lagCoeffs[:n])
-	const margin = 1e-8
-	violation := 0.0
-	for k := n; k >= 1; k-- {
-		r := a[k-1]
-		if ab := math.Abs(r); ab >= 1-margin {
-			violation += ab - (1 - margin)
-			return false, violation + 1e-6
-		}
-		if k == 1 {
-			break
-		}
-		denom := 1 - r*r
-		next := make([]float64, k-1)
-		for i := 0; i < k-1; i++ {
-			next[i] = (a[i] + r*a[k-2-i]) / denom
-		}
-		a = next
-	}
-	return true, 0
+	return NewWorkspace().schurCohnStable(lagCoeffs)
 }
 
 // psiWeights computes the MA(∞) representation weights ψ₀…ψ_{h−1} of the

@@ -1,0 +1,152 @@
+package arima
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func workspaceTestSeries(n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 100 + 0.05*float64(i) + 15*math.Sin(2*math.Pi*float64(i)/24) +
+			3*math.Sin(0.7*float64(i)) // deterministic "noise"
+	}
+	return y
+}
+
+// TestFitWorkspaceEquivalence pins the PR's core numeric contract: a fit
+// drawing every scratch buffer from a reused workspace — and the
+// differenced series from a shared Prediff — produces bit-identical
+// models to the allocating path, across repeated fits and both
+// estimation methods.
+func TestFitWorkspaceEquivalence(t *testing.T) {
+	y := workspaceTestSeries(300)
+	specs := []Spec{
+		{P: 1, D: 1, Q: 1},
+		{P: 2, D: 0, Q: 1},
+		{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: 24},
+		{P: 0, D: 1, Q: 0}, // pure differencing: no parameters to optimise
+	}
+	for _, method := range []FitMethod{MethodCSS, MethodMLE} {
+		ws := NewWorkspace()
+		for _, spec := range specs {
+			want, err := Fit(spec, y, nil, FitOptions{Method: method})
+			if err != nil {
+				t.Fatalf("%v baseline fit: %v", spec, err)
+			}
+			// Fit twice with the same workspace: the second fit runs on
+			// warm (dirty) buffers and must not see stale state.
+			for pass := 0; pass < 2; pass++ {
+				got, err := Fit(spec, y, nil, FitOptions{
+					Method:     method,
+					Workspace:  ws,
+					PrediffedY: Prediff(y, spec.D, spec.SD, spec.S),
+				})
+				if err != nil {
+					t.Fatalf("%v workspace fit pass %d: %v", spec, pass, err)
+				}
+				assertModelsIdentical(t, spec, want, got)
+			}
+		}
+	}
+}
+
+// TestPrediffMatchesDifference pins Prediff to the public differencing
+// helper the documentation promises it mirrors.
+func TestPrediffMatchesDifference(t *testing.T) {
+	y := workspaceTestSeries(120)
+	cases := []struct{ d, D, s int }{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {0, 1, 24}, {1, 1, 24}}
+	for _, c := range cases {
+		want := timeseries.Difference(y, c.d, c.D, c.s)
+		got := Prediff(y, c.d, c.D, c.s)
+		if len(want) != len(got) {
+			t.Fatalf("(d=%d,D=%d,s=%d): len %d vs %d", c.d, c.D, c.s, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("(d=%d,D=%d,s=%d): [%d] = %v, want %v", c.d, c.D, c.s, i, got[i], want[i])
+			}
+		}
+	}
+	if got := Prediff([]float64{1, 2}, 0, 1, 24); got != nil {
+		t.Fatalf("Prediff of too-short series = %v, want nil", got)
+	}
+}
+
+// TestFitWorkspacePoolParallel exercises the engine's concurrency
+// pattern under the race detector: many goroutines drawing workspaces
+// from one sync.Pool, fitting against a shared read-only prediffed
+// series. Results must match the serial fit exactly.
+func TestFitWorkspacePoolParallel(t *testing.T) {
+	y := workspaceTestSeries(300)
+	spec := Spec{P: 1, D: 1, Q: 1, SP: 1, SD: 1, SQ: 1, S: 24}
+	prediff := Prediff(y, spec.D, spec.SD, spec.S)
+	want, err := Fit(spec, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool sync.Pool
+	pool.New = func() any { return NewWorkspace() }
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				ws := pool.Get().(*Workspace)
+				got, err := Fit(spec, y, nil, FitOptions{Workspace: ws, PrediffedY: prediff})
+				pool.Put(ws)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.AIC != want.AIC {
+					errs <- errMismatch{got.AIC, want.AIC}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{ got, want float64 }
+
+func (e errMismatch) Error() string {
+	return "parallel pooled fit AIC diverged from serial fit"
+}
+
+func assertModelsIdentical(t *testing.T, spec Spec, want, got *Model) {
+	t.Helper()
+	eqSlice := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%v %s: len %d vs %d", spec, name, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] && !(math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+				t.Fatalf("%v %s[%d] = %v, want %v", spec, name, i, b[i], a[i])
+			}
+		}
+	}
+	eqSlice("AR", want.AR, got.AR)
+	eqSlice("MA", want.MA, got.MA)
+	eqSlice("SAR", want.SAR, got.SAR)
+	eqSlice("SMA", want.SMA, got.SMA)
+	eqSlice("Residuals", want.Residuals, got.Residuals)
+	if want.Intercept != got.Intercept {
+		t.Fatalf("%v intercept %v, want %v", spec, got.Intercept, want.Intercept)
+	}
+	if want.AIC != got.AIC || want.BIC != got.BIC || want.Sigma2 != got.Sigma2 {
+		t.Fatalf("%v stats (AIC %v BIC %v σ² %v), want (%v %v %v)",
+			spec, got.AIC, got.BIC, got.Sigma2, want.AIC, want.BIC, want.Sigma2)
+	}
+}

@@ -379,10 +379,17 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 	}
 	sp.End()
 
+	// Stage 4½: precompute shared fit inputs — one differenced series per
+	// distinct (d, D, s), one regressor design per distinct
+	// (exog, fourier, K) — so candidates share instead of recompute.
+	sp = run.Child("precompute")
+	rc := e.precompute(train.Values, an, cands, sp)
+	sp.End()
+
 	// Stage 5: fit and score in parallel.
 	sp = run.Child("fit-score")
 	sp.Set("workers", e.opt.Workers)
-	results := e.evaluate(ctx, train.Values, test.Values, an, cands, sp)
+	results := e.evaluate(ctx, train.Values, test.Values, an, cands, rc, sp)
 	if err := ctx.Err(); err != nil {
 		err = fmt.Errorf("fit-score: %w", err)
 		sp.Fail(err)
@@ -420,7 +427,7 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 	// production forecast from a full-series refit.
 	sp = run.Child("forecast")
 	sp.Set("horizon", horizon)
-	testFC, err := e.refitForecast(ctx, champion, train.Values, an, len(test.Values))
+	testFC, err := e.refitForecast(ctx, champion, train.Values, an, rc, len(test.Values))
 	if err != nil {
 		err = fmt.Errorf("forecast: champion test forecast: %w", err)
 		sp.Fail(err)
@@ -428,7 +435,7 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 		run.Fail(err)
 		return nil, err
 	}
-	fullFC, se, lower, upper, diag, err := e.fullForecast(ctx, champion, work.Values, an, horizon)
+	fullFC, se, lower, upper, diag, err := e.fullForecast(ctx, champion, work.Values, an, rc, horizon)
 	if err != nil {
 		err = fmt.Errorf("forecast: champion production forecast: %w", err)
 		sp.Fail(err)
@@ -587,7 +594,7 @@ func (e *Engine) buildCandidates(train *timeseries.Series, an *Analysis) []Candi
 // fit-duration histogram. Cancelling ctx stops feeding the pool, aborts
 // in-flight fits via their optimisers, and marks unqueued candidates
 // failed; a per-candidate panic is contained to that candidate.
-func (e *Engine) evaluate(ctx context.Context, train, test []float64, an *Analysis, cands []CandidateResult, parent *obs.Span) []CandidateResult {
+func (e *Engine) evaluate(ctx context.Context, train, test []float64, an *Analysis, cands []CandidateResult, rc *runCache, parent *obs.Span) []CandidateResult {
 	o := e.opt.Obs
 	jobs := make(chan int)
 	out := make([]CandidateResult, len(cands))
@@ -599,7 +606,7 @@ func (e *Engine) evaluate(ctx context.Context, train, test []float64, an *Analys
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				e.fitCandidate(ctx, &out[idx], train, test, an, parent)
+				e.fitCandidate(ctx, &out[idx], train, test, an, rc, parent)
 			}
 		}()
 	}
@@ -628,7 +635,7 @@ feed:
 
 // fitCandidate fits and scores one candidate under its own span, fit
 // deadline and panic barrier, writing the outcome into c.
-func (e *Engine) fitCandidate(ctx context.Context, c *CandidateResult, train, test []float64, an *Analysis, parent *obs.Span) {
+func (e *Engine) fitCandidate(ctx context.Context, c *CandidateResult, train, test []float64, an *Analysis, rc *runCache, parent *obs.Span) {
 	o := e.opt.Obs
 	csp := parent.Child("fit")
 	csp.Set("candidate", c.Label)
@@ -640,7 +647,7 @@ func (e *Engine) fitCandidate(ctx context.Context, c *CandidateResult, train, te
 		defer cancel()
 	}
 	began := time.Now()
-	fc, aic, err := e.fitScoreSafe(fctx, c, train, an, len(test))
+	fc, aic, err := e.fitScoreSafe(fctx, c, train, an, rc, len(test))
 	c.FitDuration = time.Since(began)
 	c.AIC = aic
 	o.Count("models_fitted_total", 1)
@@ -667,7 +674,7 @@ func (e *Engine) fitCandidate(ctx context.Context, c *CandidateResult, train, te
 
 // fitScoreSafe wraps fitScore with a panic barrier: a numerical blow-up
 // inside one candidate's optimiser kills that candidate, not the run.
-func (e *Engine) fitScoreSafe(ctx context.Context, c *CandidateResult, train []float64, an *Analysis, h int) (fc []float64, aic float64, err error) {
+func (e *Engine) fitScoreSafe(ctx context.Context, c *CandidateResult, train []float64, an *Analysis, rc *runCache, h int) (fc []float64, aic float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.opt.Obs.Count("fit_panics_total", 1)
@@ -683,7 +690,7 @@ func (e *Engine) fitScoreSafe(ctx context.Context, c *CandidateResult, train []f
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, math.NaN(), fmt.Errorf("fit aborted: %w", cerr)
 	}
-	return e.fitScore(ctx, *c, train, an, h)
+	return e.fitScore(ctx, *c, train, an, rc, h)
 }
 
 // markFailed records a candidate failure so ranking sinks it.
@@ -727,7 +734,7 @@ func tbatsCandidates(periods []int) []tbats.Config {
 // fitScore fits one candidate on train and forecasts the test window.
 // ctx reaches the family optimisers, carrying cancellation and the
 // per-candidate fit deadline.
-func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float64, an *Analysis, h int) ([]float64, float64, error) {
+func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float64, an *Analysis, rc *runCache, h int) ([]float64, float64, error) {
 	if c.tbatsCfg != nil {
 		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
 		if err != nil {
@@ -750,11 +757,19 @@ func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float6
 		}
 		return fc.Mean, m.AIC, nil
 	}
-	regs, err := e.regressorsFor(c, an, len(train))
+	regs, err := rc.regsFor(e, c, an, len(train))
 	if err != nil {
 		return nil, math.NaN(), err
 	}
-	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
+	var prediff []float64
+	if regs.Empty() {
+		prediff = rc.prediffFor(c.cand.Spec, len(train))
+	}
+	ws := rc.workspace()
+	defer rc.release(ws)
+	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{
+		Ctx: ctx, Obs: e.opt.Obs, Workspace: ws, PrediffedY: prediff,
+	})
 	if err != nil {
 		return nil, math.NaN(), err
 	}
@@ -787,14 +802,14 @@ func (e *Engine) regressorsFor(c CandidateResult, an *Analysis, n int) (*Regress
 
 // refitForecast reproduces the champion's test-window forecast (train
 // fit) for charting.
-func (e *Engine) refitForecast(ctx context.Context, c CandidateResult, train []float64, an *Analysis, h int) ([]float64, error) {
-	fc, _, err := e.fitScore(ctx, c, train, an, h)
+func (e *Engine) refitForecast(ctx context.Context, c CandidateResult, train []float64, an *Analysis, rc *runCache, h int) ([]float64, error) {
+	fc, _, err := e.fitScore(ctx, c, train, an, rc, h)
 	return fc, err
 }
 
 // fullForecast refits the champion on the whole series and produces the
 // production forecast with error bars.
-func (e *Engine) fullForecast(ctx context.Context, c CandidateResult, full []float64, an *Analysis, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
+func (e *Engine) fullForecast(ctx context.Context, c CandidateResult, full []float64, an *Analysis, rc *runCache, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
 	if c.tbatsCfg != nil {
 		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
 		if ferr != nil {
@@ -817,11 +832,13 @@ func (e *Engine) fullForecast(ctx context.Context, c CandidateResult, full []flo
 		}
 		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
 	}
-	regs, ferr := e.regressorsFor(c, an, len(full))
+	regs, ferr := rc.regsFor(e, c, an, len(full))
 	if ferr != nil {
 		return nil, nil, nil, nil, nil, ferr
 	}
-	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
+	ws := rc.workspace()
+	defer rc.release(ws)
+	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{Ctx: ctx, Obs: e.opt.Obs, Workspace: ws})
 	if ferr != nil {
 		return nil, nil, nil, nil, nil, ferr
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/arima"
+	"repro/internal/obs"
+)
+
+// This file implements the per-run candidate precomputation. One engine
+// run fits dozens of candidates over the same training window, and most
+// of their setup work is identical: every (d, D, s) pair differences the
+// same series, every "+exog" candidate rebuilds the same shock pulses,
+// and every Fourier variant regenerates the same trigonometric columns.
+// The runCache computes each distinct artefact once — serially, before
+// the worker pool starts, so the maps are read-only during the parallel
+// fit stage and need no locking — and hands fit workspaces to workers
+// from a sync.Pool so steady-state candidate fits allocate nothing.
+
+// diffKey identifies one differencing configuration (1−B)ᵈ(1−Bˢ)ᴰ.
+type diffKey struct{ d, sd, s int }
+
+// regKey identifies one exogenous design over the training window.
+type regKey struct {
+	exog     bool
+	fourier  bool
+	fourierK int
+}
+
+func regKeyFor(c *CandidateResult) regKey {
+	return regKey{exog: c.cand.UseExog, fourier: c.cand.UseFourier, fourierK: c.fourierK}
+}
+
+// runCache is the shared, read-only state of one engine run's fit stage.
+type runCache struct {
+	// n is the training length the prediff / regs maps were built for;
+	// lookups at any other length (the full-series refit) fall through to
+	// direct computation.
+	n       int
+	prediff map[diffKey][]float64
+	regs    map[regKey]*Regressors
+	// pool hands out fit workspaces, one per concurrent fitter. Buffers
+	// persist across candidates, so after warm-up a fit's objective loop
+	// allocates nothing.
+	pool sync.Pool
+}
+
+// precompute builds the run cache for a candidate list: each distinct
+// regressor design and each distinct differenced series is materialised
+// exactly once and shared (read-only) by every candidate that needs it.
+func (e *Engine) precompute(train []float64, an *Analysis, cands []CandidateResult, sp *obs.Span) *runCache {
+	rc := &runCache{
+		n:       len(train),
+		prediff: map[diffKey][]float64{},
+		regs:    map[regKey]*Regressors{},
+	}
+	rc.pool.New = func() any { return arima.NewWorkspace() }
+	for i := range cands {
+		c := &cands[i]
+		if c.isETS || c.tbatsCfg != nil {
+			continue
+		}
+		rk := regKeyFor(c)
+		regs, ok := rc.regs[rk]
+		if !ok {
+			r, err := e.regressorsFor(*c, an, len(train))
+			if err != nil {
+				// Leave the entry absent; the worker rebuilds and surfaces
+				// the same error as this candidate's fit failure.
+				continue
+			}
+			rc.regs[rk] = r
+			regs = r
+		}
+		// The prediffed series only applies to exog-free fits: with
+		// regressors the warm-start series is β-adjusted before
+		// differencing, so there is nothing shareable.
+		if regs.Empty() {
+			dk := diffKey{d: c.cand.Spec.D, sd: c.cand.Spec.SD, s: c.cand.Spec.S}
+			if _, seen := rc.prediff[dk]; !seen {
+				rc.prediff[dk] = arima.Prediff(train, dk.d, dk.sd, dk.s)
+			}
+		}
+	}
+	sp.Set("prediff_series", len(rc.prediff))
+	sp.Set("regressor_sets", len(rc.regs))
+	return rc
+}
+
+// regsFor returns the candidate's exogenous design, cached when the
+// window length matches the run cache.
+func (rc *runCache) regsFor(e *Engine, c CandidateResult, an *Analysis, n int) (*Regressors, error) {
+	if rc != nil && n == rc.n {
+		if r, ok := rc.regs[regKeyFor(&c)]; ok {
+			return r, nil
+		}
+	}
+	return e.regressorsFor(c, an, n)
+}
+
+// prediffFor returns the shared differenced series for a spec, or nil
+// when none was precomputed (wrong window length, or an exog candidate).
+func (rc *runCache) prediffFor(spec arima.Spec, n int) []float64 {
+	if rc == nil || n != rc.n {
+		return nil
+	}
+	return rc.prediff[diffKey{d: spec.D, sd: spec.SD, s: spec.S}]
+}
+
+// workspace draws a fit workspace from the pool (never nil).
+func (rc *runCache) workspace() *arima.Workspace {
+	if rc == nil {
+		return arima.NewWorkspace()
+	}
+	return rc.pool.Get().(*arima.Workspace)
+}
+
+// release returns a workspace to the pool.
+func (rc *runCache) release(ws *arima.Workspace) {
+	if rc != nil {
+		rc.pool.Put(ws)
+	}
+}

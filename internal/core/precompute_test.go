@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/arima"
+	"repro/internal/obs"
+)
+
+// TestPrecomputeSharesCandidateInputs checks the run cache materialises
+// one artefact per distinct configuration: every exog-free candidate
+// with the same (d, D, s) shares a differenced series, and every
+// (exog, fourier, K) combination shares one regressor design.
+func TestPrecomputeSharesCandidateInputs(t *testing.T) {
+	s := seasonalTrending(3)
+	e, err := NewEngine(Options{Technique: TechniqueSARIMAX, MaxCandidates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := PolicyFor(s.Freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := policy.Split(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(train, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := e.buildCandidates(train, an)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	rc := e.precompute(train.Values, an, cands, e.opt.Obs.StartSpan("test"))
+	if len(rc.prediff) == 0 {
+		t.Fatal("no prediffed series cached")
+	}
+	if len(rc.regs) == 0 {
+		t.Fatal("no regressor designs cached")
+	}
+	// Far fewer artefacts than candidates is the point of the cache.
+	if len(rc.prediff) >= len(cands) {
+		t.Fatalf("prediff entries (%d) not shared across candidates (%d)", len(rc.prediff), len(cands))
+	}
+	for i := range cands {
+		c := &cands[i]
+		if c.isETS || c.tbatsCfg != nil {
+			continue
+		}
+		regs, err := rc.regsFor(e, *c, an, train.Len())
+		if err != nil {
+			t.Fatalf("regsFor(%s): %v", c.Label, err)
+		}
+		if !regs.Empty() {
+			continue
+		}
+		pd := rc.prediffFor(c.cand.Spec, train.Len())
+		if pd == nil {
+			t.Fatalf("no prediffed series for exog-free candidate %s", c.Label)
+		}
+		want := arima.Prediff(train.Values, c.cand.Spec.D, c.cand.Spec.SD, c.cand.Spec.S)
+		if len(pd) != len(want) {
+			t.Fatalf("%s: prediff length %d, want %d", c.Label, len(pd), len(want))
+		}
+		for j := range want {
+			if pd[j] != want[j] {
+				t.Fatalf("%s: prediff[%d] = %v, want %v", c.Label, j, pd[j], want[j])
+			}
+		}
+	}
+	// The full-series window must never hit the training-window caches.
+	if rc.prediffFor(cands[0].cand.Spec, s.Len()) != nil {
+		t.Fatal("prediffFor leaked a training-window series for the full window")
+	}
+}
+
+// TestEngineRunPooledWorkspacesConcurrent runs whole engines in parallel
+// under the race detector: each run's parallel fit workers draw
+// workspaces from the run's sync.Pool, so this covers pool reuse both
+// within and across runs. Results must be run-order independent.
+func TestEngineRunPooledWorkspacesConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine runs are slow; covered by make race")
+	}
+	s := seasonalTrending(5)
+	e, err := NewEngine(Options{Technique: TechniqueSARIMAX, MaxCandidates: 6, Obs: obs.New(obs.Config{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	labels := make(chan string, 4)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.Run(context.Background(), s)
+			if err != nil {
+				errs <- err
+				return
+			}
+			labels <- res.Champion.Label
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(labels)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for l := range labels {
+		if l != ref.Champion.Label {
+			t.Fatalf("champion diverged across concurrent runs: %q vs %q", l, ref.Champion.Label)
+		}
+	}
+}

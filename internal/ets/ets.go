@@ -165,9 +165,15 @@ func fit(method Method, y []float64, opt FitOptions) (*Model, error) {
 		return
 	}
 
+	// One seasonal scratch buffer serves every objective evaluation; the
+	// final keep=true pass below allocates fresh state for the model.
+	var seasonScratch []float64
+	if method.hasSeason() {
+		seasonScratch = make([]float64, period)
+	}
 	objective := func(x []float64) float64 {
 		alpha, beta, gamma, phi := unpack(x)
-		sse, _, _, _, _, _ := run(method, y, period, alpha, beta, gamma, phi, l0, b0, s0, false)
+		sse, _, _, _, _, _ := run(method, y, period, alpha, beta, gamma, phi, l0, b0, s0, false, seasonScratch)
 		if math.IsNaN(sse) || math.IsInf(sse, 0) {
 			return math.Inf(1)
 		}
@@ -193,11 +199,12 @@ func fit(method Method, y []float64, opt FitOptions) (*Model, error) {
 		MaxIter: opt.MaxIter,
 		Abort:   optimize.ContextAbort(opt.Ctx),
 	})
+	opt.Obs.Count("fit_objective_evals_total", int64(res.Evals), obs.L("family", "HES"))
 	if res.Aborted {
 		return nil, fmt.Errorf("ets: fit aborted: %w", optimize.AbortCause(opt.Ctx))
 	}
 	alpha, beta, gamma, phi := unpack(res.X)
-	sse, level, trend, season, fitted, resid := run(method, y, period, alpha, beta, gamma, phi, l0, b0, s0, true)
+	sse, level, trend, season, fitted, resid := run(method, y, period, alpha, beta, gamma, phi, l0, b0, s0, true, nil)
 
 	sigma2 := sse / float64(n)
 	k := float64(nPar + 2) // + initial level, sigma2 (approximation)
@@ -256,14 +263,21 @@ func initialState(method Method, y []float64, period int) (l0, b0 float64, s0 []
 
 // run executes the smoothing recursions and returns the SSE plus final
 // states; when keep is true it also materialises fitted values and
-// residuals.
+// residuals. seasonScratch, when non-nil and keep is false, is reused as
+// the working seasonal state so repeated objective evaluations do not
+// allocate; callers that retain the returned season must pass nil.
 func run(method Method, y []float64, period int,
 	alpha, beta, gamma, phi, l0, b0 float64, s0 []float64,
-	keep bool) (sse, level, trend float64, season, fitted, resid []float64) {
+	keep bool, seasonScratch []float64) (sse, level, trend float64, season, fitted, resid []float64) {
 
 	level, trend = l0, b0
 	if method.hasSeason() {
-		season = append([]float64(nil), s0...)
+		if !keep && seasonScratch != nil {
+			season = seasonScratch[:len(s0)]
+			copy(season, s0)
+		} else {
+			season = append([]float64(nil), s0...)
+		}
 	}
 	if keep {
 		fitted = make([]float64, len(y))

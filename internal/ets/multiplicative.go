@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/stats"
 )
@@ -68,9 +69,17 @@ func FitMultiplicative(y []float64, period int, damped bool, opt FitOptions) (*M
 		}
 		return
 	}
+	// Seasonal scratch reused by every objective evaluation; the final
+	// keep=true pass allocates fresh state for the returned model.
+	seasonScratch := make([]float64, period)
 	run := func(alpha, beta, gamma, phi float64, keep bool) (sse float64, level, trend float64, season, fitted, resid []float64) {
 		level, trend = l0, b0
-		season = append([]float64(nil), s0...)
+		if keep {
+			season = append([]float64(nil), s0...)
+		} else {
+			season = seasonScratch[:period]
+			copy(season, s0)
+		}
 		if keep {
 			fitted = make([]float64, n)
 			resid = make([]float64, n)
@@ -111,6 +120,7 @@ func FitMultiplicative(y []float64, period int, damped bool, opt FitOptions) (*M
 		MaxIter: opt.MaxIter,
 		Abort:   optimize.ContextAbort(opt.Ctx),
 	})
+	opt.Obs.Count("fit_objective_evals_total", int64(res.Evals), obs.L("family", "HES"))
 	if res.Aborted {
 		return nil, fmt.Errorf("ets: fit aborted: %w", optimize.AbortCause(opt.Ctx))
 	}

@@ -8,7 +8,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Objective is a function to minimise. Implementations must tolerate any
@@ -116,7 +115,9 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 		return v
 	}
 
-	// Build the initial simplex.
+	// Build the initial simplex. Every vertex buffer is allocated here,
+	// once; the search loop below only copies into them, so thousands of
+	// reflection / contraction steps allocate nothing.
 	simplex := make([]vertex, n+1)
 	base := append([]float64(nil), x0...)
 	simplex[0] = vertex{x: base, f: eval(base)}
@@ -130,12 +131,27 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 		simplex[i+1] = vertex{x: x, f: eval(x)}
 	}
 
+	// Stable insertion sort (same ordering as sort.SliceStable): the
+	// simplex is nearly sorted after each step, so this is both cheap and
+	// closure/reflection-free.
 	sortSimplex := func() {
-		sort.SliceStable(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		for i := 1; i < len(simplex); i++ {
+			v := simplex[i]
+			j := i - 1
+			for j >= 0 && v.f < simplex[j].f {
+				simplex[j+1] = simplex[j]
+				j--
+			}
+			simplex[j+1] = v
+		}
 	}
 	sortSimplex()
 
 	centroid := make([]float64, n)
+	// Trial-point scratch: xr holds the reflection, xt the expansion or
+	// contraction candidate compared against it.
+	xr := make([]float64, n)
+	xt := make([]float64, n)
 	iter := 0
 	converged := false
 	for ; iter < maxIter && !checkAbort(); iter++ {
@@ -165,46 +181,43 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 		}
 		worst := simplex[n]
 
-		mix := func(alpha float64) []float64 {
-			x := make([]float64, n)
+		mix := func(dst []float64, alpha float64) []float64 {
 			for j := 0; j < n; j++ {
-				x[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+				dst[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
 			}
-			return x
+			return dst
+		}
+		accept := func(x []float64, f float64) {
+			copy(simplex[n].x, x)
+			simplex[n].f = f
 		}
 
 		// Reflection.
-		xr := mix(1)
-		fr := eval(xr)
+		fr := eval(mix(xr, 1))
 		switch {
 		case fr < simplex[0].f:
 			// Expansion.
-			xe := mix(2)
-			fe := eval(xe)
+			fe := eval(mix(xt, 2))
 			if fe < fr {
-				simplex[n] = vertex{x: xe, f: fe}
+				accept(xt, fe)
 			} else {
-				simplex[n] = vertex{x: xr, f: fr}
+				accept(xr, fr)
 			}
 		case fr < simplex[n-1].f:
-			simplex[n] = vertex{x: xr, f: fr}
+			accept(xr, fr)
 		default:
 			// Contraction.
-			var xc []float64
-			var fc float64
 			if fr < worst.f {
-				xc = mix(0.5) // outside
-				fc = eval(xc)
+				fc := eval(mix(xt, 0.5)) // outside
 				if fc <= fr {
-					simplex[n] = vertex{x: xc, f: fc}
+					accept(xt, fc)
 				} else {
 					shrink(simplex, eval)
 				}
 			} else {
-				xc = mix(-0.5) // inside
-				fc = eval(xc)
+				fc := eval(mix(xt, -0.5)) // inside
 				if fc < worst.f {
-					simplex[n] = vertex{x: xc, f: fc}
+					accept(xt, fc)
 				} else {
 					shrink(simplex, eval)
 				}

@@ -232,6 +232,14 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 	}
 	nPar += 2*nSeas + cfg.ARMAP + cfg.ARMAQ
 
+	// unpack decodes into buffers allocated once per fit — the optimiser
+	// calls it for every objective evaluation. The final unpack's slices
+	// are retained by the returned Model, which is safe because the
+	// closure dies with the fit.
+	g1Buf := make([]float64, nSeas)
+	g2Buf := make([]float64, nSeas)
+	arBuf := make([]float64, cfg.ARMAP)
+	maBuf := make([]float64, cfg.ARMAQ)
 	unpack := func(x []float64) (alpha, beta, phi float64, g1, g2, ar, ma []float64) {
 		i := 0
 		alpha = logistic(x[i])
@@ -245,19 +253,17 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 			phi = 0.8 + 0.19*logistic(x[i])
 			i++
 		}
-		g1 = make([]float64, nSeas)
-		g2 = make([]float64, nSeas)
+		g1, g2 = g1Buf, g2Buf
 		for s := 0; s < nSeas; s++ {
 			g1[s] = 0.2 * math.Tanh(x[i])
 			g2[s] = 0.2 * math.Tanh(x[i+1])
 			i += 2
 		}
-		ar = make([]float64, cfg.ARMAP)
+		ar, ma = arBuf, maBuf
 		for j := range ar {
 			ar[j] = 0.99 * math.Tanh(x[i])
 			i++
 		}
-		ma = make([]float64, cfg.ARMAQ)
 		for j := range ma {
 			ma[j] = 0.99 * math.Tanh(x[i])
 			i++
@@ -269,9 +275,11 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 	if warm < 10 {
 		warm = 10
 	}
+	// One recursion state serves every objective evaluation.
+	evalState := newZeroState(cfg, l0, b0)
 	objective := func(x []float64) float64 {
 		alpha, beta, phi, g1, g2, ar, ma := unpack(x)
-		sse := runSSE(cfg, work, alpha, beta, phi, g1, g2, ar, ma, l0, b0, warm)
+		sse := runSSE(cfg, work, alpha, beta, phi, g1, g2, ar, ma, l0, b0, warm, evalState)
 		if math.IsNaN(sse) || math.IsInf(sse, 0) {
 			return math.Inf(1)
 		}
@@ -304,6 +312,7 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 		MaxIter: maxIter,
 		Abort:   optimize.ContextAbort(opt.Ctx),
 	})
+	opt.Obs.Count("fit_objective_evals_total", int64(res.Evals), obs.L("family", "TBATS"))
 	if res.Aborted {
 		return nil, fmt.Errorf("tbats: fit aborted: %w", optimize.AbortCause(opt.Ctx))
 	}
@@ -409,11 +418,16 @@ func step(cfg Config, st *state, alpha, beta, phi float64, g1, g2, ar, ma []floa
 	return pred, e
 }
 
+// prepend inserts v at the front of the newest-first ring buffer,
+// shifting in place (the buffer grows until it holds max values, then the
+// oldest entry falls off). With capacity pre-sized to max this never
+// allocates — it runs once per observation per objective evaluation.
 func prepend(buf []float64, v float64, max int) []float64 {
-	buf = append([]float64{v}, buf...)
-	if len(buf) > max {
-		buf = buf[:max]
+	if len(buf) < max {
+		buf = append(buf, 0)
 	}
+	copy(buf[1:], buf)
+	buf[0] = v
 	return buf
 }
 
@@ -425,11 +439,27 @@ func newZeroState(cfg Config, l0, b0 float64) *state {
 		st.seas[i] = make([]float64, cfg.Harmonics[i])
 		st.seasS[i] = make([]float64, cfg.Harmonics[i])
 	}
+	st.d = make([]float64, 0, cfg.ARMAP)
+	st.e = make([]float64, 0, cfg.ARMAQ)
 	return st
 }
 
-func runSSE(cfg Config, work []float64, alpha, beta, phi float64, g1, g2, ar, ma []float64, l0, b0 float64, warm int) float64 {
-	st := newZeroState(cfg, l0, b0)
+// reset returns a state built by newZeroState to its initial condition so
+// one allocation serves every objective evaluation of a fit.
+func (st *state) reset(l0, b0 float64) {
+	st.level, st.trend = l0, b0
+	for i := range st.seas {
+		for j := range st.seas[i] {
+			st.seas[i][j] = 0
+			st.seasS[i][j] = 0
+		}
+	}
+	st.d = st.d[:0]
+	st.e = st.e[:0]
+}
+
+func runSSE(cfg Config, work []float64, alpha, beta, phi float64, g1, g2, ar, ma []float64, l0, b0 float64, warm int, st *state) float64 {
+	st.reset(l0, b0)
 	var sse float64
 	for t, obs := range work {
 		_, e := step(cfg, st, alpha, beta, phi, g1, g2, ar, ma, obs)
