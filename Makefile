@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-baseline bench-check tables figures examples clean
+.PHONY: all build vet test test-short race lint-metrics bench bench-baseline bench-check tables figures examples clean
 
-all: build vet test
+all: build vet lint-metrics test
+
+# Metric-naming conventions (snake_case, counters _total, duration
+# histograms _seconds) enforced at the call site; see cmd/lintmetrics.
+lint-metrics:
+	$(GO) run ./cmd/lintmetrics
 
 build:
 	$(GO) build ./...

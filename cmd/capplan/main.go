@@ -10,13 +10,19 @@
 // replays the simulated agent feed hour by hour while an online
 // evaluator scores live forecast accuracy, refits degraded champions,
 // and raises capacity-breach alerts, all observable over HTTP
-// (/healthz, /readyz, /metrics, /alerts, /accuracy, /trace,
-// /debug/pprof).
+// (/healthz, /readyz, /metrics, /trace, /alerts, /accuracy,
+// /api/v1/targets, /api/v1/exemplars, /debug/pprof). The service also
+// scrapes its own pipeline metrics into the repository as
+// capplan.self/* forecast targets, so the planner forecasts its own
+// capacity with the models it serves.
 //
 // `capplan serve -ingest` instead accepts remote-write batches on
 // POST /api/v1/ingest and trains/monitors over the ingested series;
 // `capplan push` is the matching remote agent, shipping a simulated
-// workload to that collector over HTTP.
+// workload to that collector over HTTP. Each pushed batch carries a
+// W3C-style traceparent, so one trace ID follows a batch from the
+// push-side shipper through ingest, store, monitoring and any refit it
+// triggers on the serve side.
 //
 // Usage:
 //

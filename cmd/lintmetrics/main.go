@@ -1,0 +1,143 @@
+// Command lintmetrics enforces the repository's metric-naming
+// conventions at the call site: every metric name passed as a string
+// literal to the obs emission APIs must be snake_case, counters must
+// end in _total, and duration histograms must end in _seconds (the
+// Prometheus base-unit rule). Gauges are snake_case and must not claim
+// the _total counter suffix.
+//
+// It walks the non-test Go files under internal/ and cmd/ with go/ast,
+// so renaming a metric in code keeps CI honest without a scrape-time
+// check. Dynamic names (non-literal first arguments) are skipped —
+// there are none today, and the lint is about keeping the literal
+// vocabulary consistent.
+//
+// Usage: go run ./cmd/lintmetrics [dir ...]   (default: internal cmd)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// kind classifies an emission API by the suffix rule its names follow.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindHistogram
+	kindGauge
+)
+
+// methods maps the obs.Observer / obs.Registry emission methods to the
+// naming rule their first argument must satisfy.
+var methods = map[string]kind{
+	"Count":                 kindCounter,
+	"Counter":               kindCounter,
+	"Observe":               kindHistogram,
+	"ObserveTraced":         kindHistogram,
+	"ObserveDuration":       kindHistogram,
+	"ObserveDurationTraced": kindHistogram,
+	"Histogram":             kindHistogram,
+	"SetGauge":              kindGauge,
+	"Gauge":                 kindGauge,
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal", "cmd"}
+	}
+	fset := token.NewFileSet()
+	bad := 0
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			bad += lintFile(fset, path)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintmetrics: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintmetrics: %d naming violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintFile parses one file and reports every violating call site.
+func lintFile(fset *token.FileSet, path string) int {
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintmetrics: %v\n", err)
+		os.Exit(2)
+	}
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		k, ok := methods[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if msg := check(k, name); msg != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s(%q): %s\n",
+				fset.Position(lit.Pos()), sel.Sel.Name, name, msg)
+			bad++
+		}
+		return true
+	})
+	return bad
+}
+
+// check applies the naming rule for one metric kind.
+func check(k kind, name string) string {
+	if !snakeCase.MatchString(name) {
+		return "metric names must be snake_case ([a-z0-9_], starting with a letter)"
+	}
+	switch k {
+	case kindCounter:
+		if !strings.HasSuffix(name, "_total") {
+			return "counters must end in _total"
+		}
+	case kindHistogram:
+		if !strings.HasSuffix(name, "_seconds") {
+			return "duration histograms must end in _seconds (record base units)"
+		}
+	case kindGauge:
+		if strings.HasSuffix(name, "_total") {
+			return "gauges must not use the _total counter suffix"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLintFlagsEachViolationKind(t *testing.T) {
+	src := `package p
+
+func emit(o anyObs) {
+	o.Count("requests")                       // missing _total
+	o.Count("ingest_requests_total")          // ok
+	o.ObserveDuration("fit_time_ms", 0)       // wrong unit suffix
+	o.ObserveDurationTraced("fit_seconds", 0, "") // ok
+	o.SetGauge("queue_total", 1)              // gauge claiming counter suffix
+	o.SetGauge("queue_depth", 1)              // ok
+	o.Count("CamelCase_total")                // not snake_case
+	o.Count(dynamicName)                      // non-literal: skipped
+}
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "emit.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := lintFile(token.NewFileSet(), path); got != 4 {
+		t.Fatalf("lintFile found %d violations, want 4", got)
+	}
+}
+
+func TestCheckRules(t *testing.T) {
+	cases := []struct {
+		k    kind
+		name string
+		ok   bool
+	}{
+		{kindCounter, "polls_total", true},
+		{kindCounter, "polls", false},
+		{kindHistogram, "fit_duration_seconds", true},
+		{kindHistogram, "fit_duration", false},
+		{kindGauge, "go_heap_alloc_bytes", true},
+		{kindGauge, "process_uptime_seconds", true}, // gauges may measure seconds
+		{kindGauge, "evictions_total", false},
+		{kindCounter, "_total", false},
+		{kindCounter, "double__underscore_total", false},
+	}
+	for _, c := range cases {
+		if msg := check(c.k, c.name); (msg == "") != c.ok {
+			t.Errorf("check(%v, %q) = %q, want ok=%v", c.k, c.name, msg, c.ok)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package agent
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -66,16 +67,30 @@ func New(cfg Config, cluster *dbsim.Cluster, sink Sink) (*Agent, error) {
 // to the repository. It returns the number of samples delivered and the
 // number of missed polls.
 func (a *Agent) Collect(from, to time.Time) (delivered, missed int, err error) {
+	return a.CollectCtx(context.Background(), from, to)
+}
+
+// CollectCtx is Collect under a caller context: the collection span
+// parents on whatever trace ctx carries, and cancellation stops the
+// poll loop between ticks instead of finishing the window.
+func (a *Agent) CollectCtx(ctx context.Context, from, to time.Time) (delivered, missed int, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !to.After(from) {
 		return 0, 0, fmt.Errorf("agent: empty collection window")
 	}
 	o := a.cfg.Obs
-	sp := o.StartSpan("agent.collect")
+	sp := o.StartSpanFrom(ctx, "agent.collect")
 	defer sp.End()
 	sp.Set("from", from.Format(time.RFC3339))
 	sp.Set("to", to.Format(time.RFC3339))
 	instances := a.cluster.Instances()
 	for t := from; t.Before(to); t = t.Add(a.cfg.Interval) {
+		if cerr := ctx.Err(); cerr != nil {
+			sp.Fail(cerr)
+			return delivered, missed, fmt.Errorf("agent: collection canceled: %w", cerr)
+		}
 		tick := uint64(t.Unix())
 		for node, name := range instances {
 			for _, metric := range dbsim.AllMetrics {

@@ -93,7 +93,7 @@ func CapplanPush(ctx context.Context, args []string, stdout io.Writer) error {
 	end := cfg.Start.Add(time.Duration(*days) * 24 * time.Hour)
 	fmt.Fprintf(stdout, "pushing %d days of %s samples (%s → %s) to %s\n",
 		*days, *exp, cfg.Start.Format("2006-01-02 15:04"), end.Format("2006-01-02 15:04"), url)
-	collected, failed, collectErr := ag.Collect(cfg.Start, end)
+	collected, failed, collectErr := ag.CollectCtx(ctx, cfg.Start, end)
 
 	drainCtx, cancel := context.WithTimeout(ctx, *drainTimeout)
 	defer cancel()
@@ -102,6 +102,10 @@ func CapplanPush(ctx context.Context, args []string, stdout io.Writer) error {
 	st := shipper.Stats()
 	fmt.Fprintf(stdout, "collected %d samples (%d polls missed); shipped %d in %d batches, %d retries, %d dropped\n",
 		collected, failed, st.SamplesShipped, st.BatchesSent, st.Retries, st.Dropped)
+	// With -trace on, the ship spans printed here carry the traceparent
+	// each batch crossed the wire with — the serve side's /trace output
+	// shows the same trace IDs continuing through store and refit.
+	of.dumpSpans(stdout, o)
 	of.dumpMetrics(stdout, o)
 	if collectErr != nil {
 		return collectErr

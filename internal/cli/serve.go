@@ -60,6 +60,10 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		" and train/monitor over the ingested series instead of the built-in simulator")
 	ingestMaxBatch := fs.Int("ingest-max-batch", 50000, "max samples per remote-write request")
 	ingestInflight := fs.Int("ingest-max-inflight", 4, "concurrent ingest requests before the collector answers 429")
+	traceBuffer := fs.Int("trace-buffer", 4096, "root spans kept in memory; when full the oldest are overwritten (counted in trace_spans_dropped_total)")
+	selfScrape := fs.Bool("self-scrape", true, "record the planner's own pipeline metrics (ingest rate, fit wall time, queue depth, heap) as "+
+		monitor.DefaultSelfTarget+"/* forecast targets")
+	selfTrain := fs.Int("self-train", 72, "hours of self-scraped history before the self targets are trained (0 = scrape but never train)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,8 +76,9 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		*of.listen = "127.0.0.1:8080"
 	}
 
-	// A service logs by default; -v raises to debug.
-	cfg := obs.Config{Metrics: true, Trace: *of.trace, LogWriter: stdout, LogLevel: obs.LevelInfo}
+	// A service logs by default; -v raises to debug. The span buffer is
+	// bounded so week-long runs with tracing on don't grow without limit.
+	cfg := obs.Config{Metrics: true, Trace: *of.trace, LogWriter: stdout, LogLevel: obs.LevelInfo, MaxSpans: *traceBuffer}
 	if *of.verbose {
 		cfg.LogLevel = obs.LevelDebug
 	}
@@ -110,6 +115,9 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 
 	var repo *metricstore.Store
 	var startAt time.Time
+	// repoPtr mirrors repo for HTTP handlers: the targets endpoint reads
+	// the inventory concurrently with the goroutine that assigns repo.
+	var repoPtr atomic.Pointer[metricstore.Store]
 	trainWindow := time.Duration(*days) * 24 * time.Hour
 	// refit re-learns a champion from the freshest repository window; the
 	// replay loop calls it synchronously via the monitor.
@@ -118,12 +126,19 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		if i < 0 {
 			return nil, fmt.Errorf("serve: malformed key %q", key)
 		}
+		k := metricstore.Key{Target: key[:i], Metric: key[i+1:]}
 		to := time.Unix(simClock.Load(), 0).UTC()
 		from := to.Add(-trainWindow)
 		if from.Before(startAt) {
 			from = startAt
 		}
-		ser, err := repo.Series(metricstore.Key{Target: key[:i], Metric: key[i+1:]}, timeseries.Hourly, from, to)
+		// A series that began mid-serve (the self targets do) is clamped
+		// to its own first sample, or the window would open with a NaN
+		// prefix no model can fit.
+		if f, _, ok := repo.TimeRange(k); ok && from.Before(f) {
+			from = f
+		}
+		ser, err := repo.Series(k, timeseries.Hourly, from, to)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +159,25 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		PendingTicks: *pendingTicks,
 		ResolveTicks: *resolveTicks,
 		Refit:        refit,
-		Obs:          o,
+		Inventory: func() []string {
+			var keys []string
+			if r := repoPtr.Load(); r != nil {
+				for _, k := range r.Keys() {
+					keys = append(keys, k.String())
+				}
+			}
+			if *selfScrape {
+				// Listed explicitly so the self targets show as warming on
+				// /api/v1/targets before their first scrape lands.
+				for _, sk := range monitor.SelfKeys("") {
+					if !containsKey(keys, sk) {
+						keys = append(keys, sk)
+					}
+				}
+			}
+			return keys
+		},
+		Obs: o,
 	})
 	if err != nil {
 		return err
@@ -158,6 +191,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	extra := mon.Handlers()
 	if *ingestOn {
 		repo = metricstore.New()
+		repoPtr.Store(repo)
 		repo.SetObserver(o)
 		col, cerr := ingest.NewCollector(ingest.ServerConfig{
 			Store:       repo,
@@ -179,14 +213,53 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	defer ln.Close()
 
+	// The self-scraper turns the planner's own pipeline metrics into
+	// forecast targets; trainSelf gives each self series its first
+	// champion once enough history has been scraped (after which the
+	// monitor refits them like any other target).
+	newScraper := func() *monitor.SelfScraper {
+		if !*selfScrape {
+			return nil
+		}
+		return monitor.NewSelfScraper(repo, o, "")
+	}
+	trainSelf := func(tctx context.Context) {
+		if !*selfScrape || *selfTrain <= 0 || tctx.Err() != nil {
+			return
+		}
+		for _, key := range monitor.SelfKeys("") {
+			if _, ok := store.Peek(key); ok {
+				continue
+			}
+			i := strings.LastIndexByte(key, '/')
+			k := metricstore.Key{Target: key[:i], Metric: key[i+1:]}
+			f, l, ok := repo.TimeRange(k)
+			if !ok || coveredHours(f, l) < *selfTrain {
+				continue
+			}
+			res, err := refit(tctx, key)
+			if err != nil {
+				// Early self series are often near-constant; keep scraping
+				// and try again next hour.
+				o.Debug("self target not yet trainable", "key", key, "err", err)
+				continue
+			}
+			store.Put(key, res)
+			o.Info("self target trained", "key", key, "champion", res.Champion.Label,
+				"hours", coveredHours(f, l))
+		}
+	}
+
 	if *ingestOn {
 		return serveIngested(ctx, stdout, o, repo, mon, &simClock, &ready, &startAt, ingestedOptions{
-			engine: core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, FitTimeout: *fitTimeout},
-			store:  store,
-			days:   *days,
-			hours:  *hours,
-			tick:   *tick,
-			dump:   func() { of.dumpMetrics(stdout, o) },
+			engine:    core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, FitTimeout: *fitTimeout},
+			store:     store,
+			days:      *days,
+			hours:     *hours,
+			tick:      *tick,
+			scraper:   newScraper(),
+			trainSelf: trainSelf,
+			dump:      func() { of.dumpMetrics(stdout, o) },
 		})
 	}
 
@@ -199,6 +272,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	repo = ds.Store
+	repoPtr.Store(repo)
 	startAt = ds.Start
 	simClock.Store(ds.End.Unix())
 
@@ -233,18 +307,28 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	scraper := newScraper()
 	simNow := ds.End
 	hour := 0
 	for ctx.Err() == nil && (*hours == 0 || hour < *hours) {
 		next := simNow.Add(time.Hour)
-		if _, _, err := ag.Collect(simNow, next); err != nil {
+		if _, _, err := ag.CollectCtx(ctx, simNow, next); err != nil {
+			if ctx.Err() != nil {
+				break
+			}
 			return err
 		}
 		if *shiftAfter > 0 && *shiftFactor != 1 && hour >= *shiftAfter && hour < *shiftAfter+*shiftHours {
 			scaleSamples(repo, simNow, next, *shiftFactor)
 		}
+		if scraper != nil {
+			// Stamped at the completed hour's start so the sample lands in
+			// the bucket observeHour is about to score.
+			scraper.Sample(simNow)
+		}
 		simClock.Store(next.Unix())
 		observeHour(ctx, repo, mon, simNow, next)
+		trainSelf(ctx)
 		mon.EvaluateAlerts(next)
 		simNow = next
 		hour++
@@ -264,12 +348,14 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 // ingestedOptions carries the serve parameters the ingest-mode loop
 // needs.
 type ingestedOptions struct {
-	engine core.Options
-	store  *core.ModelStore
-	days   int
-	hours  int
-	tick   time.Duration
-	dump   func()
+	engine    core.Options
+	store     *core.ModelStore
+	days      int
+	hours     int
+	tick      time.Duration
+	scraper   *monitor.SelfScraper
+	trainSelf func(context.Context)
+	dump      func()
 }
 
 // serveIngested is serve's remote-repository mode: wait until remote
@@ -287,10 +373,17 @@ func serveIngested(ctx context.Context, stdout io.Writer, o *obs.Observer,
 	fmt.Fprintf(stdout, "ingest mode: waiting for %d hours of remote samples on POST %s\n",
 		trainHours, ingest.Path)
 
+	// The self target is excluded from window intersection: its last
+	// sample always trails the feed (it is written by this very loop), so
+	// including it would stall the hour-consumption logic.
+	exclude := ""
+	if opt.scraper != nil {
+		exclude = opt.scraper.Target()
+	}
 	var first, last time.Time
 	for {
 		var ok bool
-		if first, last, ok = commonWindow(repo); ok && coveredHours(first, last) >= trainHours {
+		if first, last, ok = commonWindow(repo, exclude); ok && coveredHours(first, last) >= trainHours {
 			break
 		}
 		select {
@@ -332,10 +425,16 @@ func serveIngested(ctx context.Context, stdout io.Writer, o *obs.Observer,
 		// Consume every hour the remote agents have completed: a bucket
 		// [simNow, simNow+1h) counts once a sample at or past its end
 		// has arrived on every series.
-		if _, l, ok := commonWindow(repo); ok {
+		if _, l, ok := commonWindow(repo, exclude); ok {
 			for next := simNow.Add(time.Hour); more() && !l.Before(next); next = simNow.Add(time.Hour) {
+				if opt.scraper != nil {
+					opt.scraper.Sample(simNow)
+				}
 				simClock.Store(next.Unix())
 				observeHour(ctx, repo, mon, simNow, next)
+				if opt.trainSelf != nil {
+					opt.trainSelf(ctx)
+				}
 				mon.EvaluateAlerts(next)
 				simNow = next
 				hour++
@@ -353,21 +452,34 @@ func serveIngested(ctx context.Context, stdout io.Writer, o *obs.Observer,
 }
 
 // observeHour feeds the monitor every series' actual for the hour
-// [from, to); empty or gap buckets are skipped.
+// [from, to); empty or gap buckets are skipped. When the key's latest
+// samples arrived over remote write, the observation (and any refit it
+// triggers) continues that batch's trace, so the push→store→observe→
+// refit chain shares one trace ID across both processes.
 func observeHour(ctx context.Context, repo *metricstore.Store, mon *monitor.Monitor, from, to time.Time) {
 	for _, k := range repo.Keys() {
 		ser, err := repo.Series(k, timeseries.Hourly, from, to)
 		if err != nil || ser.Len() == 0 || math.IsNaN(ser.Values[0]) {
 			continue
 		}
-		mon.ObserveActual(ctx, k.String(), from, ser.Values[0])
+		octx := ctx
+		if tp := repo.LastTrace(k); tp != "" {
+			if sc, perr := obs.ParseTraceParent(tp); perr == nil {
+				octx = obs.ContextWithRemote(ctx, sc)
+			}
+		}
+		mon.ObserveActual(octx, k.String(), from, ser.Values[0])
 	}
 }
 
-// commonWindow intersects every key's covered time range. ok is false
-// while the repository is empty.
-func commonWindow(repo *metricstore.Store) (first, last time.Time, ok bool) {
+// commonWindow intersects every key's covered time range, skipping keys
+// under excludeTarget (the self-scrape pseudo-target, which is fed by
+// the consuming loop itself). ok is false while the repository is empty.
+func commonWindow(repo *metricstore.Store, excludeTarget string) (first, last time.Time, ok bool) {
 	for _, k := range repo.Keys() {
+		if excludeTarget != "" && k.Target == excludeTarget {
+			continue
+		}
 		f, l, kok := repo.TimeRange(k)
 		if !kok {
 			continue
@@ -381,6 +493,16 @@ func commonWindow(repo *metricstore.Store) (first, last time.Time, ok bool) {
 		ok = true
 	}
 	return first, last, ok
+}
+
+// containsKey reports whether keys already holds key.
+func containsKey(keys []string, key string) bool {
+	for _, k := range keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 // coveredHours counts the hourly buckets the closed sample range

@@ -1,0 +1,152 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCapplanServeSelfScrape proves the dogfooding loop end to end over
+// the real CLI: the planner's own pipeline metrics appear as
+// capplan.self/* rows on /api/v1/targets (warming first), and once
+// -self-train hours of self history have been scraped, at least one
+// self target gets a champion — the planner forecasting its own
+// capacity. It also checks the exemplar endpoint bridges /metrics
+// latency bands to trace IDs.
+func TestCapplanServeSelfScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a fleet and replays simulated hours")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Capplan(ctx, []string{
+			"serve",
+			"-exp", "oltp",
+			"-days", "10",
+			"-seed", "7",
+			"-technique", "hes",
+			"-max-candidates", "4",
+			"-hours", "0", // run until the test saw what it needs
+			"-tick", "2ms",
+			"-self-train", "30",
+			"-trace",
+			"-listen", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+	deadline := time.Now().Add(120 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, out.String())
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	targets := func() map[string]map[string]any {
+		t.Helper()
+		code, body := get("/api/v1/targets")
+		if code != http.StatusOK {
+			t.Fatalf("targets = %d", code)
+		}
+		var rows []map[string]any
+		if err := json.Unmarshal(body, &rows); err != nil {
+			t.Fatalf("targets body %s: %v", body, err)
+		}
+		byKey := make(map[string]map[string]any, len(rows))
+		for _, r := range rows {
+			byKey[r["key"].(string)] = r
+		}
+		return byKey
+	}
+
+	// Even before training finishes, the self targets are inventoried.
+	if row, ok := targets()["capplan.self/heap_mb"]; !ok {
+		t.Fatalf("capplan.self/heap_mb missing from warming targets:\n%s", out.String())
+	} else if row["state"] != "untrained" {
+		t.Fatalf("warming self target state = %v", row["state"])
+	}
+
+	for {
+		if code, _ := get("/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never turned ready:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Initial training ran with tracing on, so the exemplar endpoint
+	// already bridges fit latency buckets to trace IDs.
+	if code, body := get("/api/v1/exemplars"); code != http.StatusOK ||
+		!strings.Contains(string(body), "fit_duration_seconds") {
+		t.Fatalf("exemplars = %d:\n%s", code, body)
+	}
+
+	// Replay until some self target earns a champion: a forecast of the
+	// planner's own pipeline, from its own models.
+	for {
+		trained := ""
+		for key, row := range targets() {
+			if strings.HasPrefix(key, "capplan.self/") && row["state"] == "ok" {
+				trained = key
+				if fam, _ := row["family"].(string); fam == "" {
+					t.Fatalf("trained self target %s has no family: %v", key, row)
+				}
+				if hs, _ := row["horizon_steps"].(float64); hs <= 0 {
+					t.Fatalf("trained self target %s has no forecast horizon: %v", key, row)
+				}
+				break
+			}
+		}
+		if trained != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no self target trained before deadline\ntargets: %v\n%s", targets(), out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not exit after cancellation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "self target trained") {
+		t.Errorf("training log line missing:\n%s", out.String())
+	}
+}

@@ -202,12 +202,15 @@ func (e *Engine) WithParentSpan(sp *obs.Span) *Engine {
 }
 
 // startSpan opens the run's root span: a child of the configured parent
-// when nested, a fresh observer root otherwise.
-func (e *Engine) startSpan(name string) *obs.Span {
+// when nested, otherwise parented on whatever trace evidence ctx
+// carries — a monitor-triggered refit passes the trace of the ingest
+// batch that tripped it, so the whole push→store→refit chain shares one
+// trace ID. A bare ctx falls back to a fresh root.
+func (e *Engine) startSpan(ctx context.Context, name string) *obs.Span {
 	if e.parent != nil {
 		return e.parent.Child(name)
 	}
-	return e.opt.Obs.StartSpan(name)
+	return e.opt.Obs.StartSpanFrom(ctx, name)
 }
 
 // candidateFamily names the model family of a candidate for span
@@ -261,7 +264,7 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 	}
 	o := e.opt.Obs
 	began := time.Now()
-	run := e.startSpan("engine.run")
+	run := e.startSpan(ctx, "engine.run")
 	defer run.End()
 	run.Set("series", s.Name)
 	run.Set("technique", e.opt.Technique.String())
@@ -651,7 +654,12 @@ func (e *Engine) fitCandidate(ctx context.Context, c *CandidateResult, train, te
 	c.FitDuration = time.Since(began)
 	c.AIC = aic
 	o.Count("models_fitted_total", 1)
-	o.ObserveDuration("fit_duration_seconds", c.FitDuration, obs.L("technique", e.opt.Technique.String()))
+	fitTrace := ""
+	if tsc := csp.Context(); !tsc.IsZero() {
+		fitTrace = tsc.Trace.String()
+	}
+	o.ObserveDurationTraced("fit_duration_seconds", c.FitDuration, fitTrace,
+		obs.L("technique", e.opt.Technique.String()))
 	if err != nil {
 		markFailed(c, err)
 		cause := obs.ErrClass(err)

@@ -99,7 +99,7 @@ func RunFleet(ctx context.Context, repo *metricstore.Store, from, to time.Time, 
 		return nil, fmt.Errorf("core: repository is empty")
 	}
 
-	root := o.StartSpan("fleet.run")
+	root := o.StartSpanFrom(ctx, "fleet.run")
 	defer root.End()
 	root.Set("workloads", len(keys))
 	root.Set("concurrency", conc)

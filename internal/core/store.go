@@ -130,6 +130,28 @@ func (s *ModelStore) Get(key string) (m *StoredModel, usable bool) {
 	return sm, true
 }
 
+// Peek returns the stored champion and its usability without bumping
+// lookup counters or logging — for introspection endpoints that poll
+// the store without polluting the operational metrics Get maintains.
+func (s *ModelStore) Peek(key string) (m *StoredModel, usable bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sm, ok := s.models[key]
+	if !ok {
+		return nil, false
+	}
+	usable = !sm.Invalidated && s.now().Sub(sm.FittedAt) <= s.policy.maxAge()
+	return sm, usable
+}
+
+// Now reads the store's clock — real time in production, the simulated
+// clock in replay-driven serving, so status ages agree with the data.
+func (s *ModelStore) Now() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now()
+}
+
 // CheckIn reports fresh accuracy for a stored model: the caller compares
 // recent actuals against the model's forecasts and submits the RMSE. The
 // model is invalidated when accuracy degraded beyond the policy factor —

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/metricstore"
 	"repro/internal/obs"
@@ -14,6 +15,15 @@ import (
 // satisfies it with a single lock acquisition per batch.
 type BatchSink interface {
 	PutBatch([]metricstore.Sample)
+}
+
+// TracedBatchSink is a BatchSink that also remembers which trace last
+// wrote each key, so the repository's downstream pipeline (monitor
+// observations, staleness refits) can continue the trace that delivered
+// the data. *metricstore.Store satisfies it.
+type TracedBatchSink interface {
+	BatchSink
+	PutBatchTraced(samples []metricstore.Sample, traceparent string)
 }
 
 // ServerConfig tunes the collector.
@@ -79,7 +89,11 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	// goroutines.
 	select {
 	case c.inflight <- struct{}{}:
-		defer func() { <-c.inflight }()
+		o.SetGauge("ingest_inflight", float64(len(c.inflight)))
+		defer func() {
+			<-c.inflight
+			o.SetGauge("ingest_inflight", float64(len(c.inflight)))
+		}()
 	default:
 		o.Count("ingest_requests_total", 1, obs.L("code", "429"))
 		w.Header().Set("Retry-After", strconv.Itoa(c.cfg.RetryAfter))
@@ -87,7 +101,7 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, req.Body, c.cfg.MaxBodyBytes)
-	samples, err := DecodeBatch(body, c.cfg.MaxBatch)
+	samples, meta, err := DecodeBatchMeta(body, c.cfg.MaxBatch)
 	if err != nil {
 		code := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -100,9 +114,39 @@ func (c *Collector) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), code)
 		return
 	}
-	c.cfg.Store.PutBatch(samples)
+	// Continue the shipper's trace: the header wins, the envelope field
+	// is the fallback for intermediaries that strip unknown headers.
+	tp := req.Header.Get(TraceparentHeader)
+	if tp == "" {
+		tp = meta.Traceparent
+	}
+	var parent obs.SpanContext
+	if tp != "" {
+		if sc, perr := obs.ParseTraceParent(tp); perr == nil {
+			parent = sc
+		}
+	}
+	started := time.Now()
+	sp := o.StartSpanRemote("ingest.receive", parent)
+	sp.Set("samples", len(samples))
+	sp.Set("remote", req.RemoteAddr)
+	put := sp.Child("store.put_batch")
+	if sink, ok := c.cfg.Store.(TracedBatchSink); ok && tp != "" {
+		sink.PutBatchTraced(samples, tp)
+	} else {
+		c.cfg.Store.PutBatch(samples)
+	}
+	put.End()
+	sp.End()
+	traceID := ""
+	if tsc := sp.Context(); !tsc.IsZero() {
+		traceID = tsc.Trace.String()
+	} else if !parent.IsZero() {
+		traceID = parent.Trace.String()
+	}
+	o.ObserveDurationTraced("ingest_batch_seconds", time.Since(started), traceID)
 	o.Count("ingest_samples_total", int64(len(samples)))
 	o.Count("ingest_requests_total", 1, obs.L("code", "204"))
-	o.Debug("ingest batch accepted", "samples", len(samples), "remote", req.RemoteAddr)
+	o.Debug("ingest batch accepted", "samples", len(samples), "remote", req.RemoteAddr, "traceparent", tp)
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -240,20 +240,50 @@ func (s *Shipper) run() {
 // send delivers one batch with exponential backoff + jitter, honouring
 // Retry-After hints. Permanent rejections (4xx other than 429) and
 // exhausted attempts drop the batch.
+//
+// Each batch gets its own trace: a "shipper.ship" root span whose trace
+// context rides the wire (header + envelope). The batch is encoded once
+// before the retry loop, so a retried or redelivered batch carries the
+// same trace ID as its first attempt — the collector sees one trace per
+// logical batch, not one per HTTP request.
 func (s *Shipper) send(batch []metricstore.Sample) {
 	o := s.cfg.Obs
+	sp := o.StartSpan("shipper.ship")
+	defer sp.End()
+	sc := sp.Context()
+	if sc.IsZero() {
+		// Span recording is off, but the wire trace context costs nothing
+		// and lets the collector side still correlate batches.
+		sc = obs.NewSpanContext()
+	}
+	tp := sc.TraceParent()
+	sp.Set("samples", len(batch))
+	sp.Set("traceparent", tp)
+	started := time.Now()
+	var buf bytes.Buffer
+	if err := EncodeBatchTraced(&buf, batch, tp); err != nil {
+		s.drop(int64(len(batch)))
+		sp.Fail(err)
+		o.Error("batch dropped", "samples", len(batch), "attempts", 0, "err", err)
+		return
+	}
+	body := buf.Bytes()
 	backoff := s.cfg.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		permanent, retryAfter, err := s.post(batch)
+		permanent, retryAfter, err := s.post(body, tp)
 		if err == nil {
 			s.sent.Add(1)
 			s.shipped.Add(int64(len(batch)))
+			sp.Set("attempts", attempt)
 			o.Count("shipper_batches_sent_total", 1)
-			o.Debug("batch shipped", "samples", len(batch), "attempt", attempt)
+			o.ObserveDurationTraced("shipper_ship_seconds", time.Since(started), sc.Trace.String())
+			o.Debug("batch shipped", "samples", len(batch), "attempt", attempt, "traceparent", tp)
 			return
 		}
 		if permanent || attempt >= s.cfg.MaxAttempts || s.ctx.Err() != nil {
 			s.drop(int64(len(batch)))
+			sp.Set("attempts", attempt)
+			sp.Fail(err)
 			o.Error("batch dropped", "samples", len(batch), "attempts", attempt, "err", err)
 			return
 		}
@@ -277,18 +307,17 @@ func (s *Shipper) send(batch []metricstore.Sample) {
 	}
 }
 
-// post performs one HTTP delivery attempt.
-func (s *Shipper) post(batch []metricstore.Sample) (permanent bool, retryAfter time.Duration, err error) {
-	var buf bytes.Buffer
-	if err := EncodeBatch(&buf, batch); err != nil {
-		return true, 0, err // an unencodable batch will never succeed
-	}
-	req, err := http.NewRequestWithContext(s.ctx, http.MethodPost, s.cfg.URL, &buf)
+// post performs one HTTP delivery attempt of a pre-encoded batch body.
+func (s *Shipper) post(body []byte, traceparent string) (permanent bool, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodPost, s.cfg.URL, bytes.NewReader(body))
 	if err != nil {
 		return true, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Content-Encoding", "gzip")
+	if traceparent != "" {
+		req.Header.Set(TraceparentHeader, traceparent)
+	}
 	resp, err := s.cfg.Client.Do(req)
 	if err != nil {
 		return false, 0, err

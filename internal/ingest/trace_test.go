@@ -1,0 +1,206 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metricstore"
+	"repro/internal/obs"
+)
+
+var _ TracedBatchSink = (*metricstore.Store)(nil)
+
+// TestTraceLineageAcrossRetries drives a batch through two failed
+// attempts and a successful third, asserting the trace identity of the
+// batch never changes: every HTTP attempt carries the same traceparent,
+// the collector's receive span joins the shipper's trace, and the store
+// remembers that trace as the keys' last writer.
+func TestTraceLineageAcrossRetries(t *testing.T) {
+	store := metricstore.New()
+	collectorObs := obs.New(obs.Config{Trace: true, Metrics: true})
+	c, err := NewCollector(ServerConfig{Store: store, Obs: collectorObs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu      sync.Mutex
+		parents []string
+		body    []byte
+		calls   int
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		parents = append(parents, r.Header.Get(TraceparentHeader))
+		calls++
+		fail := calls <= 2
+		if fail {
+			body, _ = io.ReadAll(r.Body)
+		}
+		mu.Unlock()
+		if fail {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		c.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	shipperObs := obs.New(obs.Config{Trace: true, Metrics: true})
+	s := fastShipper(t, srv.URL, func(cfg *ShipperConfig) { cfg.Obs = shipperObs })
+	for _, smp := range wireSamples(4) {
+		s.Put(smp)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	parents = append([]string(nil), parents...)
+	body = append([]byte(nil), body...)
+	mu.Unlock()
+	if len(parents) != 3 {
+		t.Fatalf("saw %d attempts, want 3", len(parents))
+	}
+	tp := parents[0]
+	if _, err := obs.ParseTraceParent(tp); err != nil {
+		t.Fatalf("attempt carried invalid traceparent %q: %v", tp, err)
+	}
+	for i, p := range parents {
+		if p != tp {
+			t.Fatalf("attempt %d changed traceparent: %q != %q", i+1, p, tp)
+		}
+	}
+
+	// The shipper's ship span owns the trace on the wire.
+	var ship *obs.Span
+	for _, sp := range shipperObs.Spans() {
+		if sp.Name() == "shipper.ship" {
+			ship = sp
+		}
+	}
+	if ship == nil {
+		t.Fatal("no shipper.ship span recorded")
+	}
+	if got := ship.Context().TraceParent(); got != tp {
+		t.Fatalf("ship span traceparent %q != wire %q", got, tp)
+	}
+	if attempts, _ := ship.Attr("attempts"); attempts != 3 {
+		t.Fatalf("ship span attempts = %v, want 3", attempts)
+	}
+
+	// The collector's receive span continues the same trace with the ship
+	// span as remote parent, and nests the store write under it.
+	var recv *obs.Span
+	for _, sp := range collectorObs.Spans() {
+		if sp.Name() == "ingest.receive" {
+			recv = sp
+		}
+	}
+	if recv == nil {
+		t.Fatal("no ingest.receive span recorded")
+	}
+	if recv.Context().Trace != ship.Context().Trace {
+		t.Fatal("receive span is not on the shipper's trace")
+	}
+	if recv.ParentSpanID() != ship.Context().Span {
+		t.Fatal("receive span's parent is not the ship span")
+	}
+	if recv.Find("store.put_batch") == nil {
+		t.Fatal("no store.put_batch child under ingest.receive")
+	}
+
+	// The store's lineage hand-off for the downstream pipeline.
+	for _, k := range store.Keys() {
+		if got := store.LastTrace(k); got != tp {
+			t.Fatalf("LastTrace(%s) = %q, want %q", k, got, tp)
+		}
+	}
+
+	// The ingest histogram carries the trace as an exemplar.
+	found := false
+	for _, es := range collectorObs.Registry().Exemplars() {
+		if es.Metric == "ingest_batch_seconds" {
+			for _, e := range es.Exemplars {
+				if e.TraceID == ship.Context().Trace.String() {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ingest_batch_seconds has no exemplar for the batch's trace")
+	}
+
+	// Redelivery: replay the exact bytes of a failed attempt. The
+	// (key, timestamp) overwrite keeps the data idempotent and the
+	// lineage stays on the original trace — no orphaned span chain.
+	before := store.Count(metricstore.Key{Target: "cdbm011", Metric: "cpu"})
+	req, err := http.NewRequest(http.MethodPost, srv.URL+Path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	req.Header.Set(TraceparentHeader, tp)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("redelivery status = %s", resp.Status)
+	}
+	if after := store.Count(metricstore.Key{Target: "cdbm011", Metric: "cpu"}); after != before {
+		t.Fatalf("redelivery changed sample count %d -> %d", before, after)
+	}
+	for _, k := range store.Keys() {
+		if got := store.LastTrace(k); got != tp {
+			t.Fatalf("after redelivery LastTrace(%s) = %q, want %q", k, got, tp)
+		}
+	}
+}
+
+// TestEnvelopeTraceparentFallback strips the HTTP header (as a proxy
+// might) and checks the collector still joins the trace via the v2
+// envelope field.
+func TestEnvelopeTraceparentFallback(t *testing.T) {
+	store := metricstore.New()
+	o := obs.New(obs.Config{Trace: true})
+	c, err := NewCollector(ServerConfig{Store: store, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del(TraceparentHeader)
+		c.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	sc := obs.NewSpanContext()
+	var buf bytes.Buffer
+	if err := EncodeBatchTraced(&buf, wireSamples(2), sc.TraceParent()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+Path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	spans := o.Spans()
+	if len(spans) != 1 || spans[0].Context().Trace != sc.Trace {
+		t.Fatalf("receive span did not join the envelope trace: %v", spans)
+	}
+	for _, k := range store.Keys() {
+		if got := store.LastTrace(k); !strings.Contains(got, sc.Trace.String()) {
+			t.Fatalf("LastTrace(%s) = %q, want trace %s", k, got, sc.Trace)
+		}
+	}
+}

@@ -21,13 +21,23 @@ import (
 	"repro/internal/metricstore"
 )
 
-// WireVersion is the current batch envelope version. Decoders reject
-// versions they do not understand so a fleet can be upgraded
-// collector-first.
-const WireVersion = 1
+// WireVersion is the current batch envelope version. Version 2 adds an
+// optional traceparent field carrying the shipper's trace context; the
+// decoder still accepts version 1 (which simply has no trace), so a
+// fleet upgrades collector-first without a flag day. Decoders reject
+// versions they do not understand.
+const WireVersion = 2
+
+// minWireVersion is the oldest envelope the decoder accepts.
+const minWireVersion = 1
 
 // Path is the collector's HTTP route on the shared observability mux.
 const Path = "/api/v1/ingest"
+
+// TraceparentHeader is the HTTP request header carrying the shipper's
+// W3C trace context. The same value also travels inside the v2
+// envelope, so the trace survives intermediaries that strip headers.
+const TraceparentHeader = "Traceparent"
 
 // wireSample is the on-the-wire form of one metricstore.Sample.
 // Timestamps travel as Unix milliseconds so the format is independent
@@ -42,8 +52,19 @@ type wireSample struct {
 // wireBatch is the versioned envelope: a JSON document, gzip-compressed
 // on the wire.
 type wireBatch struct {
-	Version int          `json:"version"`
-	Samples []wireSample `json:"samples"`
+	Version     int          `json:"version"`
+	Traceparent string       `json:"traceparent,omitempty"`
+	Samples     []wireSample `json:"samples"`
+}
+
+// BatchMeta is the envelope metadata a decoded batch carried alongside
+// its samples.
+type BatchMeta struct {
+	// Version is the envelope version the sender wrote (1 or 2).
+	Version int
+	// Traceparent is the sender's W3C trace context, "" when absent
+	// (v1 envelopes, or a v2 sender with tracing off).
+	Traceparent string
 }
 
 // ValidateSample checks one sample against the collector's admission
@@ -66,10 +87,21 @@ func ValidateSample(s metricstore.Sample) error {
 	return nil
 }
 
-// EncodeBatch writes samples to w as a gzip-compressed version-1
-// envelope. Every sample must pass ValidateSample.
+// EncodeBatch writes samples to w as a gzip-compressed current-version
+// envelope with no trace context. Every sample must pass ValidateSample.
 func EncodeBatch(w io.Writer, samples []metricstore.Sample) error {
-	batch := wireBatch{Version: WireVersion, Samples: make([]wireSample, len(samples))}
+	return EncodeBatchTraced(w, samples, "")
+}
+
+// EncodeBatchTraced is EncodeBatch with the sender's traceparent
+// stamped into the envelope, so the collector can continue the trace
+// that produced the batch.
+func EncodeBatchTraced(w io.Writer, samples []metricstore.Sample, traceparent string) error {
+	batch := wireBatch{
+		Version:     WireVersion,
+		Traceparent: traceparent,
+		Samples:     make([]wireSample, len(samples)),
+	}
 	for i, s := range samples {
 		if err := ValidateSample(s); err != nil {
 			return err
@@ -93,22 +125,32 @@ func EncodeBatch(w io.Writer, samples []metricstore.Sample) error {
 // version, enforces maxSamples (0 = unlimited) and validates every
 // sample. Decoded timestamps are UTC.
 func DecodeBatch(r io.Reader, maxSamples int) ([]metricstore.Sample, error) {
+	samples, _, err := DecodeBatchMeta(r, maxSamples)
+	return samples, err
+}
+
+// DecodeBatchMeta is DecodeBatch plus the envelope metadata (wire
+// version and the sender's traceparent, when present).
+func DecodeBatchMeta(r io.Reader, maxSamples int) ([]metricstore.Sample, BatchMeta, error) {
+	var meta BatchMeta
 	zr, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("ingest: not a gzip stream: %w", err)
+		return nil, meta, fmt.Errorf("ingest: not a gzip stream: %w", err)
 	}
 	defer zr.Close()
 	var batch wireBatch
 	dec := json.NewDecoder(zr)
 	if err := dec.Decode(&batch); err != nil {
-		return nil, fmt.Errorf("ingest: decode batch: %w", err)
+		return nil, meta, fmt.Errorf("ingest: decode batch: %w", err)
 	}
-	if batch.Version != WireVersion {
-		return nil, fmt.Errorf("ingest: unsupported wire version %d (want %d)", batch.Version, WireVersion)
+	if batch.Version < minWireVersion || batch.Version > WireVersion {
+		return nil, meta, fmt.Errorf("ingest: unsupported wire version %d (want %d..%d)",
+			batch.Version, minWireVersion, WireVersion)
 	}
 	if maxSamples > 0 && len(batch.Samples) > maxSamples {
-		return nil, fmt.Errorf("ingest: batch of %d samples exceeds limit %d", len(batch.Samples), maxSamples)
+		return nil, meta, fmt.Errorf("ingest: batch of %d samples exceeds limit %d", len(batch.Samples), maxSamples)
 	}
+	meta = BatchMeta{Version: batch.Version, Traceparent: batch.Traceparent}
 	out := make([]metricstore.Sample, len(batch.Samples))
 	for i, ws := range batch.Samples {
 		out[i] = metricstore.Sample{
@@ -118,8 +160,8 @@ func DecodeBatch(r io.Reader, maxSamples int) ([]metricstore.Sample, error) {
 			Value:  ws.Value,
 		}
 		if err := ValidateSample(out[i]); err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 	}
-	return out, nil
+	return out, meta, nil
 }

@@ -89,10 +89,59 @@ func TestDecodeRejectsWrongVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-encode with a bumped version by rewriting the envelope.
-	payload := bytes.Replace(gunzip(t, buf.Bytes()), []byte(`"version":1`), []byte(`"version":99`), 1)
+	payload := bytes.Replace(gunzip(t, buf.Bytes()), []byte(`"version":2`), []byte(`"version":99`), 1)
+	if !bytes.Contains(payload, []byte(`"version":99`)) {
+		t.Fatal("version rewrite missed — envelope layout changed?")
+	}
 	if _, err := DecodeBatch(regzip(t, payload), 0); err == nil ||
 		!strings.Contains(err.Error(), "unsupported wire version") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeAcceptsVersion1(t *testing.T) {
+	// A v1 sender predates the traceparent field entirely; the collector
+	// must keep accepting its envelopes during a rolling upgrade.
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, wireSamples(3)); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Replace(gunzip(t, buf.Bytes()), []byte(`"version":2`), []byte(`"version":1`), 1)
+	samples, meta, err := DecodeBatchMeta(regzip(t, payload), 0)
+	if err != nil {
+		t.Fatalf("v1 envelope rejected: %v", err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("decoded %d samples, want 3", len(samples))
+	}
+	if meta.Version != 1 || meta.Traceparent != "" {
+		t.Fatalf("meta = %+v, want version 1 with no trace", meta)
+	}
+}
+
+func TestTraceparentRoundTripsThroughEnvelope(t *testing.T) {
+	const tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	var buf bytes.Buffer
+	if err := EncodeBatchTraced(&buf, wireSamples(2), tp); err != nil {
+		t.Fatal(err)
+	}
+	samples, meta, err := DecodeBatchMeta(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("decoded %d samples, want 2", len(samples))
+	}
+	if meta.Version != WireVersion || meta.Traceparent != tp {
+		t.Fatalf("meta = %+v, want version %d traceparent %s", meta, WireVersion, tp)
+	}
+	// Untraced batches stay lean: no traceparent key in the envelope.
+	buf.Reset()
+	if err := EncodeBatch(&buf, wireSamples(1)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(gunzip(t, buf.Bytes()), []byte("traceparent")) {
+		t.Fatal("untraced envelope carries a traceparent key")
 	}
 }
 

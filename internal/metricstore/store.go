@@ -43,12 +43,18 @@ func (k Key) String() string { return k.Target + "/" + k.Metric }
 type Store struct {
 	mu      sync.RWMutex
 	samples map[Key][]Sample // kept sorted by time
-	obs     *obs.Observer
+	// lastTrace remembers, per key, the traceparent of the most recent
+	// traced batch that wrote the key. It is the async hand-off that lets
+	// the monitor/refit pipeline continue the trace of the batch that
+	// delivered the data, long after the ingest request returned. Not
+	// persisted: a trace is an operational artefact, not data.
+	lastTrace map[Key]string
+	obs       *obs.Observer
 }
 
 // New returns an empty Store.
 func New() *Store {
-	return &Store{samples: make(map[Key][]Sample)}
+	return &Store{samples: make(map[Key][]Sample), lastTrace: make(map[Key]string)}
 }
 
 // SetObserver attaches an observer for repository counters
@@ -126,6 +132,33 @@ func (s *Store) PutBatch(batch []Sample) {
 		list = insertSample(list, batch[i])
 	}
 	s.samples[k] = list
+}
+
+// PutBatchTraced is PutBatch plus trace lineage: every key the batch
+// touches remembers traceparent as its last writer, retrievable with
+// LastTrace. An empty traceparent leaves the recorded lineage untouched
+// (a redelivered untraced batch must not erase a traced predecessor).
+func (s *Store) PutBatchTraced(batch []Sample, traceparent string) {
+	s.PutBatch(batch)
+	if traceparent == "" || len(batch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastTrace == nil {
+		s.lastTrace = make(map[Key]string)
+	}
+	for i := range batch {
+		s.lastTrace[Key{Target: batch[i].Target, Metric: batch[i].Metric}] = traceparent
+	}
+}
+
+// LastTrace returns the traceparent of the last traced batch that wrote
+// k ("" when the key has only ever seen untraced writes).
+func (s *Store) LastTrace(k Key) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastTrace[k]
 }
 
 // Keys lists the stored series identities, sorted.

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +44,11 @@ type Config struct {
 	// Refit re-learns an invalidated or horizon-exhausted champion; nil
 	// disables automatic refits (the store still marks models stale).
 	Refit RefitFunc
+	// Inventory lists every key the planner intends to model, so the
+	// targets endpoint can show not-yet-trained ("warming") targets
+	// alongside those with stored champions. nil limits the endpoint to
+	// keys the store already holds.
+	Inventory func() []string
 	// Obs receives monitor logs, gauges and counters. nil disables.
 	Obs *obs.Observer
 }
@@ -50,11 +56,15 @@ type Config struct {
 // Monitor is the continuous forecast-accuracy and capacity-headroom
 // watchdog. Safe for concurrent use.
 type Monitor struct {
-	store   *core.ModelStore
-	eval    *Evaluator
-	alerter *Alerter
-	refit   RefitFunc
-	obs     *obs.Observer
+	store     *core.ModelStore
+	eval      *Evaluator
+	alerter   *Alerter
+	refit     RefitFunc
+	inventory func() []string
+	obs       *obs.Observer
+
+	mu     sync.Mutex
+	refits map[string]RefitRecord
 }
 
 // New validates cfg and builds a Monitor.
@@ -63,11 +73,13 @@ func New(cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("monitor: nil model store")
 	}
 	return &Monitor{
-		store:   cfg.Store,
-		eval:    NewEvaluator(cfg.Store, cfg.Window, cfg.MinPoints, cfg.Obs),
-		alerter: NewAlerter(cfg.Rules, cfg.PendingTicks, cfg.ResolveTicks, cfg.Obs),
-		refit:   cfg.Refit,
-		obs:     cfg.Obs,
+		store:     cfg.Store,
+		eval:      NewEvaluator(cfg.Store, cfg.Window, cfg.MinPoints, cfg.Obs),
+		alerter:   NewAlerter(cfg.Rules, cfg.PendingTicks, cfg.ResolveTicks, cfg.Obs),
+		refit:     cfg.Refit,
+		inventory: cfg.Inventory,
+		obs:       cfg.Obs,
+		refits:    make(map[string]RefitRecord),
 	}, nil
 }
 
@@ -96,6 +108,11 @@ func (m *Monitor) ObserveActual(ctx context.Context, key string, at time.Time, a
 // and resets the rolling window so the new model is scored afresh. A
 // shutdown in progress (ctx done) skips the refit instead of starting
 // a grid search that would only be aborted.
+//
+// The refit continues whatever trace ctx carries — when the triggering
+// observation came from a remote-write batch, the monitor.refit span
+// (and the engine.run nested under it) joins the trace of that batch,
+// closing the push→store→observe→refit chain under one trace ID.
 func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 	if m.refit == nil {
 		return
@@ -104,19 +121,57 @@ func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 		m.obs.Debug("refit skipped: shutting down", "key", key, "reason", reason)
 		return
 	}
+	sp := m.obs.StartSpanFrom(ctx, "monitor.refit")
+	defer sp.End()
+	sp.Set("key", key)
+	sp.Set("reason", reason)
+	traceID := ""
+	if tsc := sp.Context(); !tsc.IsZero() {
+		traceID = tsc.Trace.String()
+	}
+	if sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
 	began := time.Now()
 	res, err := m.refit(ctx, key)
+	rec := RefitRecord{
+		Key: key, Reason: reason, TraceID: traceID,
+		At: m.store.Now(), DurationMS: float64(time.Since(began)) / float64(time.Millisecond),
+	}
 	if err != nil {
+		sp.Fail(err)
+		rec.Error = err.Error()
+		m.recordRefit(rec)
 		m.obs.Count("monitor_refit_errors_total", 1, obs.L("key", key))
 		m.obs.Error("refit failed", "key", key, "reason", reason, "err", err)
 		return
 	}
+	rec.Champion = res.Champion.Label
+	m.recordRefit(rec)
 	m.store.Put(key, res)
 	m.eval.Reset(key)
+	sp.Set("champion", res.Champion.Label)
 	m.obs.Count("monitor_refits_total", 1, obs.L("reason", reason))
+	m.obs.ObserveDurationTraced("monitor_refit_seconds", time.Since(began), traceID)
 	m.obs.Info("champion refitted", "key", key, "reason", reason,
 		"champion", res.Champion.Label, "rmse", res.TestScore.RMSE,
-		"dur", time.Since(began).Round(time.Millisecond))
+		"dur", time.Since(began).Round(time.Millisecond), "trace", traceID)
+}
+
+// recordRefit remembers the latest refit outcome per key for the
+// targets endpoint.
+func (m *Monitor) recordRefit(rec RefitRecord) {
+	m.mu.Lock()
+	m.refits[rec.Key] = rec
+	m.mu.Unlock()
+}
+
+// LastRefit returns the most recent refit record for key.
+func (m *Monitor) LastRefit(key string) (RefitRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.refits[key]
+	return rec, ok
 }
 
 // EvaluateAlerts walks every stored champion's forecast at time now and
@@ -163,5 +218,6 @@ func (m *Monitor) Handlers() map[string]http.Handler {
 	return map[string]http.Handler{
 		"/alerts":   AlertsHandler(m),
 		"/accuracy": AccuracyHandler(m),
+		TargetsPath: TargetsHandler(m),
 	}
 }

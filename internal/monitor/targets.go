@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// TargetsPath is the per-target introspection endpoint's route on the
+// shared observability mux.
+const TargetsPath = "/api/v1/targets"
+
+// RefitRecord is the outcome of the most recent refit for one key —
+// including the trace ID of the pipeline run that triggered it, so a
+// "why did this model change?" question resolves to a concrete trace.
+type RefitRecord struct {
+	Key        string    `json:"key"`
+	Reason     string    `json:"reason"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	At         time.Time `json:"at"`
+	DurationMS float64   `json:"duration_ms"`
+	Champion   string    `json:"champion,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// TargetStatus is one row of /api/v1/targets: everything the planner
+// currently believes about one forecast target.
+type TargetStatus struct {
+	Key string `json:"key"`
+	// State is "ok" (usable champion), "stale" (aged out), "degraded"
+	// (accuracy-invalidated) or "untrained" (inventoried, no model yet).
+	State         string       `json:"state"`
+	Family        string       `json:"family,omitempty"`
+	Champion      string       `json:"champion,omitempty"`
+	SelectionRMSE float64      `json:"selection_rmse"`
+	RollingRMSE   float64      `json:"rolling_rmse"`
+	RollingMAPA   float64      `json:"rolling_mapa"`
+	WindowPoints  int          `json:"window_points"`
+	FittedAt      *time.Time   `json:"fitted_at,omitempty"`
+	AgeHours      float64      `json:"age_hours"`
+	HorizonSteps  int          `json:"horizon_steps"`
+	LastRefit     *RefitRecord `json:"last_refit,omitempty"`
+}
+
+// Targets assembles the status of every known target: the union of
+// stored champions and the configured inventory (so warming targets —
+// inventoried but not yet trained — are visible too), each joined with
+// its rolling accuracy and last refit record. Sorted by key. Reads use
+// ModelStore.Peek, so polling the endpoint does not skew the store's
+// lookup counters.
+func (m *Monitor) Targets() []TargetStatus {
+	now := m.store.Now()
+	set := make(map[string]bool)
+	for _, k := range m.store.Keys() {
+		set[k] = true
+	}
+	if m.inventory != nil {
+		for _, k := range m.inventory() {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	acc := make(map[string]AccuracyScore)
+	for _, a := range m.eval.Accuracy() {
+		acc[a.Key] = a
+	}
+
+	out := make([]TargetStatus, 0, len(keys))
+	for _, k := range keys {
+		ts := TargetStatus{Key: k, State: "untrained"}
+		if sm, usable := m.store.Peek(k); sm != nil {
+			switch {
+			case usable:
+				ts.State = "ok"
+			case sm.Invalidated:
+				ts.State = "degraded"
+			default:
+				ts.State = "stale"
+			}
+			if sm.Result != nil {
+				ts.Family = sm.Result.ChampionFamily()
+				ts.Champion = sm.Result.Champion.Label
+				if fc := sm.Result.Forecast; fc != nil {
+					ts.HorizonSteps = len(fc.Mean)
+				}
+			}
+			ts.SelectionRMSE = nanToZero(sm.SelectionRMSE)
+			fitted := sm.FittedAt
+			ts.FittedAt = &fitted
+			ts.AgeHours = now.Sub(sm.FittedAt).Hours()
+		}
+		if a, ok := acc[k]; ok {
+			// Accuracy() already mapped NaN to zero for JSON.
+			ts.RollingRMSE = a.RollingRMSE
+			ts.RollingMAPA = a.RollingMAPA
+			ts.WindowPoints = a.Points
+		}
+		if rec, ok := m.LastRefit(k); ok {
+			ts.LastRefit = &rec
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
+// TargetsHandler serves the per-target planner status as a JSON array.
+func TargetsHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Targets()) //nolint:errcheck // best-effort endpoint
+	})
+}

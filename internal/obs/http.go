@@ -55,6 +55,25 @@ func TraceHandler(o *Observer) http.Handler {
 	})
 }
 
+// ExemplarsPath is the exemplars endpoint's route on the shared mux.
+const ExemplarsPath = "/api/v1/exemplars"
+
+// ExemplarsHandler serves every histogram's bucket exemplars as a JSON
+// array — the bridge from a latency band on /metrics to the trace that
+// produced it. Without a registry it serves an empty array.
+func ExemplarsHandler(o *Observer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ex := o.Registry().Exemplars()
+		if ex == nil {
+			ex = []ExemplarSeries{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ex) //nolint:errcheck // best-effort endpoint
+	})
+}
+
 // HealthzHandler reports liveness: always 200 with a small JSON body
 // carrying process uptime since `started`.
 func HealthzHandler(started time.Time) http.Handler {
@@ -102,6 +121,7 @@ func NewServeMux(o *Observer, opt MuxOptions) *http.ServeMux {
 	mux.Handle("/readyz", ReadyzHandler(opt.Ready))
 	mux.Handle("/metrics", MetricsHandler(o))
 	mux.Handle("/trace", TraceHandler(o))
+	mux.Handle(ExemplarsPath, ExemplarsHandler(o))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

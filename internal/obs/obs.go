@@ -8,10 +8,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +29,11 @@ type Config struct {
 	Trace bool
 	// Metrics attaches a metrics registry when true.
 	Metrics bool
+	// MaxSpans bounds the root-span buffer for long-running services:
+	// once full, each new root overwrites the oldest and bumps
+	// trace_spans_dropped_total, so the trace buffer cannot grow without
+	// limit. 0 keeps every span (the short-lived CLI default).
+	MaxSpans int
 	// Clock overrides the time source (tests); nil → time.Now.
 	Clock func() time.Time
 }
@@ -39,8 +46,12 @@ type Observer struct {
 	traceOn bool
 	clock   func() time.Time
 
-	mu    sync.Mutex
-	roots []*Span
+	mu       sync.Mutex
+	roots    []*Span
+	maxSpans int
+	// head indexes the oldest root once the ring is full.
+	head    int
+	dropped atomic.Int64
 }
 
 // New builds an Observer from cfg.
@@ -49,7 +60,7 @@ func New(cfg Config) *Observer {
 	if clock == nil {
 		clock = time.Now
 	}
-	o := &Observer{traceOn: cfg.Trace, clock: clock}
+	o := &Observer{traceOn: cfg.Trace, clock: clock, maxSpans: cfg.MaxSpans}
 	if cfg.LogWriter != nil {
 		o.log = NewLogger(cfg.LogWriter, cfg.LogLevel)
 		o.log.clock = clock
@@ -109,27 +120,79 @@ func (o *Observer) Error(msg string, keyvals ...any) {
 	o.log.Log(LevelError, msg, keyvals...)
 }
 
-// StartSpan opens a new root span. It returns nil (a valid nop span)
-// when tracing is disabled.
+// StartSpan opens a new root span on a fresh trace. It returns nil (a
+// valid nop span) when tracing is disabled — checked before any IDs
+// are drawn, so the disabled path stays allocation-free.
 func (o *Observer) StartSpan(name string) *Span {
 	if o == nil || !o.traceOn {
 		return nil
 	}
-	sp := newSpan(name, o.clock)
+	return o.startRoot(name, NewSpanContext(), SpanID{})
+}
+
+// StartSpanRemote opens a root span that continues a trace arriving
+// from another process: the span joins parent's trace ID and records
+// parent's span ID as its parent link. A zero parent degrades to a
+// fresh trace.
+func (o *Observer) StartSpanRemote(name string, parent SpanContext) *Span {
+	if o == nil || !o.traceOn {
+		return nil
+	}
+	if parent.IsZero() {
+		return o.startRoot(name, NewSpanContext(), SpanID{})
+	}
+	return o.startRoot(name, SpanContext{Trace: parent.Trace, Span: NewSpanID()}, parent.Span)
+}
+
+// StartSpanFrom opens a span parented on whatever trace evidence ctx
+// carries: a child of an in-process span, a remote-parented root for a
+// trace that crossed the wire, or a fresh root when ctx carries neither.
+func (o *Observer) StartSpanFrom(ctx context.Context, name string) *Span {
+	if sp := SpanFromContext(ctx); sp != nil {
+		return sp.Child(name)
+	}
+	if sc, ok := RemoteFromContext(ctx); ok {
+		return o.StartSpanRemote(name, sc)
+	}
+	return o.StartSpan(name)
+}
+
+// startRoot records a new root span in the (possibly ring-bounded)
+// buffer.
+func (o *Observer) startRoot(name string, sc SpanContext, parent SpanID) *Span {
+	if o == nil || !o.traceOn {
+		return nil
+	}
+	sp := newSpan(name, o.clock, sc, parent)
 	o.mu.Lock()
+	if o.maxSpans > 0 && len(o.roots) >= o.maxSpans {
+		o.roots[o.head] = sp
+		o.head = (o.head + 1) % len(o.roots)
+		o.dropped.Add(1)
+		o.mu.Unlock()
+		o.Count("trace_spans_dropped_total", 1)
+		return sp
+	}
 	o.roots = append(o.roots, sp)
 	o.mu.Unlock()
 	return sp
 }
 
-// Spans returns the recorded root spans in start order.
+// Spans returns the recorded root spans in start order (oldest first,
+// accounting for ring wraparound).
 func (o *Observer) Spans() []*Span {
 	if o == nil {
 		return nil
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return append([]*Span(nil), o.roots...)
+	return o.spansLocked()
+}
+
+func (o *Observer) spansLocked() []*Span {
+	out := make([]*Span, 0, len(o.roots))
+	out = append(out, o.roots[o.head:]...)
+	return append(out, o.roots[:o.head]...)
 }
 
 // TakeSpans returns the recorded root spans and clears the buffer, so a
@@ -140,9 +203,18 @@ func (o *Observer) TakeSpans() []*Span {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := o.roots
+	out := o.spansLocked()
 	o.roots = nil
+	o.head = 0
 	return out
+}
+
+// DroppedSpans counts roots evicted from a bounded span buffer.
+func (o *Observer) DroppedSpans() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.dropped.Load()
 }
 
 // WriteSpanTree renders every recorded root span as an indented tree.
@@ -188,12 +260,27 @@ func (o *Observer) Observe(name string, v float64, labels ...Label) {
 	o.reg.Histogram(name, labels...).Observe(v)
 }
 
+// ObserveTraced records v into the named histogram together with the
+// trace ID that produced it — the histogram keeps it as the bucket's
+// exemplar, linking an outlier latency straight to its trace.
+func (o *Observer) ObserveTraced(name string, v float64, traceID string, labels ...Label) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Histogram(name, labels...).ObserveTraced(v, traceID)
+}
+
 // ObserveDuration records d in seconds into the named histogram.
 func (o *Observer) ObserveDuration(name string, d time.Duration, labels ...Label) {
 	if o == nil || o.reg == nil {
 		return
 	}
 	o.reg.Histogram(name, labels...).Observe(d.Seconds())
+}
+
+// ObserveDurationTraced records d in seconds with an exemplar trace ID.
+func (o *Observer) ObserveDurationTraced(name string, d time.Duration, traceID string, labels ...Label) {
+	o.ObserveTraced(name, d.Seconds(), traceID, labels...)
 }
 
 // now returns the observer clock's current time (time.Now for nil).

@@ -6,9 +6,11 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one metric dimension, e.g. {"technique", "SARIMAX"}.
@@ -20,8 +22,37 @@ type Label struct {
 // L is shorthand for building a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// seriesKey renders name{k="v",…} with labels sorted, so the same
-// (name, labels) always maps to the same metric.
+// promEscapeLabel escapes a label value per the Prometheus text format
+// spec: backslash, double-quote and newline become \\, \" and \n; every
+// other byte passes through untouched (the format is otherwise raw
+// UTF-8, so Go's %q — which escapes tabs, control bytes and non-ASCII —
+// would produce values a Prometheus parser cannot round-trip).
+func promEscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// seriesKey renders name{k="v",…} with labels sorted and values escaped
+// per the exposition format, so the same (name, labels) always maps to
+// the same metric and the key doubles as a valid exposition series.
+// The escape is injective (only \, " and newline are rewritten), so
+// distinct label values never collide on one key.
 func seriesKey(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name
@@ -35,7 +66,10 @@ func seriesKey(name string, labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -105,8 +139,38 @@ func (g *Gauge) Value() float64 {
 // engine records while keeping a full fleet run's footprint small.
 const histogramReservoir = 2048
 
+// histogramBuckets are the fixed exemplar-bucket upper bounds (seconds
+// for the duration histograms this package records); values above the
+// last bound land in the implicit +Inf bucket.
+var histogramBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Exemplar ties one observed value to the trace that produced it — the
+// last traced observation to land in a bucket.
+type Exemplar struct {
+	// LE is the bucket's upper bound ("+Inf" for the overflow bucket).
+	LE string `json:"le"`
+	// Value is the observed sample.
+	Value float64 `json:"value"`
+	// TraceID is the trace the sample belongs to.
+	TraceID string `json:"trace_id"`
+	// At stamps the observation.
+	At time.Time `json:"at"`
+}
+
+// bucketLE renders bucket i's upper bound.
+func bucketLE(i int) string {
+	if i >= len(histogramBuckets) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(histogramBuckets[i], 'g', -1, 64)
+}
+
 // Histogram records a value distribution: exact count and sum plus a
-// sliding reservoir of recent samples for quantile estimation.
+// sliding reservoir of recent samples for quantile estimation, and —
+// for traced observations — one exemplar per fixed bucket linking the
+// distribution back to concrete traces.
 type Histogram struct {
 	mu      sync.Mutex
 	count   int64
@@ -115,10 +179,21 @@ type Histogram struct {
 	max     float64
 	samples []float64 // ring buffer, next points at the oldest slot
 	next    int
+	// buckets holds per-bucket counts and exemplars lazily allocated on
+	// the first traced observation (untraced histograms stay as cheap as
+	// before).
+	buckets   []int64
+	exemplars []Exemplar
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveTraced(v, "") }
+
+// ObserveTraced records one sample plus the trace it belongs to. The
+// sample's bucket remembers the trace as its exemplar, so /metrics and
+// /api/v1/exemplars can point from a latency band straight to a trace
+// ID. An empty traceID records the sample without an exemplar.
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
@@ -132,12 +207,60 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if traceID != "" {
+		if h.buckets == nil {
+			h.buckets = make([]int64, len(histogramBuckets)+1)
+			h.exemplars = make([]Exemplar, len(histogramBuckets)+1)
+		}
+		b := sort.SearchFloat64s(histogramBuckets, v)
+		h.buckets[b]++
+		h.exemplars[b] = Exemplar{LE: bucketLE(b), Value: v, TraceID: traceID, At: time.Now()}
+	} else if h.buckets != nil {
+		h.buckets[sort.SearchFloat64s(histogramBuckets, v)]++
+	}
 	if len(h.samples) < histogramReservoir {
 		h.samples = append(h.samples, v)
 		return
 	}
 	h.samples[h.next] = v
 	h.next = (h.next + 1) % len(h.samples)
+}
+
+// Exemplars returns the recorded exemplars, densest buckets first left
+// in bucket order; nil when the histogram never saw a traced sample.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Exemplar
+	for _, e := range h.exemplars {
+		if e.TraceID != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// bucketRows snapshots cumulative bucket counts plus each bucket's
+// exemplar (nil when the histogram holds no buckets).
+func (h *Histogram) bucketRows() (cum []int64, ex []Exemplar) {
+	if h == nil {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buckets == nil {
+		return nil, nil
+	}
+	cum = make([]int64, len(h.buckets))
+	var run int64
+	for i, c := range h.buckets {
+		run += c
+		cum[i] = run
+	}
+	return cum, append([]Exemplar(nil), h.exemplars...)
 }
 
 // Count returns the number of observations.
@@ -312,6 +435,82 @@ func (r *Registry) CounterValue(name string) int64 {
 	return total
 }
 
+// GaugeValue sums every gauge series sharing the bare name — the
+// self-scrape loop reads aggregate pipeline state through this.
+func (r *Registry) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total float64
+	for key, g := range r.gauges {
+		if r.names[key] == name {
+			total += g.Value()
+		}
+	}
+	return total
+}
+
+// HistogramSum sums every histogram series sharing the bare name — the
+// aggregate wall time a duration histogram has accumulated.
+func (r *Registry) HistogramSum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	hs := make([]*Histogram, 0, 4)
+	for key, h := range r.hists {
+		if r.names[key] == name {
+			hs = append(hs, h)
+		}
+	}
+	r.mu.RUnlock()
+	var total float64
+	for _, h := range hs {
+		total += h.Sum()
+	}
+	return total
+}
+
+// ExemplarSeries groups one histogram series' exemplars for the
+// /api/v1/exemplars endpoint.
+type ExemplarSeries struct {
+	// Series is the full series key (name plus labels).
+	Series string `json:"series"`
+	// Metric is the bare metric name.
+	Metric string `json:"metric"`
+	// Exemplars lists the per-bucket exemplars in bucket order.
+	Exemplars []Exemplar `json:"exemplars"`
+}
+
+// Exemplars snapshots every histogram's bucket exemplars, sorted by
+// series key; histograms without traced observations are omitted.
+func (r *Registry) Exemplars() []ExemplarSeries {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	type entry struct {
+		key  string
+		name string
+		h    *Histogram
+	}
+	entries := make([]entry, 0, len(r.hists))
+	for key, h := range r.hists {
+		entries = append(entries, entry{key, r.names[key], h})
+	}
+	r.mu.RUnlock()
+	var out []ExemplarSeries
+	for _, e := range entries {
+		if ex := e.h.Exemplars(); len(ex) > 0 {
+			out = append(out, ExemplarSeries{Series: e.key, Metric: e.name, Exemplars: ex})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series < out[j].Series })
+	return out
+}
+
 // WritePrometheus renders every metric in the Prometheus text format,
 // sorted by series key. Histograms expose summary-style quantiles plus
 // _sum and _count series.
@@ -344,6 +543,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, q := range qkeys {
 			ql := append(append([]Label(nil), labels...), L("quantile", q))
 			fmt.Fprintf(&b, "%s %g\n", seriesKey(name, ql), quantiles[q])
+		}
+		// Histograms that saw traced observations additionally expose
+		// cumulative buckets, each annotated with its exemplar in
+		// OpenMetrics form: `… # {trace_id="…"} value timestamp`.
+		if cum, ex := h.bucketRows(); cum != nil {
+			for i, c := range cum {
+				bl := append(append([]Label(nil), labels...), L("le", bucketLE(i)))
+				fmt.Fprintf(&b, "%s %d", seriesKey(name+"_bucket", bl), c)
+				if e := ex[i]; e.TraceID != "" {
+					fmt.Fprintf(&b, " # {trace_id=\"%s\"} %g %.3f",
+						promEscapeLabel(e.TraceID), e.Value, float64(e.At.UnixMilli())/1000)
+				}
+				b.WriteByte('\n')
+			}
 		}
 		fmt.Fprintf(&b, "%s %g\n", seriesKey(name+"_sum", labels), sum)
 		fmt.Fprintf(&b, "%s %d\n", seriesKey(name+"_count", labels), count)

@@ -41,7 +41,10 @@ func (c *RuntimeCollector) Sample() {
 	c.o.SetGauge("go_goroutines", float64(runtime.NumGoroutine()))
 	c.o.SetGauge("go_heap_alloc_bytes", float64(ms.HeapAlloc))
 	c.o.SetGauge("go_heap_sys_bytes", float64(ms.HeapSys))
-	c.o.SetGauge("go_gc_cycles_total", float64(ms.NumGC))
+	// GC cycles are monotone, so they live in a counter (a gauge named
+	// *_total trips the metric-name lint); the first sample credits every
+	// cycle completed so far.
+	c.o.Count("go_gc_cycles_total", int64(ms.NumGC)-int64(c.lastNumGC))
 	c.o.SetGauge("process_uptime_seconds", c.o.now().Sub(c.started).Seconds())
 	// PauseNs is a circular buffer of the most recent 256 pauses; replay
 	// only the cycles completed since the previous sample.

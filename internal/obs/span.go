@@ -23,6 +23,11 @@ type Attr struct {
 type Span struct {
 	name  string
 	clock func() time.Time
+	// sc is the span's trace identity; parent is the span ID this span
+	// nests under (a local parent's ID, or the remote span ID a wire
+	// batch carried). Both are immutable after creation.
+	sc     SpanContext
+	parent SpanID
 
 	mu       sync.Mutex
 	start    time.Time
@@ -32,24 +37,42 @@ type Span struct {
 	err      error
 }
 
-func newSpan(name string, clock func() time.Time) *Span {
+func newSpan(name string, clock func() time.Time, sc SpanContext, parent SpanID) *Span {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Span{name: name, clock: clock, start: clock()}
+	return &Span{name: name, clock: clock, sc: sc, parent: parent, start: clock()}
 }
 
-// Child opens a sub-span. On a nil receiver it returns nil, keeping the
-// whole call chain nop.
+// Child opens a sub-span. The child joins the parent's trace with a
+// fresh span ID and a parent link. On a nil receiver it returns nil,
+// keeping the whole call chain nop.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := newSpan(name, s.clock)
+	c := newSpan(name, s.clock, SpanContext{Trace: s.sc.Trace, Span: NewSpanID()}, s.sc.Span)
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// Context returns the span's trace identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// ParentSpanID returns the span ID this span nests under (zero for a
+// trace root).
+func (s *Span) ParentSpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.parent
 }
 
 // Set records an attribute.
@@ -234,12 +257,15 @@ func fmtDuration(d time.Duration) string {
 
 // spanJSON is the wire form of a span.
 type spanJSON struct {
-	Name       string         `json:"name"`
-	Start      time.Time      `json:"start"`
-	DurationMS float64        `json:"duration_ms"`
-	Attrs      map[string]any `json:"attrs,omitempty"`
-	Error      string         `json:"error,omitempty"`
-	Children   []*Span        `json:"children,omitempty"`
+	Name         string         `json:"name"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	SpanID       string         `json:"span_id,omitempty"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	Start        time.Time      `json:"start"`
+	DurationMS   float64        `json:"duration_ms"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+	Error        string         `json:"error,omitempty"`
+	Children     []*Span        `json:"children,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler for trace dumps.
@@ -252,6 +278,13 @@ func (s *Span) MarshalJSON() ([]byte, error) {
 		Start:      s.Start(),
 		DurationMS: float64(s.Duration()) / float64(time.Millisecond),
 		Children:   s.Children(),
+	}
+	if !s.sc.IsZero() {
+		j.TraceID = s.sc.Trace.String()
+		j.SpanID = s.sc.Span.String()
+	}
+	if !s.parent.IsZero() {
+		j.ParentSpanID = s.parent.String()
 	}
 	if attrs := s.Attrs(); len(attrs) > 0 {
 		j.Attrs = make(map[string]any, len(attrs))
