@@ -2,8 +2,11 @@
 // conventions at the call site: every metric name passed as a string
 // literal to the obs emission APIs must be snake_case, counters must
 // end in _total, and duration histograms must end in _seconds (the
-// Prometheus base-unit rule). Gauges are snake_case and must not claim
-// the _total counter suffix.
+// Prometheus base-unit rule). Gauges are snake_case, must not claim
+// the _total counter suffix, and gauges reporting a dimensionless
+// proportion (any name with a coverage/health/score/fraction segment,
+// e.g. the monitor's forecast-health families) must carry the _ratio
+// unit suffix so dashboards can trust their 0–1 scale.
 //
 // It walks the non-test Go files under internal/ and cmd/ with go/ast,
 // so renaming a metric in code keeps CI honest without a scrape-time
@@ -51,6 +54,25 @@ var methods = map[string]kind{
 }
 
 var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// ratioStems are name segments that mark a gauge as a dimensionless
+// proportion; such gauges must end in _ratio.
+var ratioStems = map[string]bool{
+	"coverage": true,
+	"health":   true,
+	"score":    true,
+	"fraction": true,
+}
+
+// needsRatioSuffix reports whether name contains a ratio stem segment.
+func needsRatioSuffix(name string) bool {
+	for _, seg := range strings.Split(name, "_") {
+		if ratioStems[seg] {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	dirs := os.Args[1:]
@@ -137,6 +159,9 @@ func check(k kind, name string) string {
 	case kindGauge:
 		if strings.HasSuffix(name, "_total") {
 			return "gauges must not use the _total counter suffix"
+		}
+		if needsRatioSuffix(name) && !strings.HasSuffix(name, "_ratio") {
+			return "coverage/health/score gauges must end in _ratio (dimensionless proportion)"
 		}
 	}
 	return ""

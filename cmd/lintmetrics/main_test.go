@@ -17,6 +17,8 @@ func emit(o anyObs) {
 	o.ObserveDurationTraced("fit_seconds", 0, "") // ok
 	o.SetGauge("queue_total", 1)              // gauge claiming counter suffix
 	o.SetGauge("queue_depth", 1)              // ok
+	o.SetGauge("interval_coverage", 1)        // proportion gauge missing _ratio
+	o.SetGauge("interval_coverage_ratio", 1)  // ok
 	o.Count("CamelCase_total")                // not snake_case
 	o.Count(dynamicName)                      // non-literal: skipped
 }
@@ -26,8 +28,8 @@ func emit(o anyObs) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if got := lintFile(token.NewFileSet(), path); got != 4 {
-		t.Fatalf("lintFile found %d violations, want 4", got)
+	if got := lintFile(token.NewFileSet(), path); got != 5 {
+		t.Fatalf("lintFile found %d violations, want 5", got)
 	}
 }
 
@@ -46,6 +48,16 @@ func TestCheckRules(t *testing.T) {
 		{kindGauge, "evictions_total", false},
 		{kindCounter, "_total", false},
 		{kindCounter, "double__underscore_total", false},
+		// Dimensionless-proportion gauges must carry the _ratio suffix.
+		{kindGauge, "forecast_interval_coverage_ratio", true},
+		{kindGauge, "forecast_health_ratio", true},
+		{kindGauge, "forecast_interval_coverage", false},
+		{kindGauge, "forecast_health", false},
+		{kindGauge, "quality_score", false},
+		{kindGauge, "covered_fraction", false},
+		// "score"/"health" only count as whole segments, not substrings.
+		{kindGauge, "scoreboard_depth", true},
+		{kindGauge, "healthz_checks", true},
 	}
 	for _, c := range cases {
 		if msg := check(c.k, c.name); (msg == "") != c.ok {

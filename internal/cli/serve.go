@@ -45,6 +45,10 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	hours := fs.Int("hours", 0, "simulated hours to replay (0 = run until interrupted)")
 	tick := fs.Duration("tick", time.Second, "wall-clock pause per simulated hour (0 = replay as fast as possible)")
 	window := fs.Int("window", 24, "rolling accuracy window (observations)")
+	calWindow := fs.Int("cal-window", 168, "rolling forecast-calibration window (observations) for interval coverage, PIT and residual diagnostics")
+	driftOn := fs.Bool("drift", true, "run the Page\u2013Hinkley drift detector on standardized forecast residuals as a second refit trigger")
+	phDelta := fs.Float64("ph-delta", 0.25, "Page\u2013Hinkley drift tolerance in standardized-residual units")
+	phLambda := fs.Float64("ph-lambda", 12, "Page\u2013Hinkley alarm threshold (smaller fires faster, risks false alarms)")
 	degrade := fs.Float64("degrade", 2.0, "invalidate a champion when rolling RMSE exceeds this multiple of its selection RMSE")
 	maxAge := fs.Duration("max-age", 7*24*time.Hour, "simulated-time validity window per champion (the paper's one week)")
 	thresholdCPU := fs.Float64("threshold-cpu", 80, "CPU % capacity threshold (0 = off)")
@@ -149,7 +153,11 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		return eng.Run(rctx, ser)
+		res, err := eng.Run(rctx, ser)
+		if err == nil {
+			snapshotForecast(repo, k, res, to)
+		}
+		return res, err
 	}
 
 	mon, err := monitor.New(monitor.Config{
@@ -158,6 +166,8 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		Rules:        rules,
 		PendingTicks: *pendingTicks,
 		ResolveTicks: *resolveTicks,
+		Calibration:  monitor.CalibrationConfig{Window: *calWindow},
+		Drift:        monitor.DriftConfig{Disabled: !*driftOn, Delta: *phDelta, Lambda: *phLambda},
 		Refit:        refit,
 		Inventory: func() []string {
 			var keys []string
@@ -292,6 +302,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "initial training: %d trained, %d failed in %v\n",
 		res.Trained, res.Failed, res.Elapsed.Round(time.Millisecond))
+	snapshotFleetForecasts(repo, store)
 	ready.Store(true)
 	fmt.Fprintf(stdout, "ready — replaying the agent feed (1 simulated hour per %v tick)\n", *tick)
 
@@ -415,6 +426,7 @@ func serveIngested(ctx context.Context, stdout io.Writer, o *obs.Observer,
 	}
 	fmt.Fprintf(stdout, "initial training: %d trained, %d failed in %v\n",
 		res.Trained, res.Failed, res.Elapsed.Round(time.Millisecond))
+	snapshotFleetForecasts(repo, opt.store)
 	ready.Store(true)
 	fmt.Fprintln(stdout, "ready — following the ingested feed")
 
@@ -493,6 +505,39 @@ func commonWindow(repo *metricstore.Store, excludeTarget string) (first, last ti
 		ok = true
 	}
 	return first, last, ok
+}
+
+// snapshotForecast persists a compact copy of res's production
+// forecast into the repository, so the last promise made for k
+// survives a planner restart and calibration scoring can resume
+// against it.
+func snapshotForecast(repo *metricstore.Store, k metricstore.Key, res *core.Result, fittedAt time.Time) {
+	fc := res.Forecast
+	if repo == nil || fc == nil || len(fc.Mean) == 0 {
+		return
+	}
+	repo.PutForecast(metricstore.ForecastSnapshot{
+		Key: k, Start: fc.Start, Step: fc.Freq.Step(), Level: fc.Level,
+		Mean: fc.Mean, Lower: fc.Lower, Upper: fc.Upper, SE: fc.SE,
+		FittedAt: fittedAt,
+	})
+}
+
+// snapshotFleetForecasts persists the forecast of every champion the
+// initial fleet training stored.
+func snapshotFleetForecasts(repo *metricstore.Store, store *core.ModelStore) {
+	for _, key := range store.Keys() {
+		sm, _ := store.Peek(key)
+		if sm == nil || sm.Result == nil {
+			continue
+		}
+		i := strings.LastIndexByte(key, '/')
+		if i < 0 {
+			continue
+		}
+		k := metricstore.Key{Target: key[:i], Metric: key[i+1:]}
+		snapshotForecast(repo, k, sm.Result, sm.FittedAt)
+	}
 }
 
 // containsKey reports whether keys already holds key.

@@ -157,6 +157,37 @@ func TestCapplanServeEndpointLive(t *testing.T) {
 		t.Fatalf("alerts body %s: %v", body, err)
 	}
 
+	// The forecast-health endpoint serves calibration rows once actuals
+	// have been scored, and honours the ?key= filter.
+	code, body = get("/api/v1/calibration")
+	if code != http.StatusOK {
+		t.Fatalf("calibration = %d", code)
+	}
+	var cal []map[string]any
+	if err := json.Unmarshal(body, &cal); err != nil {
+		t.Fatalf("calibration body %s: %v", body, err)
+	}
+	if len(cal) > 0 {
+		key, _ := cal[0]["key"].(string)
+		if key == "" {
+			t.Fatalf("calibration row missing key: %v", cal[0])
+		}
+		if _, ok := cal[0]["coverage_ratio"]; !ok {
+			t.Fatalf("calibration row missing coverage_ratio: %v", cal[0])
+		}
+		code, body = get("/api/v1/targets?key=" + key)
+		if code != http.StatusOK {
+			t.Fatalf("filtered targets = %d", code)
+		}
+		var rows []map[string]any
+		if err := json.Unmarshal(body, &rows); err != nil || len(rows) != 1 {
+			t.Fatalf("filtered targets body %s: %v", body, err)
+		}
+		if rows[0]["key"] != key {
+			t.Fatalf("filtered targets row = %v, want key %s", rows[0], key)
+		}
+	}
+
 	if err := <-done; err != nil {
 		t.Fatalf("capplan serve: %v\n%s", err, out.String())
 	}

@@ -181,6 +181,28 @@ func (s *ModelStore) CheckIn(key string, liveRMSE float64) (usable bool, err err
 	return s.now().Sub(sm.FittedAt) <= s.policy.maxAge(), nil
 }
 
+// Invalidate marks the stored champion for key unusable for the given
+// reason — the path external quality signals (the monitor's drift
+// detector, an operator action) use to force a refit without waiting
+// for the RMSE degradation ratio or the age window. It shares the
+// StalePolicy's bookkeeping: the eviction is counted under the reason
+// and subsequent Gets report the model unusable. Reports whether a
+// model was actually invalidated (false when the key is unknown or the
+// model was already invalid).
+func (s *ModelStore) Invalidate(key, reason string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sm, ok := s.models[key]
+	if !ok || sm.Invalidated {
+		return false
+	}
+	sm.Invalidated = true
+	s.obs.Count("modelstore_invalidations_total", 1)
+	s.obs.Count("modelstore_evictions_total", 1, obs.L("reason", reason))
+	s.obs.Warn("model invalidated", "key", key, "reason", reason)
+	return true
+}
+
 // CheckInSeries is a convenience wrapper: it scores the stored champion's
 // production forecast against observed actuals and checks in the RMSE.
 func (s *ModelStore) CheckInSeries(key string, actual []float64) (usable bool, err error) {

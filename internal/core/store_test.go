@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -125,6 +126,39 @@ func TestStoreKeysAndDelete(t *testing.T) {
 	s.Delete("a")
 	if len(s.Keys()) != 1 {
 		t.Fatal("delete failed")
+	}
+}
+
+func TestStoreInvalidate(t *testing.T) {
+	o := obs.New(obs.Config{Metrics: true})
+	s := NewModelStore(StalePolicy{})
+	s.SetObserver(o)
+	s.Put("db/cpu", fakeResult(5))
+
+	if s.Invalidate("ghost", "drift") {
+		t.Fatal("unknown key reported invalidated")
+	}
+	if !s.Invalidate("db/cpu", "drift") {
+		t.Fatal("valid model not invalidated")
+	}
+	if sm, usable := s.Get("db/cpu"); usable || !sm.Invalidated {
+		t.Fatalf("after Invalidate: usable=%v invalidated=%v", usable, sm.Invalidated)
+	}
+	// Idempotent: a second call on an already-invalid model is a no-op.
+	if s.Invalidate("db/cpu", "drift") {
+		t.Fatal("second Invalidate reported an eviction")
+	}
+	reg := o.Registry()
+	if n := reg.CounterValue("modelstore_invalidations_total"); n != 1 {
+		t.Fatalf("modelstore_invalidations_total = %d, want 1", n)
+	}
+	if n := reg.Counter("modelstore_evictions_total", obs.L("reason", "drift")).Value(); n != 1 {
+		t.Fatalf("drift-reason evictions = %d, want 1", n)
+	}
+	// A refreshed Put clears the flag and becomes usable again.
+	s.Put("db/cpu", fakeResult(4))
+	if _, usable := s.Get("db/cpu"); !usable {
+		t.Fatal("fresh Put after Invalidate should be usable")
 	}
 }
 

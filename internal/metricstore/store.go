@@ -39,10 +39,33 @@ type Key struct {
 // String implements fmt.Stringer.
 func (k Key) String() string { return k.Target + "/" + k.Metric }
 
+// ForecastSnapshot is a compact copy of the last production forecast
+// stored for one key: the per-step mean, interval bounds and standard
+// errors the monitor scores arriving actuals against. Persisting it
+// next to the samples means a restarted planner can keep scoring
+// calibration against the forecasts the previous process promised,
+// instead of starting blind until the first refit.
+type ForecastSnapshot struct {
+	Key   Key
+	Start time.Time
+	// Step is the forecast step width (time between entries).
+	Step  time.Duration
+	Level float64
+	Mean  []float64
+	Lower []float64
+	Upper []float64
+	SE    []float64
+	// FittedAt stamps when the champion that produced it was learned.
+	FittedAt time.Time
+}
+
 // Store is a concurrency-safe metric repository.
 type Store struct {
 	mu      sync.RWMutex
 	samples map[Key][]Sample // kept sorted by time
+	// forecasts holds the last production forecast per key (see
+	// ForecastSnapshot); persisted by Save/Load alongside the samples.
+	forecasts map[Key]ForecastSnapshot
 	// lastTrace remembers, per key, the traceparent of the most recent
 	// traced batch that wrote the key. It is the async hand-off that lets
 	// the monitor/refit pipeline continue the trace of the batch that
@@ -54,7 +77,11 @@ type Store struct {
 
 // New returns an empty Store.
 func New() *Store {
-	return &Store{samples: make(map[Key][]Sample), lastTrace: make(map[Key]string)}
+	return &Store{
+		samples:   make(map[Key][]Sample),
+		forecasts: make(map[Key]ForecastSnapshot),
+		lastTrace: make(map[Key]string),
+	}
 }
 
 // SetObserver attaches an observer for repository counters
@@ -253,16 +280,54 @@ func (s *Store) TimeRange(k Key) (first, last time.Time, ok bool) {
 	return list[0].At, list[len(list)-1].At, true
 }
 
-// persisted is the gob wire format.
+// PutForecast stores (or replaces) the last-forecast snapshot for
+// fs.Key.
+func (s *Store) PutForecast(fs ForecastSnapshot) {
+	s.mu.Lock()
+	s.forecasts[fs.Key] = fs
+	o := s.obs
+	s.mu.Unlock()
+	o.Count("metricstore_forecast_snapshots_total", 1)
+}
+
+// Forecast returns the stored last-forecast snapshot for k.
+func (s *Store) Forecast(k Key) (ForecastSnapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fs, ok := s.forecasts[k]
+	return fs, ok
+}
+
+// ForecastKeys lists the keys holding a forecast snapshot.
+func (s *Store) ForecastKeys() []Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Key, 0, len(s.forecasts))
+	for k := range s.forecasts {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Target != out[j].Target {
+			return out[i].Target < out[j].Target
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// persisted is the gob wire format. Forecasts was added after Samples;
+// gob tolerates its absence, so images saved by older builds load
+// cleanly (with no snapshots).
 type persisted struct {
-	Samples map[Key][]Sample
+	Samples   map[Key][]Sample
+	Forecasts map[Key]ForecastSnapshot
 }
 
 // Save writes the full repository to w in gob format.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return gob.NewEncoder(w).Encode(persisted{Samples: s.samples})
+	return gob.NewEncoder(w).Encode(persisted{Samples: s.samples, Forecasts: s.forecasts})
 }
 
 // Load replaces the repository contents with a previously saved image.
@@ -276,6 +341,10 @@ func (s *Store) Load(r io.Reader) error {
 	if p.Samples == nil {
 		p.Samples = make(map[Key][]Sample)
 	}
+	if p.Forecasts == nil {
+		p.Forecasts = make(map[Key]ForecastSnapshot)
+	}
 	s.samples = p.Samples
+	s.forecasts = p.Forecasts
 	return nil
 }

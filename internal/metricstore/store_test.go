@@ -136,6 +136,87 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestForecastSnapshotStoreAndRoundTrip(t *testing.T) {
+	s := New()
+	k := Key{Target: "db1", Metric: "cpu"}
+	if _, ok := s.Forecast(k); ok {
+		t.Fatal("empty store should hold no snapshot")
+	}
+	fs := ForecastSnapshot{
+		Key: k, Start: t0, Step: time.Hour, Level: 0.95,
+		Mean:     []float64{50, 51, 52},
+		Lower:    []float64{40, 41, 42},
+		Upper:    []float64{60, 61, 62},
+		SE:       []float64{5, 5.1, 5.2},
+		FittedAt: t0,
+	}
+	s.PutForecast(fs)
+	s.PutForecast(ForecastSnapshot{Key: Key{Target: "db2", Metric: "io"}, Start: t0, Step: time.Hour})
+
+	got, ok := s.Forecast(k)
+	if !ok || got.Level != 0.95 || len(got.Mean) != 3 || got.Upper[2] != 62 {
+		t.Fatalf("snapshot = %+v, %v", got, ok)
+	}
+	keys := s.ForecastKeys()
+	if len(keys) != 2 || keys[0].String() != "db1/cpu" || keys[1].String() != "db2/io" {
+		t.Fatalf("forecast keys = %v", keys)
+	}
+
+	// A replace overwrites, never duplicates.
+	fs.Mean = []float64{70}
+	s.PutForecast(fs)
+	if got, _ = s.Forecast(k); len(got.Mean) != 1 || got.Mean[0] != 70 {
+		t.Fatalf("replaced snapshot = %+v", got)
+	}
+
+	// Snapshots survive Save/Load next to the samples.
+	s.Put(Sample{Target: "db1", Metric: "cpu", At: t0, Value: 1})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok = s2.Forecast(k); !ok || got.Mean[0] != 70 || !got.Start.Equal(t0) {
+		t.Fatalf("loaded snapshot = %+v, %v", got, ok)
+	}
+	if s2.Count(k) != 1 {
+		t.Fatalf("samples lost across round-trip: %d", s2.Count(k))
+	}
+}
+
+func TestLoadOldImageWithoutForecasts(t *testing.T) {
+	// Simulate an image written by a build that predates snapshots: a
+	// persisted struct whose Forecasts map is nil gob-encodes without
+	// the field's contents, and Load must still produce a usable store.
+	s := New()
+	s.Put(Sample{Target: "d", Metric: "m", At: t0, Value: 7})
+	s.mu.Lock()
+	s.forecasts = nil // as if the field never existed
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count(Key{Target: "d", Metric: "m"}) != 1 {
+		t.Fatal("samples lost loading an old image")
+	}
+	if keys := s2.ForecastKeys(); len(keys) != 0 {
+		t.Fatalf("phantom snapshots: %v", keys)
+	}
+	// And the store accepts new snapshots after such a load.
+	s2.PutForecast(ForecastSnapshot{Key: Key{Target: "d", Metric: "m"}, Start: t0, Step: time.Hour})
+	if _, ok := s2.Forecast(Key{Target: "d", Metric: "m"}); !ok {
+		t.Fatal("snapshot rejected after old-image load")
+	}
+}
+
 func TestLoadGarbage(t *testing.T) {
 	s := New()
 	if err := s.Load(bytes.NewReader([]byte("not gob"))); err == nil {

@@ -135,6 +135,20 @@ func (a *Alerter) Observe(key string, now time.Time, fc *core.Prediction) {
 	a.publishGauges()
 }
 
+// ObserveCondition drives an externally evaluated condition — e.g. the
+// drift detector's alarm state — through the same pending→firing→
+// resolved machinery as a forecast rule. kind names the synthetic
+// metric the alert is keyed under (key+"|"+kind), so a drift event and
+// a capacity breach can coexist on one target; value is the condition's
+// current magnitude (the Page–Hinkley statistic for drift).
+func (a *Alerter) ObserveCondition(key, kind string, now time.Time, active bool, value float64, at time.Time) {
+	if !active {
+		at = time.Time{}
+	}
+	a.transition(key, Rule{Metric: kind}, now, active, value, at)
+	a.publishGauges()
+}
+
 // scanForecast walks the forecast steps inside the rule's look-ahead
 // window, returning whether the threshold is crossed, the worst value
 // seen and the first crossing time.
@@ -178,6 +192,10 @@ func (a *Alerter) transition(key string, r Rule, now time.Time, breaching bool, 
 		al = &Alert{Key: key, Rule: r, State: StateInactive, Since: now}
 		a.alerts[id] = al
 	}
+	word := "capacity"
+	if r.Metric == DriftCondition {
+		word = "drift"
+	}
 	al.Value = worst
 	al.BreachAt = breachAt
 	if breaching {
@@ -189,7 +207,7 @@ func (a *Alerter) transition(key string, r Rule, now time.Time, breaching bool, 
 			al.Since = now
 			al.breachRun = 1
 			a.count("pending", key, r.Metric)
-			a.obs.Info("capacity alert pending", "key", key, "metric", r.Metric,
+			a.obs.Info(word+" alert pending", "key", key, "metric", r.Metric,
 				"threshold", r.Threshold, "value", fmt.Sprintf("%.2f", worst),
 				"breach_at", breachAt.Format(time.RFC3339))
 		case StatePending:
@@ -199,7 +217,7 @@ func (a *Alerter) transition(key string, r Rule, now time.Time, breaching bool, 
 				al.FiredAt = now
 				al.ResolvedAt = time.Time{}
 				a.count("firing", key, r.Metric)
-				a.obs.Warn("capacity alert FIRING", "key", key, "metric", r.Metric,
+				a.obs.Warn(word+" alert FIRING", "key", key, "metric", r.Metric,
 					"threshold", r.Threshold, "value", fmt.Sprintf("%.2f", worst),
 					"breach_at", breachAt.Format(time.RFC3339))
 			}
@@ -214,14 +232,14 @@ func (a *Alerter) transition(key string, r Rule, now time.Time, breaching bool, 
 		al.State = StateInactive
 		al.Since = now
 		a.count("flap", key, r.Metric)
-		a.obs.Debug("capacity alert flap suppressed", "key", key, "metric", r.Metric)
+		a.obs.Debug(word+" alert flap suppressed", "key", key, "metric", r.Metric)
 	case StateFiring:
 		if al.clearRun >= a.resolveTicks {
 			al.State = StateResolved
 			al.Since = now
 			al.ResolvedAt = now
 			a.count("resolved", key, r.Metric)
-			a.obs.Info("capacity alert resolved", "key", key, "metric", r.Metric,
+			a.obs.Info(word+" alert resolved", "key", key, "metric", r.Metric,
 				"threshold", r.Threshold)
 		}
 	}

@@ -140,6 +140,74 @@ func TestAlertUsesUpperBoundWhenPresent(t *testing.T) {
 	}
 }
 
+// TestDriftAndCapacityAlertsCoexist drives a drift condition and a
+// capacity breach on the same target through the alerter at the same
+// time: both must fire, and each must resolve independently when its
+// own condition clears.
+func TestDriftAndCapacityAlertsCoexist(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	const key = "db1/cpu"
+	a := NewAlerter([]Rule{{Metric: "cpu", Threshold: 80, WithinHours: 24}}, 2, 2, nil)
+	now := t0
+	tick := func(capacityBreach, driftActive bool) {
+		v := 50.0
+		if capacityBreach {
+			v = 90
+		}
+		a.Observe(key, now, prediction(now, v))
+		a.ObserveCondition(key, DriftCondition, now, driftActive, 15, now)
+		now = now.Add(time.Hour)
+	}
+	states := func() map[string]AlertState {
+		out := make(map[string]AlertState)
+		for _, al := range a.Alerts() {
+			out[al.Rule.Metric] = al.State
+		}
+		return out
+	}
+
+	// Both conditions breach long enough to fire.
+	for i := 0; i < 3; i++ {
+		tick(true, true)
+	}
+	st := states()
+	if st["cpu"] != StateFiring || st[DriftCondition] != StateFiring {
+		t.Fatalf("after overlapping breaches: %v, want both firing", st)
+	}
+
+	// Drift clears (refit landed) while the capacity breach holds: the
+	// drift alert resolves alone.
+	for i := 0; i < 3; i++ {
+		tick(true, false)
+	}
+	st = states()
+	if st["cpu"] != StateFiring {
+		t.Fatalf("capacity state = %v, want still firing", st["cpu"])
+	}
+	if st[DriftCondition] != StateResolved {
+		t.Fatalf("drift state = %v, want resolved", st[DriftCondition])
+	}
+
+	// Then the forecast clears too.
+	for i := 0; i < 3; i++ {
+		tick(false, false)
+	}
+	if st = states(); st["cpu"] != StateResolved {
+		t.Fatalf("capacity state = %v, want resolved", st["cpu"])
+	}
+
+	// Two distinct rows, sorted cpu < drift, each with its own history.
+	alerts := a.Alerts()
+	if len(alerts) != 2 || alerts[0].Rule.Metric != "cpu" || alerts[1].Rule.Metric != DriftCondition {
+		t.Fatalf("alerts = %+v, want cpu and drift rows", alerts)
+	}
+	for _, al := range alerts {
+		if al.FiredAt.IsZero() || al.ResolvedAt.IsZero() {
+			t.Errorf("%s alert missing lifecycle stamps: %+v", al.Rule.Metric, al)
+		}
+	}
+}
+
 func TestAlertWithinHoursLimitsLookahead(t *testing.T) {
 	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	fc := prediction(t0, 50)

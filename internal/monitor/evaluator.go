@@ -38,27 +38,42 @@ func (w *accuracyWindow) push(actual, forecast float64, at time.Time) {
 }
 
 // scores computes rolling RMSE, MAPE and MAPA over the ring.
+// Degenerate windows are handled defensively: non-finite residuals (a
+// NaN forecast step) and overflowing percentage terms (a denormal
+// actual) are excluded rather than poisoning the whole window, and
+// MAPA is clamped into [0, 100] so identical or near-zero actuals can
+// never report an accuracy above 100% or a negative one.
 func (w *accuracyWindow) scores() (rmse, mape, mapa float64) {
-	if w.count == 0 {
-		return math.NaN(), math.NaN(), math.NaN()
-	}
 	var ss, ps float64
-	pn := 0
+	sn, pn := 0, 0
 	for i := 0; i < w.count; i++ {
 		d := w.actuals[i] - w.forecasts[i]
+		if !isFinite(d) {
+			continue
+		}
 		ss += d * d
+		sn++
 		if w.actuals[i] != 0 {
-			ps += math.Abs(d / w.actuals[i])
-			pn++
+			if ape := math.Abs(d / w.actuals[i]); isFinite(ape) {
+				ps += ape
+				pn++
+			}
 		}
 	}
-	rmse = math.Sqrt(ss / float64(w.count))
-	mape, mapa = math.NaN(), math.NaN()
+	rmse, mape, mapa = math.NaN(), math.NaN(), math.NaN()
+	if sn > 0 {
+		rmse = math.Sqrt(ss / float64(sn))
+	}
 	if pn > 0 {
 		mape = 100 * ps / float64(pn)
-		mapa = math.Max(0, 100-mape)
+		mapa = math.Min(100, math.Max(0, 100-mape))
 	}
 	return rmse, mape, mapa
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // AccuracyScore is one row of the /accuracy endpoint: the rolling live
@@ -78,6 +93,38 @@ type AccuracyScore struct {
 	LastAt        time.Time `json:"last_at"`
 }
 
+// obsPoint is one matched (actual, forecast step) pair, carrying the
+// interval information — SE, bounds, nominal level — the calibration
+// and drift layers score. It is how core's per-step interval output
+// reaches the observe path.
+type obsPoint struct {
+	key    string
+	family string
+	at     time.Time
+	actual float64
+	mean   float64
+	// se is the step's forecast standard error (NaN when the champion
+	// produced none); lower/upper the prediction-interval bounds at the
+	// nominal level, valid only when hasBand is set.
+	se           float64
+	lower, upper float64
+	level        float64
+	hasBand      bool
+}
+
+// standardized returns the residual in forecast-SE units, the input
+// the Page–Hinkley drift detector accumulates. Without a usable SE the
+// residual is scaled by the forecast level's magnitude so the detector
+// still sees shift-proportional evidence.
+func (p obsPoint) standardized() float64 {
+	resid := p.actual - p.mean
+	scale := p.se
+	if !isFinite(scale) || scale <= 0 {
+		scale = 0.05 * math.Max(math.Abs(p.mean), 1e-9)
+	}
+	return resid / scale
+}
+
 // verdict reports what one Observe call found, for the monitor's refit
 // decision.
 type verdict struct {
@@ -89,6 +136,9 @@ type verdict struct {
 	// usable is the store's verdict after the check-in (false once the
 	// model is invalidated or age-stale).
 	usable bool
+	// point carries the matched step's interval data for the
+	// calibration tracker and drift detector, valid when matched.
+	point obsPoint
 }
 
 // Evaluator maintains rolling forecast accuracy per stored champion. As
@@ -155,6 +205,18 @@ func (e *Evaluator) Observe(key string, at time.Time, actual float64) verdict {
 		return verdict{beyondHorizon: true, usable: usable}
 	}
 	family := sm.Result.ChampionFamily()
+	point := obsPoint{
+		key: key, family: family, at: at,
+		actual: actual, mean: fc.Mean[idx],
+		se: math.NaN(), level: fc.Level,
+	}
+	if idx < len(fc.SE) {
+		point.se = fc.SE[idx]
+	}
+	if len(fc.Lower) == len(fc.Mean) && len(fc.Upper) == len(fc.Mean) {
+		point.lower, point.upper = fc.Lower[idx], fc.Upper[idx]
+		point.hasBand = true
+	}
 
 	e.mu.Lock()
 	w := e.wins[key]
@@ -175,15 +237,15 @@ func (e *Evaluator) Observe(key string, at time.Time, actual float64) verdict {
 		e.obs.SetGauge("monitor_rolling_mapa", mapa, kl...)
 	}
 	if points < e.minPoints {
-		return verdict{matched: true, usable: usable}
+		return verdict{matched: true, usable: usable, point: point}
 	}
 	// The store's StalePolicy owns the degradation decision; it logs the
 	// ratio and emits modelstore_evictions_total when it invalidates.
 	stillUsable, err := e.store.CheckIn(key, rmse)
 	if err != nil {
-		return verdict{matched: true, usable: usable}
+		return verdict{matched: true, usable: usable, point: point}
 	}
-	return verdict{matched: true, usable: stillUsable}
+	return verdict{matched: true, usable: stillUsable, point: point}
 }
 
 // Reset clears the rolling window for key — called after a refit so the
@@ -220,8 +282,8 @@ func (e *Evaluator) Accuracy() []AccuracyScore {
 		if sm != nil {
 			out[i].SelectionRMSE = sm.SelectionRMSE
 			out[i].Invalidated = sm.Invalidated
-			if sm.SelectionRMSE > 0 && !math.IsNaN(out[i].RollingRMSE) {
-				out[i].Ratio = out[i].RollingRMSE / sm.SelectionRMSE
+			if sm.SelectionRMSE > 0 && isFinite(out[i].RollingRMSE) {
+				out[i].Ratio = math.Max(0, out[i].RollingRMSE/sm.SelectionRMSE)
 			}
 		}
 		// encoding/json rejects NaN; empty windows serialise as zero.
@@ -232,8 +294,11 @@ func (e *Evaluator) Accuracy() []AccuracyScore {
 	return out
 }
 
+// nanToZero maps non-finite values to zero — encoding/json rejects
+// NaN and ±Inf, and a degenerate window must serialise as "no signal",
+// never as a negative or overflowing score.
 func nanToZero(v float64) float64 {
-	if math.IsNaN(v) {
+	if !isFinite(v) {
 		return 0
 	}
 	return v

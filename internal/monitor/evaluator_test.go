@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"time"
@@ -50,6 +51,93 @@ func TestAccuracyWindowRing(t *testing.T) {
 	}
 	if math.Abs(mapa-(100-mape)) > 1e-9 {
 		t.Fatalf("mapa = %v, want %v", mapa, 100-mape)
+	}
+}
+
+// TestScoresDegenerateWindows is the regression guard for the NaN
+// handling in accuracyWindow.scores: identical actuals, all-zero
+// actuals, NaN forecast steps and denormal actuals must never produce
+// a MAPA outside [0, 100], a negative ratio, or a NaN/Inf that leaks
+// into the JSON payload.
+func TestScoresDegenerateWindows(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	push := func(w *accuracyWindow, pairs ...[2]float64) {
+		for i, p := range pairs {
+			w.push(p[0], p[1], t0.Add(time.Duration(i)*time.Hour))
+		}
+	}
+	newWin := func() *accuracyWindow {
+		return &accuracyWindow{actuals: make([]float64, 0, 8), forecasts: make([]float64, 0, 8)}
+	}
+
+	// Identical actuals and forecasts: perfect accuracy, MAPA exactly
+	// 100 — never above.
+	w := newWin()
+	push(w, [2]float64{50, 50}, [2]float64{50, 50}, [2]float64{50, 50})
+	if rmse, mape, mapa := w.scores(); rmse != 0 || mape != 0 || mapa != 100 {
+		t.Fatalf("identical window: rmse=%v mape=%v mapa=%v", rmse, mape, mapa)
+	}
+
+	// All-zero actuals: no percentage terms at all → MAPE/MAPA NaN
+	// (no signal), which the JSON layer maps to zero, never negative.
+	w = newWin()
+	push(w, [2]float64{0, 5}, [2]float64{0, 5})
+	rmse, mape, mapa := w.scores()
+	if rmse != 5 || !math.IsNaN(mape) || !math.IsNaN(mapa) {
+		t.Fatalf("zero-actual window: rmse=%v mape=%v mapa=%v", rmse, mape, mapa)
+	}
+
+	// A NaN forecast step is excluded rather than poisoning the window.
+	w = newWin()
+	push(w, [2]float64{10, math.NaN()}, [2]float64{10, 10}, [2]float64{10, 10})
+	if rmse, _, mapa := w.scores(); rmse != 0 || mapa != 100 {
+		t.Fatalf("NaN-forecast window: rmse=%v mapa=%v", rmse, mapa)
+	}
+
+	// A denormal actual would overflow the percentage term to +Inf; the
+	// term is dropped, keeping MAPA in range instead of going negative.
+	w = newWin()
+	push(w, [2]float64{5e-324, 1}, [2]float64{10, 11})
+	_, mape, mapa = w.scores()
+	if !isFinite(mape) || mapa < 0 || mapa > 100 {
+		t.Fatalf("denormal-actual window: mape=%v mapa=%v", mape, mapa)
+	}
+
+	// Huge errors clamp MAPA at 0 rather than going negative.
+	w = newWin()
+	push(w, [2]float64{1, 1000})
+	if _, _, mapa := w.scores(); mapa != 0 {
+		t.Fatalf("huge-error window: mapa=%v, want clamped 0", mapa)
+	}
+}
+
+// TestAccuracyJSONSafeOnDegenerateData walks degenerate observations
+// through the full Observe → Accuracy path and asserts the payload
+// marshals with finite, in-range values.
+func TestAccuracyJSONSafeOnDegenerateData(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	store := core.NewModelStore(core.StalePolicy{DegradeFactor: 1.5})
+	store.Put("db1/cpu", storedResult(t0, 100, 2))
+	ev := NewEvaluator(store, 6, 3, nil)
+	// Identical actuals equal to the forecast: nothing degenerate yet,
+	// then zeros (infinite percentage error) and an enormous outlier.
+	vals := []float64{100, 100, 0, 0, 1e300}
+	for i, v := range vals {
+		ev.Observe("db1/cpu", t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	rows := ev.Accuracy()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.RollingMAPA < 0 || r.RollingMAPA > 100 {
+		t.Fatalf("rolling MAPA = %v, want within [0, 100]", r.RollingMAPA)
+	}
+	if r.Ratio < 0 || !isFinite(r.Ratio) {
+		t.Fatalf("degradation ratio = %v, want finite and non-negative", r.Ratio)
+	}
+	if _, err := json.Marshal(rows); err != nil {
+		t.Fatalf("accuracy payload not marshalable: %v", err)
 	}
 }
 

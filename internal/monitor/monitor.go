@@ -15,6 +15,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"time"
@@ -49,6 +50,13 @@ type Config struct {
 	// alongside those with stored champions. nil limits the endpoint to
 	// keys the store already holds.
 	Inventory func() []string
+	// Calibration tunes the online interval-calibration tracker; the
+	// zero value enables it with defaults.
+	Calibration CalibrationConfig
+	// Drift tunes the Page–Hinkley drift detector, the second refit
+	// trigger next to the RMSE degradation ratio; the zero value
+	// enables it with defaults, Drift.Disabled turns it off.
+	Drift DriftConfig
 	// Obs receives monitor logs, gauges and counters. nil disables.
 	Obs *obs.Observer
 }
@@ -59,6 +67,8 @@ type Monitor struct {
 	store     *core.ModelStore
 	eval      *Evaluator
 	alerter   *Alerter
+	cal       *Calibrator
+	drift     *DriftDetector
 	refit     RefitFunc
 	inventory func() []string
 	obs       *obs.Observer
@@ -72,26 +82,46 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("monitor: nil model store")
 	}
-	return &Monitor{
+	m := &Monitor{
 		store:     cfg.Store,
 		eval:      NewEvaluator(cfg.Store, cfg.Window, cfg.MinPoints, cfg.Obs),
 		alerter:   NewAlerter(cfg.Rules, cfg.PendingTicks, cfg.ResolveTicks, cfg.Obs),
+		cal:       NewCalibrator(cfg.Calibration, cfg.Obs),
 		refit:     cfg.Refit,
 		inventory: cfg.Inventory,
 		obs:       cfg.Obs,
 		refits:    make(map[string]RefitRecord),
-	}, nil
+	}
+	if !cfg.Drift.Disabled {
+		m.drift = NewDriftDetector(cfg.Drift, cfg.Obs)
+	}
+	return m, nil
 }
 
 // ObserveActual feeds one fresh actual for key at time `at`: the value
-// is scored against the stored champion's forecast, and a refit is
-// triggered when the champion degraded, aged out, or the actual fell
-// past the forecast horizon.
+// is scored against the stored champion's forecast interval (rolling
+// accuracy, calibration and drift), and a refit is triggered when the
+// champion degraded, aged out, fell past the forecast horizon, or the
+// drift detector flagged a regime shift the error ratio has not caught
+// up with yet.
 func (m *Monitor) ObserveActual(ctx context.Context, key string, at time.Time, actual float64) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	v := m.eval.Observe(key, at, actual)
+	var driftAlarm bool
+	if v.matched {
+		m.cal.Observe(v.point)
+		if m.drift != nil {
+			dv := m.drift.Observe(key, at, v.point.standardized())
+			driftAlarm = dv.Alarm
+			// The drift condition rides the same pending→firing→resolved
+			// machinery as capacity breaches, keyed under the synthetic
+			// "drift" metric so both can coexist on one target.
+			m.alerter.ObserveCondition(key, DriftCondition, at, dv.Active, dv.Stat, at)
+		}
+		m.publishHealth(key)
+	}
 	switch {
 	case v.beyondHorizon:
 		m.triggerRefit(ctx, key, "horizon")
@@ -101,6 +131,13 @@ func (m *Monitor) ObserveActual(ctx context.Context, key string, at time.Time, a
 			reason = "degraded"
 		}
 		m.triggerRefit(ctx, key, reason)
+	case driftAlarm:
+		// Second refit trigger: the Page–Hinkley alarm invalidates the
+		// champion through the store (so the StalePolicy's bookkeeping
+		// sees the eviction) and refits immediately, typically hours
+		// before the rolling-RMSE ratio crosses the degradation factor.
+		m.store.Invalidate(key, "drift")
+		m.triggerRefit(ctx, key, "drift")
 	}
 }
 
@@ -150,6 +187,10 @@ func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 	m.recordRefit(rec)
 	m.store.Put(key, res)
 	m.eval.Reset(key)
+	// The drift accumulator restarts from the new champion's baseline;
+	// the calibration window survives on purpose — empirical coverage
+	// is a property of the interval stream across champion generations.
+	m.drift.Reset(key)
 	sp.Set("champion", res.Champion.Label)
 	m.obs.Count("monitor_refits_total", 1, obs.L("reason", reason))
 	m.obs.ObserveDurationTraced("monitor_refit_seconds", time.Since(began), traceID)
@@ -192,6 +233,124 @@ func (m *Monitor) Accuracy() []AccuracyScore { return m.eval.Accuracy() }
 // Alerts returns the alert snapshot (the /alerts payload).
 func (m *Monitor) Alerts() []Alert { return m.alerter.Alerts() }
 
+// CalibrationPath is the forecast-health endpoint's route on the
+// shared observability mux.
+const CalibrationPath = "/api/v1/calibration"
+
+// Calibration assembles the forecast-health snapshot for every scored
+// key (or just `filter` when non-empty): interval calibration,
+// residual diagnostics, drift state and the composite health score.
+// Sorted by key; NaNs are mapped to zero for JSON.
+func (m *Monitor) Calibration(filter string) []CalibrationStatus {
+	keys := m.cal.Keys()
+	if filter != "" {
+		if _, ok := m.cal.Status(filter); ok {
+			keys = []string{filter}
+		} else {
+			keys = nil
+		}
+	}
+	out := make([]CalibrationStatus, 0, len(keys))
+	for _, k := range keys {
+		st, ok := m.cal.Status(k)
+		if !ok {
+			continue
+		}
+		if ds, ok := m.drift.Status(k); ok {
+			d := ds
+			st.Drift = &d
+		}
+		st.Health = m.healthFor(k, st)
+		for _, f := range []*float64{
+			&st.Coverage, &st.LifetimeCoverage, &st.MeanWidth, &st.Sharpness,
+			&st.PITMean, &st.Bias, &st.ACF1, &st.ACF24,
+			&st.LjungBoxStat, &st.LjungBoxP, &st.Health,
+		} {
+			*f = nanToZero(*f)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// healthFor computes the composite health score for key from its raw
+// (NaN-preserving) calibration snapshot plus the store's degradation
+// ratio and the drift state.
+func (m *Monitor) healthFor(key string, st CalibrationStatus) float64 {
+	ratio := math.NaN()
+	if sm, _ := m.store.Peek(key); sm != nil && sm.SelectionRMSE > 0 &&
+		isFinite(sm.LiveRMSE) && sm.LiveRMSE >= 0 {
+		ratio = sm.LiveRMSE / sm.SelectionRMSE
+	}
+	drifting := false
+	if ds, ok := m.drift.Status(key); ok {
+		drifting = ds.State == "drifting"
+	}
+	return healthScore(st.Coverage, st.NominalLevel, ratio, st.LjungBoxP, drifting)
+}
+
+// publishHealth refreshes the forecast_health_ratio gauge for key.
+func (m *Monitor) publishHealth(key string) {
+	st, ok := m.cal.Status(key)
+	if !ok {
+		return
+	}
+	if h := m.healthFor(key, st); isFinite(h) {
+		m.obs.SetGauge("forecast_health_ratio", h, obs.L("key", key))
+	}
+}
+
+// healthScore folds a target's quality signals into one 0–1 score:
+//
+//   - calibration (weight 0.4): how close empirical interval coverage
+//     sits to the nominal level;
+//   - accuracy (0.3): the inverse live/selection RMSE ratio, 1 while
+//     the champion forecasts as well as it did at selection;
+//   - whiteness (0.15): the Ljung-Box p-value — residuals that still
+//     carry structure pull the score down;
+//   - drift (0.15): zero while the Page–Hinkley detector holds an
+//     active alarm.
+//
+// Components that are not yet computable (NaN) drop out and the
+// weights renormalise, so a young window reports a usable score from
+// whatever evidence exists. Returns NaN when no component is known.
+func healthScore(coverage, nominal, ratio, ljungBoxP float64, drifting bool) float64 {
+	var sum, wsum float64
+	add := func(w, v float64) {
+		if isFinite(v) {
+			sum += w * math.Min(1, math.Max(0, v))
+			wsum += w
+		}
+	}
+	if isFinite(coverage) && nominal > 0 {
+		add(0.4, 1-math.Abs(coverage-nominal)/nominal)
+	}
+	if isFinite(ratio) && ratio > 0 {
+		add(0.3, 1/math.Max(ratio, 1))
+	}
+	add(0.15, ljungBoxP)
+	d := 1.0
+	if drifting {
+		d = 0
+	}
+	add(0.15, d)
+	if wsum == 0 {
+		return math.NaN()
+	}
+	return sum / wsum
+}
+
+// CalibrationHandler serves the forecast-health snapshot as a JSON
+// array; ?key=target/metric narrows it to one target.
+func CalibrationHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Calibration(req.URL.Query().Get("key"))) //nolint:errcheck // best-effort endpoint
+	})
+}
+
 // AccuracyHandler serves the rolling accuracy scores as a JSON array.
 func AccuracyHandler(m *Monitor) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -216,8 +375,9 @@ func AlertsHandler(m *Monitor) http.Handler {
 // obs.MuxOptions.Extra.
 func (m *Monitor) Handlers() map[string]http.Handler {
 	return map[string]http.Handler{
-		"/alerts":   AlertsHandler(m),
-		"/accuracy": AccuracyHandler(m),
-		TargetsPath: TargetsHandler(m),
+		"/alerts":       AlertsHandler(m),
+		"/accuracy":     AccuracyHandler(m),
+		TargetsPath:     TargetsHandler(m),
+		CalibrationPath: CalibrationHandler(m),
 	}
 }

@@ -141,16 +141,43 @@ func TestMonitorDriftEndToEnd(t *testing.T) {
 	if len(scores) != 1 || scores[0].Key != key || scores[0].Family != "HES" {
 		t.Fatalf("/accuracy = %+v", scores)
 	}
+	// The level shift raises two distinct alerts on the same target: the
+	// capacity-breach rule on the forecast and the drift condition on the
+	// residual stream. Both must have fired (sorted: "cpu" < "drift").
 	var alerts []struct {
-		Key     string    `json:"key"`
+		Key  string `json:"key"`
+		Rule struct {
+			Metric string `json:"metric"`
+		} `json:"rule"`
 		State   string    `json:"state"`
 		FiredAt time.Time `json:"fired_at"`
 	}
 	if err := json.Unmarshal(get("/alerts"), &alerts); err != nil {
 		t.Fatalf("/alerts: %v", err)
 	}
-	if len(alerts) != 1 || alerts[0].Key != key || alerts[0].FiredAt.IsZero() {
+	if len(alerts) != 2 || alerts[0].Key != key || alerts[1].Key != key {
 		t.Fatalf("/alerts = %+v", alerts)
+	}
+	if alerts[0].Rule.Metric != "cpu" || alerts[1].Rule.Metric != DriftCondition {
+		t.Fatalf("alert metrics = %q, %q; want cpu, drift", alerts[0].Rule.Metric, alerts[1].Rule.Metric)
+	}
+	for _, al := range alerts {
+		if al.FiredAt.IsZero() {
+			t.Errorf("%s alert never fired: %+v", al.Rule.Metric, al)
+		}
+	}
+
+	// Calibration ran alongside: the endpoint reports the scored window
+	// and the coverage gauge is live.
+	var cal []CalibrationStatus
+	if err := json.Unmarshal(get(CalibrationPath), &cal); err != nil {
+		t.Fatalf("%s: %v", CalibrationPath, err)
+	}
+	if len(cal) != 1 || cal[0].Key != key || cal[0].Points == 0 {
+		t.Fatalf("%s = %+v", CalibrationPath, cal)
+	}
+	if cal[0].Drift == nil || cal[0].Drift.Alarms < 1 {
+		t.Fatalf("calibration drift block = %+v, want >= 1 alarm", cal[0].Drift)
 	}
 }
 

@@ -30,26 +30,40 @@ type TargetStatus struct {
 	Key string `json:"key"`
 	// State is "ok" (usable champion), "stale" (aged out), "degraded"
 	// (accuracy-invalidated) or "untrained" (inventoried, no model yet).
-	State         string       `json:"state"`
-	Family        string       `json:"family,omitempty"`
-	Champion      string       `json:"champion,omitempty"`
-	SelectionRMSE float64      `json:"selection_rmse"`
-	RollingRMSE   float64      `json:"rolling_rmse"`
-	RollingMAPA   float64      `json:"rolling_mapa"`
-	WindowPoints  int          `json:"window_points"`
-	FittedAt      *time.Time   `json:"fitted_at,omitempty"`
-	AgeHours      float64      `json:"age_hours"`
-	HorizonSteps  int          `json:"horizon_steps"`
-	LastRefit     *RefitRecord `json:"last_refit,omitempty"`
+	State         string     `json:"state"`
+	Family        string     `json:"family,omitempty"`
+	Champion      string     `json:"champion,omitempty"`
+	SelectionRMSE float64    `json:"selection_rmse"`
+	RollingRMSE   float64    `json:"rolling_rmse"`
+	RollingMAPA   float64    `json:"rolling_mapa"`
+	WindowPoints  int        `json:"window_points"`
+	FittedAt      *time.Time `json:"fitted_at,omitempty"`
+	AgeHours      float64    `json:"age_hours"`
+	HorizonSteps  int        `json:"horizon_steps"`
+	// Forecast-health summary (full detail on /api/v1/calibration):
+	// rolling empirical interval coverage vs the nominal level, the
+	// composite 0–1 health score, and the drift detector's state.
+	Coverage          float64      `json:"interval_coverage_ratio"`
+	NominalLevel      float64      `json:"nominal_level"`
+	CalibrationPoints int          `json:"calibration_points"`
+	Health            float64      `json:"health_ratio"`
+	DriftState        string       `json:"drift_state,omitempty"`
+	DriftAlarms       int64        `json:"drift_alarms"`
+	LastRefit         *RefitRecord `json:"last_refit,omitempty"`
 }
 
-// Targets assembles the status of every known target: the union of
+// Targets assembles the status of every known target — see TargetsFor.
+func (m *Monitor) Targets() []TargetStatus { return m.TargetsFor("") }
+
+// TargetsFor assembles the status of the known targets: the union of
 // stored champions and the configured inventory (so warming targets —
 // inventoried but not yet trained — are visible too), each joined with
-// its rolling accuracy and last refit record. Sorted by key. Reads use
-// ModelStore.Peek, so polling the endpoint does not skew the store's
-// lookup counters.
-func (m *Monitor) Targets() []TargetStatus {
+// its rolling accuracy, calibration/drift summary and last refit
+// record. A non-empty filter narrows the result to that exact key, so
+// fleet-scale deployments can poll one target without serializing
+// thousands. Sorted by key. Reads use ModelStore.Peek, so polling the
+// endpoint does not skew the store's lookup counters.
+func (m *Monitor) TargetsFor(filter string) []TargetStatus {
 	now := m.store.Now()
 	set := make(map[string]bool)
 	for _, k := range m.store.Keys() {
@@ -59,6 +73,12 @@ func (m *Monitor) Targets() []TargetStatus {
 		for _, k := range m.inventory() {
 			set[k] = true
 		}
+	}
+	if filter != "" {
+		if !set[filter] {
+			return []TargetStatus{}
+		}
+		set = map[string]bool{filter: true}
 	}
 	keys := make([]string, 0, len(set))
 	for k := range set {
@@ -101,6 +121,16 @@ func (m *Monitor) Targets() []TargetStatus {
 			ts.RollingMAPA = a.RollingMAPA
 			ts.WindowPoints = a.Points
 		}
+		if st, ok := m.cal.Status(k); ok {
+			ts.Coverage = nanToZero(st.Coverage)
+			ts.NominalLevel = nanToZero(st.NominalLevel)
+			ts.CalibrationPoints = st.Points
+			ts.Health = nanToZero(m.healthFor(k, st))
+		}
+		if ds, ok := m.drift.Status(k); ok {
+			ts.DriftState = ds.State
+			ts.DriftAlarms = ds.Alarms
+		}
 		if rec, ok := m.LastRefit(k); ok {
 			ts.LastRefit = &rec
 		}
@@ -109,12 +139,13 @@ func (m *Monitor) Targets() []TargetStatus {
 	return out
 }
 
-// TargetsHandler serves the per-target planner status as a JSON array.
+// TargetsHandler serves the per-target planner status as a JSON array;
+// ?key=target/metric narrows it to one target.
 func TargetsHandler(m *Monitor) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(m.Targets()) //nolint:errcheck // best-effort endpoint
+		enc.Encode(m.TargetsFor(req.URL.Query().Get("key"))) //nolint:errcheck // best-effort endpoint
 	})
 }

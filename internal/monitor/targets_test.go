@@ -94,6 +94,63 @@ func TestTargetsEndpoint(t *testing.T) {
 	}
 }
 
+// TestTargetsKeyFilterAndHealthFields covers the ?key= filter and the
+// calibration/drift summary merged into each targets row.
+func TestTargetsKeyFilterAndHealthFields(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := t0
+	store := core.NewModelStore(core.StalePolicy{MaxAge: 48 * time.Hour, DegradeFactor: 2})
+	store.SetClock(func() time.Time { return now })
+	store.Put("db1/cpu", storedResultWithBand(t0, 100, 5, 5, 48))
+	store.Put("db2/io", storedResultWithBand(t0, 300, 10, 8, 48))
+	m, err := New(Config{Store: store, Window: 24, MinPoints: 3,
+		Obs: obs.New(obs.Config{Metrics: true})})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Score a few in-band actuals so db1/cpu carries calibration state.
+	for i := 0; i < 12; i++ {
+		m.ObserveActual(context.Background(), "db1/cpu", now, 101)
+		now = now.Add(time.Hour)
+	}
+
+	rows := m.TargetsFor("db1/cpu")
+	if len(rows) != 1 || rows[0].Key != "db1/cpu" {
+		t.Fatalf("filtered rows = %+v, want exactly db1/cpu", rows)
+	}
+	ts := rows[0]
+	if ts.Coverage != 1 || ts.NominalLevel != 0.95 || ts.CalibrationPoints != 12 {
+		t.Fatalf("calibration summary = cov %v level %v points %d", ts.Coverage, ts.NominalLevel, ts.CalibrationPoints)
+	}
+	if ts.Health <= 0 || ts.Health > 1 {
+		t.Fatalf("health = %v, want in (0, 1]", ts.Health)
+	}
+	if ts.DriftState != "watching" || ts.DriftAlarms != 0 {
+		t.Fatalf("drift summary = %q/%d, want watching/0", ts.DriftState, ts.DriftAlarms)
+	}
+
+	// The unscored target has zero-valued health fields but still lists.
+	if rows = m.TargetsFor("db2/io"); len(rows) != 1 || rows[0].CalibrationPoints != 0 {
+		t.Fatalf("db2/io rows = %+v", rows)
+	}
+	// Unknown keys return an empty (not nil) slice — "[]" on the wire.
+	if rows = m.TargetsFor("no/such"); rows == nil || len(rows) != 0 {
+		t.Fatalf("unknown-key rows = %#v, want empty slice", rows)
+	}
+
+	// The handler honours ?key=.
+	rr := httptest.NewRecorder()
+	TargetsHandler(m).ServeHTTP(rr, httptest.NewRequest("GET", TargetsPath+"?key=db1/cpu", nil))
+	var parsed []TargetStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &parsed); err != nil {
+		t.Fatalf("filtered payload not JSON: %v", err)
+	}
+	if len(parsed) != 1 || parsed[0].Key != "db1/cpu" {
+		t.Fatalf("handler filtered rows = %+v", parsed)
+	}
+}
+
 func TestSelfScraperRates(t *testing.T) {
 	o := obs.New(obs.Config{Metrics: true})
 	repo := metricstore.New()
