@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint-metrics bench bench-baseline bench-check tables figures examples clean
+.PHONY: all build vet test test-short race lint-metrics bench bench-baseline bench-check bench-baseline-store bench-check-store tables figures examples clean
 
 all: build vet lint-metrics test
 
@@ -47,6 +47,21 @@ bench-check:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -benchtime 1x -count 1 . > bench_output.txt
 	$(GO) run ./cmd/benchcheck -baseline BENCH_PR5.json bench_output.txt
 
+# Sharded-store scaling gated by BENCH_PR8.json: concurrent
+# PutBatch+Series throughput at 1/4/16 shards (shards-1 is the old
+# single-lock store, kept in the baseline as the reference point).
+STORE_BENCH_GATE = ^BenchmarkStoreParallel$$
+
+bench-baseline-store:
+	$(GO) test -run '^$$' -bench '$(STORE_BENCH_GATE)' -benchmem -benchtime 300x -count 3 ./internal/metricstore/ > bench_store_output.txt
+	$(GO) run ./cmd/benchcheck -update -baseline BENCH_PR8.json \
+		-note "sharded-store parallel baseline; regenerate with \`make bench-baseline-store\`, compare with \`make bench-check-store\`" \
+		bench_store_output.txt
+
+bench-check-store:
+	$(GO) test -run '^$$' -bench '$(STORE_BENCH_GATE)' -benchmem -benchtime 100x -count 1 ./internal/metricstore/ > bench_store_output.txt
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR8.json bench_store_output.txt
+
 # Full-size reproduction of the evaluation tables (42 days, Table 1 splits).
 tables:
 	$(GO) run ./cmd/benchtables -table 2a
@@ -70,4 +85,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt bench_store_output.txt

@@ -52,6 +52,7 @@ func main() {
 	allocsFactor := flag.Float64("max-allocs-factor", 1.25, "fail when allocs/op exceeds baseline by this factor")
 	bytesFactor := flag.Float64("max-bytes-factor", 1.5, "fail when bytes/op exceeds baseline by this factor")
 	nsFactor := flag.Float64("max-ns-factor", 8, "fail when ns/op exceeds baseline by this factor")
+	note := flag.String("note", "fit hot-path baseline; regenerate with `make bench-baseline`, compare with `make bench-check`", "note written into the baseline with -update")
 	flag.Parse()
 
 	in := os.Stdin
@@ -73,7 +74,7 @@ func main() {
 
 	if *update {
 		doc := Baseline{
-			Note:       "fit hot-path baseline; regenerate with `make bench-baseline`, compare with `make bench-check`",
+			Note:       *note,
 			Benchmarks: measured,
 		}
 		buf, err := json.MarshalIndent(doc, "", "  ")

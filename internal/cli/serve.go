@@ -62,6 +62,13 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	shiftFactor := fs.Float64("shift-factor", 1.5, "multiplier applied to actuals during the injected shift")
 	ingestOn := fs.Bool("ingest", false, "accept remote-write batches on POST "+ingest.Path+
 		" and train/monitor over the ingested series instead of the built-in simulator")
+	storeDir := fs.String("store-dir", "", "durable repository directory: every ingested sample and forecast snapshot is WAL-logged "+
+		"and replayed on restart (requires -ingest; empty = in-memory only)")
+	storeShards := fs.Int("store-shards", metricstore.DefaultShards, "repository shard count, rounded up to a power of two "+
+		"(a -store-dir remembers the count it was created with)")
+	retention := fs.Duration("retention", 0, "drop samples older than this horizon at WAL compaction, per series (0 = keep everything)")
+	storeFsync := fs.String("store-fsync", "rotate", "WAL fsync policy: rotate (fsync on segment rotation and close; a kill loses nothing, "+
+		"power loss can cost the active segment tail) or always (fsync every append)")
 	ingestMaxBatch := fs.Int("ingest-max-batch", 50000, "max samples per remote-write request")
 	ingestInflight := fs.Int("ingest-max-inflight", 4, "concurrent ingest requests before the collector answers 429")
 	traceBuffer := fs.Int("trace-buffer", 4096, "root spans kept in memory; when full the oldest are overwritten (counted in trace_spans_dropped_total)")
@@ -75,6 +82,13 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	tech, err := parseTechnique(*technique)
 	if err != nil {
 		return err
+	}
+	syncPolicy, err := metricstore.ParseSyncPolicy(*storeFsync)
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" && !*ingestOn {
+		return fmt.Errorf("serve: -store-dir requires -ingest (the simulated replay rebuilds its history deterministically and needs no WAL)")
 	}
 	if *of.listen == "" {
 		*of.listen = "127.0.0.1:8080"
@@ -200,9 +214,24 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	var ready atomic.Bool
 	extra := mon.Handlers()
 	if *ingestOn {
-		repo = metricstore.New()
+		var rerr error
+		repo, rerr = metricstore.Open(metricstore.Options{
+			Shards:    *storeShards,
+			Dir:       *storeDir,
+			Retention: *retention,
+			Sync:      syncPolicy,
+		})
+		if rerr != nil {
+			return rerr
+		}
+		defer repo.Close()
 		repoPtr.Store(repo)
 		repo.SetObserver(o)
+		if *storeDir != "" {
+			rec := repo.Recovered()
+			fmt.Fprintf(stdout, "durable store %s: %d shards, replayed %d samples and %d forecast snapshots from %d WAL segments (%d torn tails)\n",
+				*storeDir, repo.Shards(), rec.Samples, rec.Forecasts, rec.Segments, rec.Torn)
+		}
 		col, cerr := ingest.NewCollector(ingest.ServerConfig{
 			Store:       repo,
 			MaxBatch:    *ingestMaxBatch,

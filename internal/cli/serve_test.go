@@ -254,3 +254,23 @@ func TestCapplanServeBadFlags(t *testing.T) {
 		t.Fatal("bogus technique accepted")
 	}
 }
+
+func TestServeStoreDirRequiresIngest(t *testing.T) {
+	var out bytes.Buffer
+	err := Capplan(context.Background(), []string{
+		"serve", "-store-dir", t.TempDir(), "-listen", "127.0.0.1:0",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "requires -ingest") {
+		t.Fatalf("err = %v, want -store-dir requires -ingest", err)
+	}
+}
+
+func TestServeRejectsUnknownFsyncPolicy(t *testing.T) {
+	var out bytes.Buffer
+	err := Capplan(context.Background(), []string{
+		"serve", "-ingest", "-store-dir", t.TempDir(), "-store-fsync", "everysecond", "-listen", "127.0.0.1:0",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "fsync policy") {
+		t.Fatalf("err = %v, want unknown fsync policy", err)
+	}
+}

@@ -2,6 +2,7 @@ package metricstore
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"sync"
 	"testing"
@@ -191,13 +192,11 @@ func TestLoadOldImageWithoutForecasts(t *testing.T) {
 	// Simulate an image written by a build that predates snapshots: a
 	// persisted struct whose Forecasts map is nil gob-encodes without
 	// the field's contents, and Load must still produce a usable store.
-	s := New()
-	s.Put(Sample{Target: "d", Metric: "m", At: t0, Value: 7})
-	s.mu.Lock()
-	s.forecasts = nil // as if the field never existed
-	s.mu.Unlock()
 	var buf bytes.Buffer
-	if err := s.Save(&buf); err != nil {
+	err := gob.NewEncoder(&buf).Encode(persisted{Samples: map[Key][]Sample{
+		{Target: "d", Metric: "m"}: {{Target: "d", Metric: "m", At: t0, Value: 7}},
+	}})
+	if err != nil {
 		t.Fatal(err)
 	}
 	s2 := New()
@@ -282,6 +281,121 @@ func TestPutBatchAppendFastPath(t *testing.T) {
 			t.Fatalf("not strictly ordered: %+v", raw)
 		}
 	}
+}
+
+// Regression (PR 8): a loaded image must not keep trace lineage from
+// the pre-load process — neither for keys absent from the image nor for
+// keys it contains.
+func TestLoadClearsLastTrace(t *testing.T) {
+	s := New()
+	const tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	s.PutBatchTraced([]Sample{
+		{Target: "gone", Metric: "cpu", At: t0, Value: 1},
+		{Target: "kept", Metric: "cpu", At: t0, Value: 2},
+	}, tp)
+
+	donor := New()
+	donor.Put(Sample{Target: "kept", Metric: "cpu", At: t0, Value: 3})
+	var buf bytes.Buffer
+	if err := donor.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LastTrace(Key{Target: "gone", Metric: "cpu"}); got != "" {
+		t.Fatalf("stale trace lineage survived load for absent key: %q", got)
+	}
+	if got := s.LastTrace(Key{Target: "kept", Metric: "cpu"}); got != "" {
+		t.Fatalf("stale trace lineage survived load for present key: %q", got)
+	}
+	// Lineage works again after the load.
+	s.PutBatchTraced([]Sample{{Target: "kept", Metric: "cpu", At: t0.Add(time.Hour), Value: 4}}, tp)
+	if got := s.LastTrace(Key{Target: "kept", Metric: "cpu"}); got != tp {
+		t.Fatalf("lineage broken after load: %q", got)
+	}
+}
+
+// Regression (PR 8): a window that is not a whole multiple of the step
+// must keep its trailing partial bucket instead of silently truncating
+// the samples in it.
+func TestSeriesIncludesTrailingPartialBucket(t *testing.T) {
+	s := New()
+	for i, v := range []float64{10, 20, 30, 40, 50, 60} {
+		s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(i) * 15 * time.Minute), Value: v})
+	}
+	// [t0, t0+1h30m): 1h30m at hourly steps rounds up to 2 buckets; the
+	// partial second bucket holds the samples at 1h00 and 1h15.
+	ser, err := s.Series(Key{Target: "d", Metric: "m"}, timeseries.Hourly, t0, t0.Add(90*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (trailing partial bucket dropped)", ser.Len())
+	}
+	if ser.Values[0] != 25 {
+		t.Fatalf("full bucket = %v, want 25", ser.Values[0])
+	}
+	if ser.Values[1] != 55 {
+		t.Fatalf("partial bucket = %v, want mean(50,60)=55", ser.Values[1])
+	}
+	// A sample at or past `to` stays excluded.
+	ser, err = s.Series(Key{Target: "d", Metric: "m"}, timeseries.Hourly, t0, t0.Add(75*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Len() != 2 || ser.Values[1] != 50 {
+		t.Fatalf("values = %v, want [25 50]", ser.Values)
+	}
+}
+
+// Regression (PR 8): Save must not hold any write-blocking lock across
+// the gob encode — concurrent ingestion keeps landing while a large
+// snapshot streams out, and the saved image still loads cleanly.
+func TestSaveConcurrentWithWrites(t *testing.T) {
+	s := New()
+	for i := 0; i < 500; i++ {
+		s.Put(Sample{Target: "seed", Metric: "m", At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Timestamps wrap so overwrites keep the store bounded: an
+			// ever-growing store would make each O(n) Save slower while the
+			// writers outpace it, and the test would balloon instead of
+			// finishing.
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at := t0.Add(time.Duration(i%512) * 30 * time.Minute)
+				s.PutBatch([]Sample{
+					{Target: "w", Metric: string(rune('a' + g)), At: at, Value: 1},
+					{Target: "w", Metric: string(rune('a' + g)), At: at.Add(15 * time.Minute), Value: 2},
+				})
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2 := New()
+		if err := s2.Load(&buf); err != nil {
+			t.Fatalf("snapshot taken under writes does not load: %v", err)
+		}
+		if s2.Count(Key{Target: "seed", Metric: "m"}) != 500 {
+			t.Fatalf("seed series truncated in snapshot %d", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestConcurrentPutAndRead(t *testing.T) {

@@ -1,0 +1,298 @@
+package metricstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// openDurable opens a WAL-backed store rooted in dir.
+func openDurable(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.Dir = dir
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// walSamples builds n in-order samples across a few keys.
+func walSamples(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; len(out) < n; i++ {
+		for _, tg := range []string{"cdbm011", "cdbm012", "cdbm013"} {
+			for _, m := range []string{"cpu", "memory"} {
+				if len(out) == n {
+					break
+				}
+				out = append(out, Sample{
+					Target: tg, Metric: m,
+					At:    t0.Add(time.Duration(i) * 15 * time.Minute),
+					Value: float64(i) + float64(len(out)%7),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// sameState fails the test unless a and b agree on every key's raw
+// samples and every forecast snapshot.
+func sameState(t *testing.T, a, b *Store) {
+	t.Helper()
+	ak, bk := a.Keys(), b.Keys()
+	if len(ak) != len(bk) {
+		t.Fatalf("key sets differ: %v vs %v", ak, bk)
+	}
+	for i, k := range ak {
+		if bk[i] != k {
+			t.Fatalf("key sets differ: %v vs %v", ak, bk)
+		}
+		ra, rb := a.Raw(k), b.Raw(k)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: %d vs %d samples", k, len(ra), len(rb))
+		}
+		for j := range ra {
+			if !ra[j].At.Equal(rb[j].At) || ra[j].Value != rb[j].Value {
+				t.Fatalf("%s[%d]: %+v vs %+v", k, j, ra[j], rb[j])
+			}
+		}
+	}
+	af, bf := a.ForecastKeys(), b.ForecastKeys()
+	if len(af) != len(bf) {
+		t.Fatalf("forecast key sets differ: %v vs %v", af, bf)
+	}
+	for _, k := range af {
+		fa, _ := a.Forecast(k)
+		fb, ok := b.Forecast(k)
+		if !ok || fa.Level != fb.Level || len(fa.Mean) != len(fb.Mean) || !fa.Start.Equal(fb.Start) {
+			t.Fatalf("%s: forecast snapshots differ: %+v vs %+v", k, fa, fb)
+		}
+	}
+}
+
+func TestWALReplayRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, Options{Shards: 4})
+	batch := walSamples(240)
+	s.PutBatch(batch[:200])
+	for _, smp := range batch[200:] {
+		s.Put(smp)
+	}
+	s.PutForecast(ForecastSnapshot{
+		Key: Key{Target: "cdbm011", Metric: "cpu"}, Start: t0, Step: time.Hour,
+		Level: 0.95, Mean: []float64{1, 2, 3}, Lower: []float64{0, 1, 2},
+		Upper: []float64{2, 3, 4}, SE: []float64{.5, .5, .5}, FittedAt: t0,
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir, Options{Shards: 4})
+	defer r.Close()
+	sameState(t, s, r)
+	rec := r.Recovered()
+	if rec.Samples != 240 || rec.Forecasts != 1 || rec.Torn != 0 {
+		t.Fatalf("replay stats = %+v, want 240 samples, 1 forecast, 0 torn", rec)
+	}
+}
+
+// activeSegment returns the path of the newest WAL segment of the
+// single shard in a Shards:1 store.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-000", "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	sort.Strings(segs)
+	// The newest non-empty segment holds the records (Close leaves the
+	// active segment; a reopen creates a fresh empty one after it).
+	for i := len(segs) - 1; i >= 0; i-- {
+		if fi, err := os.Stat(segs[i]); err == nil && fi.Size() > 0 {
+			return segs[i]
+		}
+	}
+	return segs[len(segs)-1]
+}
+
+func TestWALTornFinalRecordIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, Options{Shards: 1})
+	for i := 0; i < 10; i++ {
+		s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a frame header promising 64 bytes
+	// followed by only 5.
+	f, err := os.OpenFile(activeSegment(t, dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 64)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+	f.Write(hdr[:])
+	f.Write([]byte("torn!"))
+	f.Close()
+
+	r := openDurable(t, dir, Options{Shards: 1})
+	defer r.Close()
+	if got := r.Count(Key{Target: "d", Metric: "m"}); got != 10 {
+		t.Fatalf("count after torn-tail replay = %d, want 10", got)
+	}
+	rec := r.Recovered()
+	if rec.Samples != 10 || rec.Torn != 1 {
+		t.Fatalf("replay stats = %+v, want 10 samples and 1 torn tail", rec)
+	}
+}
+
+func TestWALCorruptCRCStopsReplayAtDamage(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, Options{Shards: 1})
+	for i := 0; i < 10; i++ {
+		s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the last record's payload: its CRC no longer
+	// matches, so replay keeps the 9 records before it.
+	path := activeSegment(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir, Options{Shards: 1})
+	defer r.Close()
+	if got := r.Count(Key{Target: "d", Metric: "m"}); got != 9 {
+		t.Fatalf("count after CRC damage = %d, want 9", got)
+	}
+	if rec := r.Recovered(); rec.Torn != 1 {
+		t.Fatalf("replay stats = %+v, want 1 torn record", rec)
+	}
+}
+
+func TestRotationCompactionAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rotations.
+	s := openDurable(t, dir, Options{Shards: 2, SegmentBytes: 256})
+	batch := walSamples(300)
+	for off := 0; off < len(batch); off += 10 {
+		s.PutBatch(batch[off : off+10])
+	}
+	s.Compact()
+	// Compaction must fold every rotated segment away: each shard keeps
+	// only its active segment, and at least one shard (the keys may all
+	// hash to one) wrote a snapshot.
+	totalSnaps := 0
+	for i := 0; i < 2; i++ {
+		sd := shardDir(dir, i)
+		snaps, _ := filepath.Glob(filepath.Join(sd, "snap-*.gob"))
+		segs, _ := filepath.Glob(filepath.Join(sd, "wal-*.log"))
+		totalSnaps += len(snaps)
+		if len(snaps) > 1 {
+			t.Fatalf("shard %d: %d snapshots after compaction, want at most 1", i, len(snaps))
+		}
+		if len(segs) != 1 {
+			t.Fatalf("shard %d: %d segments after compaction, want 1 (active)", i, len(segs))
+		}
+	}
+	if totalSnaps == 0 {
+		t.Fatal("no shard wrote a snapshot although segments rotated")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openDurable(t, dir, Options{Shards: 2, SegmentBytes: 256})
+	defer r.Close()
+	sameState(t, s, r)
+}
+
+func TestRetentionDropsOldSamplesAtCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, Options{Shards: 1, SegmentBytes: 128, Retention: 2 * time.Hour})
+	k := Key{Target: "d", Metric: "m"}
+	for i := 0; i < 10; i++ {
+		s.Put(Sample{Target: "d", Metric: "m", At: t0.Add(time.Duration(i) * time.Hour), Value: float64(i)})
+	}
+	s.Compact()
+	// Newest sample is t0+9h; the 2h horizon keeps [7h, 9h].
+	raw := s.Raw(k)
+	if len(raw) != 3 || raw[0].Value != 7 || raw[2].Value != 9 {
+		t.Fatalf("after retention: %+v, want values 7..9", raw)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openDurable(t, dir, Options{Shards: 1, SegmentBytes: 128, Retention: 2 * time.Hour})
+	defer r.Close()
+	// Replay of the still-active segment may resurrect older samples;
+	// they must vanish again by the next compaction, and the retained
+	// tail must always survive.
+	if got := r.Count(k); got < 3 {
+		t.Fatalf("retained tail lost on reopen: %d samples", got)
+	}
+	last := r.Raw(k)[r.Count(k)-1]
+	if last.Value != 9 {
+		t.Fatalf("newest sample lost: %+v", last)
+	}
+}
+
+func TestShardCountComesFromMeta(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, Options{Shards: 4})
+	batch := walSamples(60)
+	s.PutBatch(batch)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening with a different -store-shards must honor the on-disk
+	// count: the key→shard hash has to stay stable.
+	r := openDurable(t, dir, Options{Shards: 32})
+	defer r.Close()
+	if r.Shards() != 4 {
+		t.Fatalf("shards = %d, want the on-disk 4", r.Shards())
+	}
+	sameState(t, s, r)
+}
+
+func TestDurableLoadResetsWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir, Options{Shards: 2})
+	s.PutBatch(walSamples(50))
+
+	donor := New()
+	donor.Put(Sample{Target: "only", Metric: "cpu", At: t0, Value: 42})
+	var buf bytes.Buffer
+	if err := donor.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery must reflect the loaded image, not the pre-load batch.
+	r := openDurable(t, dir, Options{Shards: 2})
+	defer r.Close()
+	if got := len(r.Keys()); got != 1 {
+		t.Fatalf("keys after load+reopen = %v", r.Keys())
+	}
+	if got := r.Count(Key{Target: "only", Metric: "cpu"}); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
