@@ -6,7 +6,12 @@
 // the _total counter suffix, and gauges reporting a dimensionless
 // proportion (any name with a coverage/health/score/fraction segment,
 // e.g. the monitor's forecast-health families) must carry the _ratio
-// unit suffix so dashboards can trust their 0–1 scale.
+// unit suffix so dashboards can trust their 0–1 scale. A gauge in
+// seconds must say which kind: wall-clock instants end in
+// _timestamp_seconds (the planner's *_last_plan_timestamp_seconds),
+// elapsed spans carry an uptime/age/duration/elapsed segment
+// (process_uptime_seconds); a bare *_seconds gauge is ambiguous and
+// rejected.
 //
 // It walks the non-test Go files under internal/ and cmd/ with go/ast,
 // so renaming a metric in code keeps CI honest without a scrape-time
@@ -68,6 +73,33 @@ var ratioStems = map[string]bool{
 func needsRatioSuffix(name string) bool {
 	for _, seg := range strings.Split(name, "_") {
 		if ratioStems[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// elapsedStems are name segments that mark a _seconds gauge as an
+// elapsed-time reading (a span, not an instant).
+var elapsedStems = map[string]bool{
+	"uptime":   true,
+	"age":      true,
+	"duration": true,
+	"elapsed":  true,
+}
+
+// secondsGaugeOK reports whether a gauge ending in _seconds says which
+// kind of seconds it carries: a wall-clock instant must spell
+// _timestamp_seconds (the Prometheus convention the planner's
+// *_last_plan_timestamp_seconds follows), and a span must carry an
+// elapsed-time stem like uptime or age. A bare *_seconds gauge is
+// ambiguous between the two and rejected.
+func secondsGaugeOK(name string) bool {
+	if strings.HasSuffix(name, "_timestamp_seconds") {
+		return true
+	}
+	for _, seg := range strings.Split(strings.TrimSuffix(name, "_seconds"), "_") {
+		if elapsedStems[seg] {
 			return true
 		}
 	}
@@ -162,6 +194,9 @@ func check(k kind, name string) string {
 		}
 		if needsRatioSuffix(name) && !strings.HasSuffix(name, "_ratio") {
 			return "coverage/health/score gauges must end in _ratio (dimensionless proportion)"
+		}
+		if strings.HasSuffix(name, "_seconds") && !secondsGaugeOK(name) {
+			return "seconds gauges must be _timestamp_seconds (instant) or name an elapsed span (uptime/age/duration)"
 		}
 	}
 	return ""

@@ -58,6 +58,16 @@ func TestCheckRules(t *testing.T) {
 		// "score"/"health" only count as whole segments, not substrings.
 		{kindGauge, "scoreboard_depth", true},
 		{kindGauge, "healthz_checks", true},
+		// Seconds gauges must disambiguate instants from spans: the
+		// planner's timestamp gauge and elapsed-span gauges pass, a bare
+		// *_seconds gauge does not.
+		{kindGauge, "planner_last_plan_timestamp_seconds", true},
+		{kindGauge, "store_snapshot_age_seconds", true},
+		{kindGauge, "planner_last_plan_seconds", false},
+		{kindGauge, "refit_seconds", false},
+		// Histograms keep the plain _seconds rule — they are durations by
+		// construction.
+		{kindHistogram, "plan_step_seconds", true},
 	}
 	for _, c := range cases {
 		if msg := check(c.k, c.name); (msg == "") != c.ok {

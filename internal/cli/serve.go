@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -15,11 +16,13 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/dbsim"
 	"repro/internal/experiments"
 	"repro/internal/ingest"
 	"repro/internal/metricstore"
 	"repro/internal/monitor"
 	"repro/internal/obs"
+	"repro/internal/planner"
 	"repro/internal/timeseries"
 )
 
@@ -75,6 +78,11 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	selfScrape := fs.Bool("self-scrape", true, "record the planner's own pipeline metrics (ingest rate, fit wall time, queue depth, heap) as "+
 		monitor.DefaultSelfTarget+"/* forecast targets")
 	selfTrain := fs.Int("self-train", 72, "hours of self-scraped history before the self targets are trained (0 = scrape but never train)")
+	planOn := fs.Bool("plan", false, "run the capacity planner beside the monitor: size the fleet against each champion's horizon forecast "+
+		"under the headroom policy and serve recommendations on "+planner.PlanPath)
+	headroom := fs.Float64("headroom", 0.3, "fraction of per-instance capacity the planner keeps free (plan mode)")
+	planHorizon := fs.Int("plan-horizon", 24, "hours of forecast the planner sizes against (plan mode)")
+	planMax := fs.Int("plan-max-instances", 16, "upper bound on the planner's recommended instance count (plan mode)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +94,19 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	syncPolicy, err := metricstore.ParseSyncPolicy(*storeFsync)
 	if err != nil {
 		return err
+	}
+	// Flags that only govern the WAL are rejected without one, instead of
+	// being silently ignored. Visit reports the flags the command line
+	// actually set, which matters for -store-fsync's non-empty default.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *storeDir == "" {
+		if explicit["retention"] {
+			return fmt.Errorf("serve: -retention requires -store-dir (retention is enforced at WAL compaction; an in-memory repository has no WAL)")
+		}
+		if explicit["store-fsync"] {
+			return fmt.Errorf("serve: -store-fsync requires -store-dir (the fsync policy governs the WAL; an in-memory repository has none)")
+		}
 	}
 	if *storeDir != "" && !*ingestOn {
 		return fmt.Errorf("serve: -store-dir requires -ingest (the simulated replay rebuilds its history deterministically and needs no WAL)")
@@ -207,12 +228,86 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// The planner closes the loop over the same champions the monitor
+	// scores: each hour it folds their horizon forecasts into a cluster
+	// demand curve, sizes the fleet under the headroom policy, and exposes
+	// the resulting recommendation on /api/v1/plan and through the alerter
+	// (an ignored recommendation escalates pending → firing).
+	var plan *planner.Planner
+	if *planOn {
+		plan, err = planner.New(planner.Policy{
+			Metric: "cpu", Headroom: *headroom,
+			HorizonHours: *planHorizon, MaxInstances: *planMax,
+		}, o)
+		if err != nil {
+			return err
+		}
+	}
+	var planBackups []planner.BackupInfo
+	planStep := func(now time.Time) {
+		if plan == nil {
+			return
+		}
+		pol := plan.Policy()
+		suffix := "/" + pol.Metric
+		var fcs []planner.Forecast
+		var names []string
+		for _, key := range store.Keys() {
+			// The self-scrape pseudo-target is pipeline telemetry, not
+			// database capacity; it must not inflate the fleet size.
+			if strings.HasPrefix(key, monitor.DefaultSelfTarget+"/") || !strings.HasSuffix(key, suffix) {
+				continue
+			}
+			sm, _ := store.Peek(key)
+			if sm == nil || sm.Result == nil || sm.Result.Forecast == nil {
+				continue
+			}
+			fc := sm.Result.Forecast
+			fcs = append(fcs, planner.Forecast{
+				Key: key, Start: fc.Start, Step: fc.Freq.Step(),
+				Mean: fc.Mean, Upper: fc.Upper,
+			})
+			names = append(names, strings.TrimSuffix(key, suffix))
+		}
+		if len(fcs) == 0 {
+			return
+		}
+		sort.Strings(names)
+		// The last completed hour's actual per instance feeds rebalance
+		// detection; a missing observation disables it for the cycle.
+		var loads []float64
+		if r := repoPtr.Load(); r != nil {
+			for _, t := range names {
+				ser, serr := r.Series(metricstore.Key{Target: t, Metric: pol.Metric}, timeseries.Hourly, now.Add(-time.Hour), now)
+				if serr != nil || ser.Len() == 0 || math.IsNaN(ser.Values[0]) {
+					loads = nil
+					break
+				}
+				loads = append(loads, ser.Values[0])
+			}
+		}
+		st := planner.ClusterState{
+			Target: "cluster", Instances: len(names),
+			NodeLoad: loads, Backups: planBackups,
+		}
+		plan.Plan(now, st, planner.AggregateDemand(now, pol.HorizonHours, 0, fcs))
+		if rec, ok := plan.Recommendation(); ok {
+			mon.ObserveCondition(st.Target, planner.GrowCondition, now,
+				rec.Recommended > rec.Instances, float64(rec.Recommended), rec.PeakAt)
+			mon.ObserveCondition(st.Target, planner.ShrinkCondition, now,
+				rec.Recommended < rec.Instances, float64(rec.Recommended), rec.PeakAt)
+		}
+	}
+
 	// The endpoint goes up before training so /healthz answers from the
 	// first second; /readyz flips once the champions are in the store.
 	// In ingest mode it also carries the remote-write collector, so
 	// agents can ship from the first second too.
 	var ready atomic.Bool
 	extra := mon.Handlers()
+	if plan != nil {
+		extra[planner.PlanPath] = planner.Handler(plan)
+	}
 	if *ingestOn {
 		var rerr error
 		repo, rerr = metricstore.Open(metricstore.Options{
@@ -298,6 +393,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 			tick:      *tick,
 			scraper:   newScraper(),
 			trainSelf: trainSelf,
+			plan:      planStep,
 			dump:      func() { of.dumpMetrics(stdout, o) },
 		})
 	}
@@ -314,6 +410,12 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	repoPtr.Store(repo)
 	startAt = ds.Start
 	simClock.Store(ds.End.Unix())
+	if plan != nil {
+		// The simulated cluster's backup schedule is a shock the planner
+		// understands: it sizes backup hours around it and may move jobs
+		// into forecast valleys.
+		planBackups = planner.BackupInfos(ds.Cluster, dbsim.CPU)
+	}
 
 	res, err := core.RunFleet(ctx, repo, ds.Start, ds.End, core.FleetOptions{
 		Engine: core.Options{Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand, FitTimeout: *fitTimeout},
@@ -370,6 +472,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		observeHour(ctx, repo, mon, simNow, next)
 		trainSelf(ctx)
 		mon.EvaluateAlerts(next)
+		planStep(next)
 		simNow = next
 		hour++
 		if *tick > 0 {
@@ -395,6 +498,7 @@ type ingestedOptions struct {
 	tick      time.Duration
 	scraper   *monitor.SelfScraper
 	trainSelf func(context.Context)
+	plan      func(time.Time)
 	dump      func()
 }
 
@@ -477,6 +581,9 @@ func serveIngested(ctx context.Context, stdout io.Writer, o *obs.Observer,
 					opt.trainSelf(ctx)
 				}
 				mon.EvaluateAlerts(next)
+				if opt.plan != nil {
+					opt.plan(next)
+				}
 				simNow = next
 				hour++
 			}

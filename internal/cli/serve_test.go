@@ -265,6 +265,168 @@ func TestServeStoreDirRequiresIngest(t *testing.T) {
 	}
 }
 
+func TestServeWalFlagsRequireStoreDir(t *testing.T) {
+	var out bytes.Buffer
+	err := Capplan(context.Background(), []string{
+		"serve", "-ingest", "-retention", "24h", "-listen", "127.0.0.1:0",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-retention requires -store-dir") {
+		t.Fatalf("err = %v, want -retention requires -store-dir", err)
+	}
+	// Explicitly setting -store-fsync is rejected without a WAL even when
+	// the value matches the default.
+	for _, policy := range []string{"always", "rotate"} {
+		err = Capplan(context.Background(), []string{
+			"serve", "-ingest", "-store-fsync", policy, "-listen", "127.0.0.1:0",
+		}, &out)
+		if err == nil || !strings.Contains(err.Error(), "-store-fsync requires -store-dir") {
+			t.Fatalf("-store-fsync %s: err = %v, want -store-fsync requires -store-dir", policy, err)
+		}
+	}
+}
+
+// TestCapplanServePlanEndpoint runs serve with the planner enabled under
+// a headroom policy tight enough that the forecast demand cannot fit the
+// current fleet, and expects a grow recommendation on /api/v1/plan, the
+// planner counters on /metrics, and the recommendation riding the
+// alerter as a plan_grow condition.
+func TestCapplanServePlanEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a fleet and replays simulated hours")
+	}
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Capplan(context.Background(), []string{
+			"serve",
+			"-exp", "oltp",
+			"-days", "10",
+			"-seed", "7",
+			"-technique", "hes",
+			"-max-candidates", "4",
+			"-hours", "200",
+			"-tick", "10ms",
+			"-plan",
+			"-headroom", "0.8",
+			"-listen", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+	deadline := time.Now().Add(60 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before binding: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\n%s", path, err, out.String())
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	// Poll the plan endpoint until a planning cycle has emitted a grow
+	// action (the forecast demand cannot fit the fleet at 0.8 headroom
+	// once a busy hour enters the lead window).
+	var payload struct {
+		Policy struct {
+			Headroom float64 `json:"headroom"`
+		} `json:"policy"`
+		Recommendation *struct {
+			Instances   int `json:"instances"`
+			Recommended int `json:"recommended"`
+		} `json:"recommendation"`
+		History []struct {
+			Type          string `json:"type"`
+			FromInstances int    `json:"from_instances"`
+			ToInstances   int    `json:"to_instances"`
+		} `json:"history"`
+	}
+	grown := -1
+	for grown < 0 {
+		code, body := get("/api/v1/plan")
+		if code != http.StatusOK {
+			t.Fatalf("plan = %d:\n%s", code, body)
+		}
+		if err := json.Unmarshal(body, &payload); err != nil {
+			t.Fatalf("plan body %s: %v", body, err)
+		}
+		for i, h := range payload.History {
+			if h.Type == "grow" {
+				grown = i
+				break
+			}
+		}
+		if grown >= 0 {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before a grow recommendation: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no grow recommendation before deadline:\n%s", out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if payload.Policy.Headroom != 0.8 {
+		t.Fatalf("policy headroom = %v, want 0.8", payload.Policy.Headroom)
+	}
+	if payload.Recommendation == nil {
+		t.Fatal("recommendation null after a planning cycle")
+	}
+	if h := payload.History[grown]; h.ToInstances <= h.FromInstances {
+		t.Fatalf("grow entry %+v does not add instances", h)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(body), "planner_actions_total") ||
+		!strings.Contains(string(body), "planner_plans_total") {
+		t.Fatalf("metrics missing planner counters (code %d):\n%s", code, body)
+	}
+
+	// The ignored recommendation escalates through the alerter.
+	for {
+		code, body := get("/alerts")
+		if code != http.StatusOK {
+			t.Fatalf("alerts = %d", code)
+		}
+		if strings.Contains(string(body), "plan_grow") {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before a plan alert: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no plan_grow alert before deadline:\n%s", string(body))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("capplan serve: %v\n%s", err, out.String())
+	}
+}
+
 func TestServeRejectsUnknownFsyncPolicy(t *testing.T) {
 	var out bytes.Buffer
 	err := Capplan(context.Background(), []string{

@@ -84,6 +84,10 @@ type BackupJob struct {
 	// Every is the schedule interval measured from midnight (e.g. 6h
 	// gives runs at 00:00, 06:00, 12:00, 18:00; 24h gives midnight only).
 	Every time.Duration
+	// Offset shifts the whole schedule from its midnight anchor (e.g.
+	// Every 24h + Offset 3h runs at 03:00 nightly). Must sit in
+	// [0, 24h); the planner's valley scheduling rewrites it.
+	Offset time.Duration
 	// Duration is how long one backup runs.
 	Duration time.Duration
 	// CPUPct, IOPS, MemMB are the extra load while running.
@@ -183,6 +187,9 @@ func New(cfg Config) (*Cluster, error) {
 		if b.Every <= 0 || b.Duration <= 0 {
 			return nil, fmt.Errorf("dbsim: backup schedule must be positive")
 		}
+		if b.Offset < 0 || b.Offset >= 24*time.Hour {
+			return nil, fmt.Errorf("dbsim: backup offset %v outside [0, 24h)", b.Offset)
+		}
 	}
 	if err := validateFailovers(cfg.Failovers, n); err != nil {
 		return nil, err
@@ -268,13 +275,19 @@ func (c *Cluster) activity(t time.Time) float64 {
 	return v
 }
 
-// backupActive reports whether job b runs at t.
+// backupActive reports whether job b runs at t. The schedule anchors at
+// midnight plus the job's Offset; an early-morning t can still fall in
+// the tail of the previous day's cycle, so the anchor steps back a day
+// when t precedes it.
 func backupActive(b BackupJob, dayAnchor, t time.Time) bool {
-	if t.Before(dayAnchor) {
-		return false
+	anchor := dayAnchor.Add(b.Offset)
+	if t.Before(anchor) {
+		anchor = anchor.Add(-24 * time.Hour)
+		if t.Before(anchor) {
+			return false
+		}
 	}
-	since := t.Sub(dayAnchor)
-	phase := since % b.Every
+	phase := t.Sub(anchor) % b.Every
 	return phase < b.Duration
 }
 
@@ -307,6 +320,55 @@ func (c *Cluster) Backups() []BackupJob {
 	return append([]BackupJob(nil), c.cfg.Backups...)
 }
 
+// sessionDemand returns the load `users` connected sessions place on the
+// cluster for one metric at t: the demand term of Sample, linear in
+// users, before baselines, backups, storms or noise.
+func (c *Cluster) sessionDemand(metric Metric, users float64, t time.Time) (float64, error) {
+	w := c.cfg.Workload
+	act := c.activity(t)
+	days := t.Sub(c.cfg.Start).Hours() / 24
+	if days < 0 {
+		days = 0
+	}
+	datasetFactor := 1 + w.DatasetGrowthPerDay*days
+	switch metric {
+	case CPU:
+		return users * act * w.Profile.CPUPct * math.Sqrt(datasetFactor), nil
+	case MemoryMB:
+		// Memory follows connections (held while logged on), modulated
+		// weakly by activity (work areas).
+		return users * w.Profile.MemMB * (0.8 + 0.2*act), nil
+	case LogicalIOPS:
+		return users * act * w.Profile.IOPS * datasetFactor, nil
+	default:
+		return 0, fmt.Errorf("dbsim: unknown metric %d", int(metric))
+	}
+}
+
+// Demand returns the cluster-wide session demand for a metric at t: the
+// load the whole connected-user population presents before it is split
+// across instances, excluding per-instance baselines, backups and
+// reconnection storms. Demand is invariant under reconfiguration — the
+// same users arrive however many instances serve them — which is what
+// lets the planner size an instance count against it.
+func (c *Cluster) Demand(metric Metric, t time.Time) (float64, error) {
+	return c.sessionDemand(metric, c.ConnectedUsers(t), t)
+}
+
+// Baseline returns the per-instance idle consumption for a metric.
+func (c *Cluster) Baseline(metric Metric) (float64, error) {
+	switch metric {
+	case CPU:
+		return c.cfg.BaselineCPUPct, nil
+	case MemoryMB:
+		return c.cfg.BaselineMemMB, nil
+	case LogicalIOPS:
+		return c.cfg.BaselineIOPS, nil
+	default:
+		return 0, fmt.Errorf("dbsim: unknown metric %d", int(metric))
+	}
+}
+
 // Sample returns the value of the metric on instance node at time t.
 // It is deterministic in (cfg, node, metric, t).
 func (c *Cluster) Sample(node int, metric Metric, t time.Time) (float64, error) {
@@ -315,28 +377,13 @@ func (c *Cluster) Sample(node int, metric Metric, t time.Time) (float64, error) 
 	}
 	w := c.cfg.Workload
 	users := c.ConnectedUsers(t) * c.shareAt(node, t)
-	act := c.activity(t)
-	days := t.Sub(c.cfg.Start).Hours() / 24
-	if days < 0 {
-		days = 0
+	demand, err := c.sessionDemand(metric, users, t)
+	if err != nil {
+		return 0, err
 	}
-	datasetFactor := 1 + w.DatasetGrowthPerDay*days
-
-	var base, demand float64
-	switch metric {
-	case CPU:
-		base = c.cfg.BaselineCPUPct
-		demand = users * act * w.Profile.CPUPct * math.Sqrt(datasetFactor)
-	case MemoryMB:
-		base = c.cfg.BaselineMemMB
-		// Memory follows connections (held while logged on), modulated
-		// weakly by activity (work areas).
-		demand = users * w.Profile.MemMB * (0.8 + 0.2*act)
-	case LogicalIOPS:
-		base = c.cfg.BaselineIOPS
-		demand = users * act * w.Profile.IOPS * datasetFactor
-	default:
-		return 0, fmt.Errorf("dbsim: unknown metric %d", int(metric))
+	base, err := c.Baseline(metric)
+	if err != nil {
+		return 0, err
 	}
 
 	bCPU, bIOPS, bMem := c.BackupLoad(node, t)

@@ -1,6 +1,7 @@
 package dbsim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -41,6 +42,106 @@ func TestSamplePurityProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the load-balancer shares sum to 1 at every instant, even
+// while failover storms shuffle load between nodes — the From node's
+// share moves to To, it never leaks or duplicates.
+func TestShareSumAcrossFailoversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		cfg := testConfig()
+		cfg.Seed = uint64(seed)
+		cfg.InstanceNames = make([]string, n)
+		cfg.LoadSkew = make([]float64, n)
+		for i := range cfg.InstanceNames {
+			cfg.InstanceNames[i] = AllMetrics[0].String() + string(rune('a'+i))
+			// Keep every share strictly positive: skew in (-0.8/n, 0.8/n).
+			cfg.LoadSkew[i] = (rng.Float64() - 0.5) * 1.6 / float64(n)
+		}
+		// A storm of overlapping failovers across the first week.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			from := rng.Intn(n)
+			to := (from + 1 + rng.Intn(n-1)) % n
+			cfg.Failovers = append(cfg.Failovers, FailoverEvent{
+				From: from, To: to,
+				At:          time.Duration(rng.Intn(7*24)) * time.Hour,
+				Duration:    time.Duration(1+rng.Intn(180)) * time.Minute,
+				StormCPUPct: rng.Float64() * 30,
+			})
+		}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 40; trial++ {
+			ts := epoch.Add(time.Duration(rng.Intn(8*24*60)) * time.Minute)
+			sum := 0.0
+			for node := 0; node < n; node++ {
+				s := c.shareAt(node, ts)
+				if s < 0 {
+					return false
+				}
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BackupLoad is exactly zero outside the configured window and
+// strictly positive inside it, for any daily schedule — including
+// offsets whose window wraps past midnight into the next day.
+func TestBackupLoadWindowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		offset := time.Duration(rng.Intn(24*60)) * time.Minute
+		duration := time.Duration(1+rng.Intn(6*60)) * time.Minute
+		cfg := testConfig()
+		cfg.Seed = uint64(seed)
+		cfg.Backups = []BackupJob{{
+			Node: rng.Intn(2), Every: 24 * time.Hour,
+			Offset: offset, Duration: duration,
+			CPUPct: 10 + rng.Float64()*20, IOPS: 500, MemMB: 100,
+		}}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		job := cfg.Backups[0]
+		for trial := 0; trial < 60; trial++ {
+			ts := epoch.Add(time.Duration(rng.Intn(5*24*60)) * time.Minute)
+			sinceMidnight := ts.Sub(time.Date(ts.Year(), ts.Month(), ts.Day(), 0, 0, 0, 0, time.UTC))
+			phase := (sinceMidnight - offset + 24*time.Hour) % (24 * time.Hour)
+			want := phase < duration
+			cpu, iops, mem := c.BackupLoad(job.Node, ts)
+			if want != (cpu > 0) {
+				return false
+			}
+			if want && (cpu != job.CPUPct || iops != job.IOPS || mem != job.MemMB) {
+				return false
+			}
+			if !want && (cpu != 0 || iops != 0 || mem != 0) {
+				return false
+			}
+			// The other node never carries this job's load.
+			cpu2, iops2, mem2 := c.BackupLoad(1-job.Node, ts)
+			if cpu2 != 0 || iops2 != 0 || mem2 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

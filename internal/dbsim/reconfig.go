@@ -1,0 +1,73 @@
+package dbsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Reconfiguration hooks: the planner's simulated actuator applies
+// capacity actions by deriving a new Cluster from the current one. The
+// workload (connected users, session costs, surges, growth) carries
+// over untouched — only the serving topology changes — so closed-loop
+// evaluations compare instance counts against one demand trace.
+
+// WithInstanceCount derives a cluster serving the same workload from n
+// instances. Existing instance names are kept up to n; growth appends
+// generated names. The load balancer share resets to an even split (a
+// reconfiguration rebalances), backup jobs whose node fell out of range
+// move to node 0, and failover events referencing removed nodes are
+// dropped.
+func (c *Cluster) WithInstanceCount(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dbsim: instance count %d < 1", n)
+	}
+	cfg := c.cfg
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(cfg.InstanceNames) {
+			names = append(names, cfg.InstanceNames[i])
+		} else {
+			names = append(names, fmt.Sprintf("node%03d", i+1))
+		}
+	}
+	cfg.InstanceNames = names
+	cfg.LoadSkew = nil
+	backups := make([]BackupJob, len(cfg.Backups))
+	copy(backups, cfg.Backups)
+	for i := range backups {
+		if backups[i].Node >= n {
+			backups[i].Node = 0
+		}
+	}
+	cfg.Backups = backups
+	var failovers []FailoverEvent
+	for _, f := range cfg.Failovers {
+		if f.From < n && f.To < n {
+			failovers = append(failovers, f)
+		}
+	}
+	cfg.Failovers = failovers
+	return New(cfg)
+}
+
+// WithEvenLoad derives a cluster with the load balancer skew cleared —
+// the planner's rebalance action.
+func (c *Cluster) WithEvenLoad() (*Cluster, error) {
+	cfg := c.cfg
+	cfg.LoadSkew = nil
+	return New(cfg)
+}
+
+// WithBackupOffset derives a cluster with backup job i rescheduled to
+// start offset past midnight — the planner's valley-scheduling action.
+func (c *Cluster) WithBackupOffset(i int, offset time.Duration) (*Cluster, error) {
+	if i < 0 || i >= len(c.cfg.Backups) {
+		return nil, fmt.Errorf("dbsim: backup job %d out of range", i)
+	}
+	cfg := c.cfg
+	backups := make([]BackupJob, len(cfg.Backups))
+	copy(backups, cfg.Backups)
+	backups[i].Offset = offset
+	cfg.Backups = backups
+	return New(cfg)
+}

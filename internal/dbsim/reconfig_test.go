@@ -1,0 +1,165 @@
+package dbsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// reconfigConfig is testConfig with the trimmings reconfiguration must
+// handle: a skewed balancer, a backup on the second node and a failover
+// between the two.
+func reconfigConfig() Config {
+	cfg := testConfig()
+	cfg.LoadSkew = []float64{0.3, -0.3}
+	cfg.Backups = []BackupJob{{
+		Node: 1, Every: 24 * time.Hour, Offset: 2 * time.Hour,
+		Duration: 30 * time.Minute, CPUPct: 12, IOPS: 800, MemMB: 50,
+	}}
+	cfg.Failovers = []FailoverEvent{{
+		From: 1, To: 0, At: 10 * time.Hour, Duration: time.Hour, StormCPUPct: 8,
+	}}
+	return cfg
+}
+
+// Demand is a cluster-wide quantity: deriving a new topology with any of
+// the reconfiguration hooks must leave it untouched at every instant.
+func TestReconfigDemandInvariant(t *testing.T) {
+	c, err := New(reconfigConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := c.WithInstanceCount(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := c.WithInstanceCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := c.WithEvenLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := c.WithBackupOffset(0, 15*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range AllMetrics {
+		for h := 0; h < 72; h += 5 {
+			ts := epoch.Add(time.Duration(h) * time.Hour)
+			want, err := c.Demand(m, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, derived := range map[string]*Cluster{
+				"grown": grown, "shrunk": shrunk, "even": even, "moved": moved,
+			} {
+				got, err := derived.Demand(m, ts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("%s changed %v demand at +%dh: %v vs %v", name, m, h, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWithInstanceCountTopology(t *testing.T) {
+	c, err := New(reconfigConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := c.WithInstanceCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"cdbm011", "cdbm012", "node003", "node004"}
+	names := grown.Instances()
+	if len(names) != len(wantNames) {
+		t.Fatalf("got %d instances, want %d", len(names), len(wantNames))
+	}
+	for i, n := range wantNames {
+		if names[i] != n {
+			t.Errorf("instance %d = %q, want %q", i, names[i], n)
+		}
+	}
+	// Growth rebalances: every node gets an even share despite the
+	// original skew, and the failover between surviving nodes is kept.
+	ts := epoch.Add(30 * time.Minute)
+	for node := range names {
+		if s := grown.shareAt(node, ts); math.Abs(s-0.25) > 1e-9 {
+			t.Errorf("grown share[%d] = %v, want 0.25", node, s)
+		}
+	}
+	if len(grown.cfg.Failovers) != 1 {
+		t.Errorf("grown cluster lost its failover: %d events", len(grown.cfg.Failovers))
+	}
+
+	shrunk, err := c.WithInstanceCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shrunk.Instances(); len(got) != 1 || got[0] != "cdbm011" {
+		t.Fatalf("shrunk instances = %v, want [cdbm011]", got)
+	}
+	// The backup's node fell out of range → clamped to node 0; the
+	// failover references a removed node → dropped.
+	if b := shrunk.Backups(); len(b) != 1 || b[0].Node != 0 {
+		t.Fatalf("shrunk backups = %+v, want job clamped to node 0", b)
+	}
+	if len(shrunk.cfg.Failovers) != 0 {
+		t.Errorf("shrunk cluster kept a failover referencing a removed node")
+	}
+	if _, err := c.WithInstanceCount(0); err == nil {
+		t.Error("WithInstanceCount(0) should be rejected")
+	}
+}
+
+func TestWithEvenLoadClearsSkew(t *testing.T) {
+	c, err := New(reconfigConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := epoch.Add(30 * time.Minute)
+	if s := c.shareAt(0, ts); math.Abs(s-0.65) > 1e-9 {
+		t.Fatalf("skewed share[0] = %v, want 0.65", s)
+	}
+	even, err := c.WithEvenLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < 2; node++ {
+		if s := even.shareAt(node, ts); math.Abs(s-0.5) > 1e-9 {
+			t.Errorf("even share[%d] = %v, want 0.5", node, s)
+		}
+	}
+}
+
+func TestWithBackupOffsetMovesWindow(t *testing.T) {
+	c, err := New(reconfigConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := c.WithBackupOffset(0, 15*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOld := epoch.Add(2*time.Hour + 10*time.Minute)
+	inNew := epoch.Add(15*time.Hour + 10*time.Minute)
+	if !c.BackupActiveAt(1, inOld) || c.BackupActiveAt(1, inNew) {
+		t.Fatal("original cluster should back up at 02:00, not 15:00")
+	}
+	if moved.BackupActiveAt(1, inOld) || !moved.BackupActiveAt(1, inNew) {
+		t.Fatal("moved cluster should back up at 15:00, not 02:00")
+	}
+	// The original cluster is untouched (derivation, not mutation).
+	if got := c.Backups()[0].Offset; got != 2*time.Hour {
+		t.Fatalf("original backup offset mutated to %v", got)
+	}
+	if _, err := c.WithBackupOffset(3, time.Hour); err == nil {
+		t.Error("out-of-range backup index should be rejected")
+	}
+}

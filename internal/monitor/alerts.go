@@ -193,8 +193,11 @@ func (a *Alerter) transition(key string, r Rule, now time.Time, breaching bool, 
 		a.alerts[id] = al
 	}
 	word := "capacity"
-	if r.Metric == DriftCondition {
+	switch {
+	case r.Metric == DriftCondition:
 		word = "drift"
+	case strings.HasPrefix(r.Metric, "plan_"):
+		word = "plan"
 	}
 	al.Value = worst
 	al.BreachAt = breachAt

@@ -218,3 +218,94 @@ func TestAlertWithinHoursLimitsLookahead(t *testing.T) {
 		t.Fatalf("breach beyond the look-ahead should stay inactive, got %+v", got)
 	}
 }
+
+// TestThreeAlertSourcesCoexist runs all three alert sources the monitor
+// multiplexes onto one target — a forecast capacity rule, the drift
+// detector's condition, and the planner's grow recommendation — through
+// a single alerter. Their IDs must not collide (three distinct rows),
+// and each must fire and resolve on its own condition only.
+func TestThreeAlertSourcesCoexist(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	const key = "db1/cpu"
+	// "plan_grow" is planner.GrowCondition; spelled out here so the
+	// monitor tests don't depend on the planner package.
+	const planGrow = "plan_grow"
+	a := NewAlerter([]Rule{{Metric: "cpu", Threshold: 80, WithinHours: 24}}, 2, 2, nil)
+	now := t0
+	tick := func(capacity, drift, plan bool) {
+		v := 50.0
+		if capacity {
+			v = 90
+		}
+		a.Observe(key, now, prediction(now, v))
+		a.ObserveCondition(key, DriftCondition, now, drift, 15, now)
+		a.ObserveCondition(key, planGrow, now, plan, 4, now)
+		now = now.Add(time.Hour)
+	}
+	states := func() map[string]AlertState {
+		out := make(map[string]AlertState)
+		for _, al := range a.Alerts() {
+			out[al.Rule.Metric] = al.State
+		}
+		return out
+	}
+
+	// All three sources active long enough to fire.
+	for i := 0; i < 3; i++ {
+		tick(true, true, true)
+	}
+	st := states()
+	for _, m := range []string{"cpu", DriftCondition, planGrow} {
+		if st[m] != StateFiring {
+			t.Fatalf("%s state = %v, want firing (all: %v)", m, st[m], st)
+		}
+	}
+	if len(a.Alerts()) != 3 {
+		t.Fatalf("got %d alert rows, want 3 distinct (no ID collisions)", len(a.Alerts()))
+	}
+
+	// The recommendation is applied (plan clears) while capacity and
+	// drift still breach: only the planner alert resolves.
+	for i := 0; i < 3; i++ {
+		tick(true, true, false)
+	}
+	st = states()
+	if st[planGrow] != StateResolved {
+		t.Fatalf("plan state = %v, want resolved", st[planGrow])
+	}
+	if st["cpu"] != StateFiring || st[DriftCondition] != StateFiring {
+		t.Fatalf("capacity/drift should still fire after plan resolves: %v", st)
+	}
+
+	// Drift clears next, capacity last — each on its own schedule.
+	for i := 0; i < 3; i++ {
+		tick(true, false, false)
+	}
+	if st = states(); st[DriftCondition] != StateResolved || st["cpu"] != StateFiring {
+		t.Fatalf("after drift clears: %v, want drift resolved, cpu firing", st)
+	}
+	for i := 0; i < 3; i++ {
+		tick(false, false, false)
+	}
+	if st = states(); st["cpu"] != StateResolved {
+		t.Fatalf("capacity state = %v, want resolved", st["cpu"])
+	}
+
+	// Every source carries its own lifecycle stamps, and the plan alert
+	// resolved strictly before drift, which resolved before capacity.
+	byMetric := make(map[string]Alert)
+	for _, al := range a.Alerts() {
+		byMetric[al.Rule.Metric] = al
+	}
+	for _, m := range []string{"cpu", DriftCondition, planGrow} {
+		al := byMetric[m]
+		if al.FiredAt.IsZero() || al.ResolvedAt.IsZero() {
+			t.Errorf("%s alert missing lifecycle stamps: %+v", m, al)
+		}
+	}
+	if !byMetric[planGrow].ResolvedAt.Before(byMetric[DriftCondition].ResolvedAt) ||
+		!byMetric[DriftCondition].ResolvedAt.Before(byMetric["cpu"].ResolvedAt) {
+		t.Errorf("resolution order wrong: plan=%v drift=%v cpu=%v",
+			byMetric[planGrow].ResolvedAt, byMetric[DriftCondition].ResolvedAt, byMetric["cpu"].ResolvedAt)
+	}
+}

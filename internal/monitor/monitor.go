@@ -141,6 +141,15 @@ func (m *Monitor) ObserveActual(ctx context.Context, key string, at time.Time, a
 	}
 }
 
+// ObserveCondition drives an externally evaluated condition — e.g. an
+// active planner recommendation — through the alerter's pending→firing→
+// resolved machinery, keyed under the synthetic metric `kind`. A
+// recommendation that stays active (ignored) long enough escalates to
+// firing exactly like a capacity breach.
+func (m *Monitor) ObserveCondition(key, kind string, now time.Time, active bool, value float64, at time.Time) {
+	m.alerter.ObserveCondition(key, kind, now, active, value, at)
+}
+
 // triggerRefit re-learns the champion for key, stores the replacement
 // and resets the rolling window so the new model is scored afresh. A
 // shutdown in progress (ctx done) skips the refit instead of starting

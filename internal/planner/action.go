@@ -1,0 +1,95 @@
+package planner
+
+import (
+	"fmt"
+	"time"
+)
+
+// ActionType enumerates the typed capacity actions the planner emits.
+type ActionType int
+
+const (
+	// ActionGrow adds instances ahead of forecast demand.
+	ActionGrow ActionType = iota
+	// ActionShrink removes instances a forecast valley will not need.
+	ActionShrink
+	// ActionRebalance evens the connected-session share across nodes.
+	ActionRebalance
+	// ActionScheduleBackup moves a backup job into a forecast valley.
+	ActionScheduleBackup
+)
+
+// String implements fmt.Stringer.
+func (t ActionType) String() string {
+	switch t {
+	case ActionGrow:
+		return "grow"
+	case ActionShrink:
+		return "shrink"
+	case ActionRebalance:
+		return "rebalance"
+	case ActionScheduleBackup:
+		return "schedule_backup"
+	default:
+		return fmt.Sprintf("ActionType(%d)", int(t))
+	}
+}
+
+// MarshalJSON renders the type name.
+func (t ActionType) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// Action is one typed capacity action. Grow/shrink carry the instance
+// transition, rebalance the hot node, schedule_backup the job index and
+// its new start; every action records the forecast evidence that drove
+// it.
+type Action struct {
+	// Seq orders actions within one planner's history.
+	Seq int `json:"seq"`
+	// Type is the action kind.
+	Type ActionType `json:"type"`
+	// Target names the cluster the action applies to.
+	Target string `json:"target"`
+	// Metric is the planning metric the decision was sized against.
+	Metric string `json:"metric"`
+	// At stamps when the planner decided.
+	At time.Time `json:"at"`
+	// ExecuteAt is when the action should take effect — At plus the
+	// provisioning lead for scaling, the valley start for backups.
+	ExecuteAt time.Time `json:"execute_at"`
+	// FromInstances / ToInstances carry the scaling transition (grow and
+	// shrink only).
+	FromInstances int `json:"from_instances,omitempty"`
+	ToInstances   int `json:"to_instances,omitempty"`
+	// Node is the hot node for rebalance, the executing node for
+	// schedule_backup.
+	Node int `json:"node,omitempty"`
+	// BackupIndex identifies the rescheduled job (schedule_backup only).
+	BackupIndex int `json:"backup_index,omitempty"`
+	// PeakForecast / PeakAt record the forecast demand peak that sized
+	// the decision.
+	PeakForecast float64   `json:"peak_forecast,omitempty"`
+	PeakAt       time.Time `json:"peak_at,omitempty"`
+	// Reason is the human-readable justification.
+	Reason string `json:"reason"`
+}
+
+// sameRecommendation reports whether b recommends the same thing as a —
+// used to keep an ignored recommendation from flooding the history with
+// identical rows every planning tick.
+func sameRecommendation(a, b Action) bool {
+	if a.Type != b.Type || a.Target != b.Target {
+		return false
+	}
+	switch a.Type {
+	case ActionGrow, ActionShrink:
+		return a.ToInstances == b.ToInstances
+	case ActionRebalance:
+		return a.Node == b.Node
+	case ActionScheduleBackup:
+		return a.BackupIndex == b.BackupIndex && a.ExecuteAt.Hour() == b.ExecuteAt.Hour()
+	default:
+		return false
+	}
+}

@@ -1,0 +1,84 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dbsim"
+)
+
+// SimActuator applies planner actions to a dbsim cluster — the
+// closed-loop stand-in for a real provisioning system. Actions queue
+// until their ExecuteAt arrives (the provisioning lead the policy was
+// told about), then reconfigure the cluster through dbsim's derivation
+// hooks. The workload itself never changes: the same connected users
+// arrive however the topology is shaped, which is what makes planner
+// and baseline runs comparable on one trace.
+type SimActuator struct {
+	cluster *dbsim.Cluster
+	pending []Action
+	applied int
+}
+
+// NewSimActuator wraps a cluster for action application.
+func NewSimActuator(c *dbsim.Cluster) *SimActuator {
+	return &SimActuator{cluster: c}
+}
+
+// Submit queues actions for application at their ExecuteAt times.
+func (a *SimActuator) Submit(acts []Action) {
+	a.pending = append(a.pending, acts...)
+	sort.SliceStable(a.pending, func(i, j int) bool {
+		return a.pending[i].ExecuteAt.Before(a.pending[j].ExecuteAt)
+	})
+}
+
+// Advance applies every queued action whose ExecuteAt is at or before
+// now, returning how many were applied.
+func (a *SimActuator) Advance(now time.Time) (int, error) {
+	n := 0
+	for len(a.pending) > 0 && !a.pending[0].ExecuteAt.After(now) {
+		act := a.pending[0]
+		a.pending = a.pending[1:]
+		if err := a.apply(act); err != nil {
+			return n, err
+		}
+		n++
+		a.applied++
+	}
+	return n, nil
+}
+
+// apply reconfigures the cluster for one action.
+func (a *SimActuator) apply(act Action) error {
+	var (
+		next *dbsim.Cluster
+		err  error
+	)
+	switch act.Type {
+	case ActionGrow, ActionShrink:
+		next, err = a.cluster.WithInstanceCount(act.ToInstances)
+	case ActionRebalance:
+		next, err = a.cluster.WithEvenLoad()
+	case ActionScheduleBackup:
+		next, err = a.cluster.WithBackupOffset(act.BackupIndex,
+			time.Duration(act.ExecuteAt.Hour())*time.Hour)
+	default:
+		return fmt.Errorf("planner: unknown action type %v", act.Type)
+	}
+	if err != nil {
+		return fmt.Errorf("planner: applying %s: %w", act.Type, err)
+	}
+	a.cluster = next
+	return nil
+}
+
+// Cluster returns the current (possibly reconfigured) cluster.
+func (a *SimActuator) Cluster() *dbsim.Cluster { return a.cluster }
+
+// Instances returns the current instance count.
+func (a *SimActuator) Instances() int { return len(a.cluster.Instances()) }
+
+// Applied returns how many actions have been applied so far.
+func (a *SimActuator) Applied() int { return a.applied }

@@ -1,0 +1,138 @@
+package planner
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dbsim"
+)
+
+func evalCluster(t *testing.T, cfg dbsim.Config) *dbsim.Cluster {
+	t.Helper()
+	c, err := dbsim.New(cfg)
+	if err != nil {
+		t.Fatalf("dbsim.New: %v", err)
+	}
+	return c
+}
+
+func actuatorConfig() dbsim.Config {
+	return dbsim.Config{
+		InstanceNames:  []string{"cdbm011", "cdbm012"},
+		BaselineCPUPct: 5,
+		Workload: dbsim.Workload{
+			BaseUsers: 500, DailyAmplitude: 0.4, PeakHour: 14,
+			Profile: dbsim.SessionProfile{CPUPct: 0.08, MemMB: 4, IOPS: 30},
+		},
+		Backups: []dbsim.BackupJob{{
+			Node: 0, Every: 24 * time.Hour, Offset: 9 * time.Hour,
+			Duration: time.Hour, CPUPct: 15, IOPS: 200, MemMB: 256,
+		}},
+		LoadSkew: []float64{0.6, -0.2},
+		Start:    planEpoch,
+		Seed:     42,
+	}
+}
+
+func TestSimActuatorAppliesInOrder(t *testing.T) {
+	act := NewSimActuator(evalCluster(t, actuatorConfig()))
+	now := planEpoch.Add(48 * time.Hour)
+
+	// Submitted out of order; applied by ExecuteAt.
+	act.Submit([]Action{
+		{Seq: 2, Type: ActionGrow, ToInstances: 4, ExecuteAt: now.Add(2 * time.Hour)},
+		{Seq: 1, Type: ActionRebalance, Node: 0, ExecuteAt: now},
+	})
+	n, err := act.Advance(now)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if n != 1 || act.Instances() != 2 {
+		t.Fatalf("applied %d actions at %d instances, want rebalance only", n, act.Instances())
+	}
+	n, err = act.Advance(now.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if n != 1 || act.Instances() != 4 {
+		t.Fatalf("applied %d actions at %d instances, want grow to 4", n, act.Instances())
+	}
+	if act.Applied() != 2 {
+		t.Fatalf("Applied = %d, want 2", act.Applied())
+	}
+}
+
+func TestSimActuatorActionEffects(t *testing.T) {
+	c := evalCluster(t, actuatorConfig())
+	act := NewSimActuator(c)
+	now := planEpoch.Add(48 * time.Hour)
+
+	// The skewed balancer concentrates load on node 0 before the
+	// rebalance and splits it evenly after.
+	busy := now.Add(14 * time.Hour)
+	before0, err := c.Sample(0, dbsim.CPU, busy)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	act.Submit([]Action{
+		{Type: ActionRebalance, Node: 0, ExecuteAt: now},
+		{Type: ActionScheduleBackup, BackupIndex: 0, ExecuteAt: now.Add(2 * time.Hour)},
+		{Type: ActionShrink, ToInstances: 1, ExecuteAt: now.Add(3 * time.Hour)},
+	})
+	if _, err := act.Advance(now.Add(3 * time.Hour)); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	after := act.Cluster()
+	if got := len(after.Instances()); got != 1 {
+		t.Fatalf("instances = %d, want 1 after shrink", got)
+	}
+	if got := after.Backups()[0].Offset; got != 2*time.Hour {
+		t.Fatalf("backup offset = %v, want 2h (ExecuteAt hour)", got)
+	}
+	// Rebalanced single node now carries the whole (even) load; the
+	// original skewed node 0 carried 2/3 of it. The derived cluster must
+	// still be driven by the same workload.
+	after0, err := after.Sample(0, dbsim.CPU, busy)
+	if err != nil {
+		t.Fatalf("Sample after: %v", err)
+	}
+	if after0 <= before0 {
+		t.Fatalf("single remaining node load %v not above skewed share %v", after0, before0)
+	}
+}
+
+func TestSimActuatorRejectsBadAction(t *testing.T) {
+	act := NewSimActuator(evalCluster(t, actuatorConfig()))
+	act.Submit([]Action{{Type: ActionGrow, ToInstances: 0, ExecuteAt: planEpoch}})
+	if _, err := act.Advance(planEpoch); err == nil {
+		t.Fatal("grow to 0 instances applied")
+	}
+}
+
+func TestReactiveGrowsImmediatelyShrinksSettled(t *testing.T) {
+	r := NewReactive(ReactiveConfig{TargetLoad: 75, Baseline: 5, Min: 1, Max: 8, SettleHours: 3})
+	// Demand 170 over 2 nodes: need ceil(170/70) = 3, immediately.
+	if got := r.Step([]float64{90, 90}, 2); got != 3 {
+		t.Fatalf("Step(high) = %d, want immediate grow to 3", got)
+	}
+	// Low demand must persist SettleHours before the shrink, and the
+	// shrink lands on the highest need seen during the run.
+	if got := r.Step([]float64{40, 40, 40}, 3); got != 3 {
+		t.Fatalf("shrink after 1 low hour: got %d", got)
+	}
+	if got := r.Step([]float64{10, 10, 10}, 3); got != 3 {
+		t.Fatalf("shrink after 2 low hours: got %d", got)
+	}
+	if got := r.Step([]float64{10, 10, 10}, 3); got != 2 {
+		t.Fatalf("settled shrink = %d, want run-max need 2", got)
+	}
+	// A spike resets the settle run.
+	r2 := NewReactive(ReactiveConfig{TargetLoad: 75, Baseline: 5, Min: 1, Max: 8, SettleHours: 2})
+	r2.Step([]float64{10, 10, 10}, 3)
+	if got := r2.Step([]float64{90, 90, 90}, 3); got != 4 {
+		t.Fatalf("spike during settle = %d, want grow to 4", got)
+	}
+	if got := r2.Step([]float64{10, 10, 10, 10}, 4); got != 4 {
+		t.Fatalf("one low hour after reset shrank to %d", got)
+	}
+}

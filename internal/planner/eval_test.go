@@ -1,0 +1,169 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dbsim"
+)
+
+// surgeScenario mirrors the paper's Experiment Two surge shape: a steady
+// user base hit by logon surges at 07:00 (4 h) and 09:00 (1 h), with a
+// housekeeping backup unfortunately scheduled into the 09:00 spike.
+func surgeScenario(t *testing.T) Scenario {
+	return Scenario{
+		Name: "surge",
+		Cluster: evalCluster(t, dbsim.Config{
+			InstanceNames:  []string{"cdbm011", "cdbm012"},
+			BaselineCPUPct: 5,
+			Workload: dbsim.Workload{
+				BaseUsers: 500, DailyAmplitude: 0.4, PeakHour: 14,
+				Surges: []dbsim.Surge{
+					{StartHour: 7, Duration: 4 * time.Hour, Users: 1000},
+					{StartHour: 9, Duration: time.Hour, Users: 1000},
+				},
+				Profile:   dbsim.SessionProfile{CPUPct: 0.08, MemMB: 4, IOPS: 30},
+				NoiseFrac: 0.02,
+			},
+			Backups: []dbsim.BackupJob{{
+				Node: 0, Every: 24 * time.Hour, Offset: 9 * time.Hour,
+				Duration: time.Hour, CPUPct: 15, IOPS: 200, MemMB: 256,
+			}},
+			Start: planEpoch,
+			Seed:  42,
+		}),
+		StartAfter: 48 * time.Hour,
+		Hours:      96,
+		SLO:        85,
+	}
+}
+
+// driftScenario mirrors the paper's growth trend: the user base grows
+// every day, so the capacity the 09:00 spike needs drifts upward across
+// the week. A skewed load balancer concentrates sessions on node 0.
+func driftScenario(t *testing.T) Scenario {
+	return Scenario{
+		Name: "drift",
+		Cluster: evalCluster(t, dbsim.Config{
+			InstanceNames:  []string{"cdbm011", "cdbm012"},
+			BaselineCPUPct: 5,
+			Workload: dbsim.Workload{
+				BaseUsers: 1200, UserGrowthPerDay: 150,
+				DailyAmplitude: 0.5, PeakHour: 14,
+				Surges: []dbsim.Surge{
+					{StartHour: 7, Duration: 4 * time.Hour, Users: 1000},
+					{StartHour: 9, Duration: time.Hour, Users: 1600},
+				},
+				Profile:   dbsim.SessionProfile{CPUPct: 0.05, MemMB: 4, IOPS: 30},
+				NoiseFrac: 0.02,
+			},
+			LoadSkew: []float64{0.6, -0.2},
+			Start:    planEpoch,
+			Seed:     7,
+		}),
+		StartAfter: 48 * time.Hour,
+		Hours:      120,
+		SLO:        85,
+	}
+}
+
+func evalPolicy() Policy {
+	return Policy{
+		Metric: "cpu", Capacity: 100, Headroom: 0.25,
+		HorizonHours: 24, LeadHours: 1,
+		MinInstances: 2, MaxInstances: 8,
+		ShrinkWindowHours: 4, CooldownHours: 2,
+	}
+}
+
+func evalReactive() ReactiveConfig {
+	// The same sizing formula and bounds as the policy, from observations.
+	return ReactiveConfig{TargetLoad: 75, Baseline: 5, Min: 2, Max: 8, SettleHours: 3}
+}
+
+// dominates reports the acceptance criterion: strictly better on one
+// axis, no worse on the other.
+func dominates(pl, re Outcome) bool {
+	if pl.BreachHours < re.BreachHours && pl.InstanceHours <= re.InstanceHours {
+		return true
+	}
+	if pl.InstanceHours < re.InstanceHours && pl.BreachHours <= re.BreachHours {
+		return true
+	}
+	return false
+}
+
+func runScenario(t *testing.T, sc Scenario) (pl, re Outcome) {
+	t.Helper()
+	pl, err := RunPlannerLoop(sc, evalPolicy(), SeasonalNaiveForecast(sc.Cluster, dbsim.CPU, 0.05))
+	if err != nil {
+		t.Fatalf("RunPlannerLoop(%s): %v", sc.Name, err)
+	}
+	re, err = RunReactiveLoop(sc, evalReactive(), evalPolicy().LeadHours)
+	if err != nil {
+		t.Fatalf("RunReactiveLoop(%s): %v", sc.Name, err)
+	}
+	t.Logf("%s/planner:  breach=%dh instance-hours=%d overprovisioned=%dh actions=%d final=%d",
+		sc.Name, pl.BreachHours, pl.InstanceHours, pl.OverprovisionedHours, pl.Actions, pl.FinalInstances)
+	t.Logf("%s/reactive: breach=%dh instance-hours=%d overprovisioned=%dh actions=%d final=%d",
+		sc.Name, re.BreachHours, re.InstanceHours, re.OverprovisionedHours, re.Actions, re.FinalInstances)
+	return pl, re
+}
+
+func TestClosedLoopPlannerDominatesSurge(t *testing.T) {
+	pl, re := runScenario(t, surgeScenario(t))
+	if re.BreachHours == 0 {
+		t.Fatal("surge scenario never stresses the reactive baseline; it proves nothing")
+	}
+	if !dominates(pl, re) {
+		t.Fatalf("planner does not dominate on surge: planner=%+v reactive=%+v", pl, re)
+	}
+	if pl.Actions == 0 || re.Actions == 0 {
+		t.Fatalf("a controller never acted: planner=%d reactive=%d", pl.Actions, re.Actions)
+	}
+}
+
+func TestClosedLoopPlannerDominatesDrift(t *testing.T) {
+	pl, re := runScenario(t, driftScenario(t))
+	if re.BreachHours == 0 {
+		t.Fatal("drift scenario never stresses the reactive baseline; it proves nothing")
+	}
+	if !dominates(pl, re) {
+		t.Fatalf("planner does not dominate on drift: planner=%+v reactive=%+v", pl, re)
+	}
+}
+
+func TestClosedLoopDeterministic(t *testing.T) {
+	sc := surgeScenario(t)
+	a, err := RunPlannerLoop(sc, evalPolicy(), SeasonalNaiveForecast(sc.Cluster, dbsim.CPU, 0.05))
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunPlannerLoop(sc, evalPolicy(), SeasonalNaiveForecast(sc.Cluster, dbsim.CPU, 0.05))
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("closed loop not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestSeasonalNaiveNoFutureLeak pins the forecaster contract: for
+// horizons up to 24 h it must only read demand at or before now.
+func TestSeasonalNaiveNoFutureLeak(t *testing.T) {
+	sc := surgeScenario(t)
+	now := sc.start()
+	fc := SeasonalNaiveForecast(sc.Cluster, dbsim.CPU, 0.05)
+	d := fc(now, 24)
+	for i := range d.Upper {
+		// Every lookup is t-24h or t-48h; the furthest step is now+24h, so
+		// the latest read is exactly now.
+		if d.StepAt(i).Add(-24 * time.Hour).After(now) {
+			t.Fatalf("step %d at %v reads past now=%v", i, d.StepAt(i), now)
+		}
+	}
+	if len(d.Upper) != 24 || len(d.Mean) != 24 {
+		t.Fatalf("horizon = %d/%d steps, want 24", len(d.Upper), len(d.Mean))
+	}
+}

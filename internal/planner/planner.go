@@ -1,0 +1,510 @@
+// Package planner closes the capacity-planning loop: it consumes the
+// horizon forecasts the monitoring layer already maintains (mean +
+// prediction intervals per target) and a headroom policy, and emits
+// typed capacity actions — grow or shrink the instance count ahead of
+// forecast demand, rebalance connected sessions across nodes, and move
+// backup jobs into forecast valleys. The paper stops at forecast charts;
+// this package is the part that spends the forecast.
+//
+// The planner is deliberately split from actuation: Plan returns typed
+// Actions and remembers them as the current recommendation. In
+// `capplan serve` the recommendation is surfaced on /api/v1/plan and
+// through the alerter (a recommendation that stays ignored escalates
+// pending → firing); in the closed-loop evaluation harness a simulated
+// actuator applies the same actions to a dbsim cluster and the outcome
+// is scored against a reactive autoscaler baseline (eval.go).
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxHistory bounds the action history ring.
+const maxHistory = 512
+
+// Alert condition kinds: planner recommendations ride the monitor's
+// pending→firing→resolved alerter under these synthetic metrics, so a
+// recommendation the operator ignores escalates like any other alert.
+const (
+	// GrowCondition is the alerter kind for an active grow recommendation.
+	GrowCondition = "plan_grow"
+	// ShrinkCondition is the alerter kind for an active shrink recommendation.
+	ShrinkCondition = "plan_shrink"
+)
+
+// Forecast is the planner's view of one target's horizon forecast —
+// a compact copy of a champion's production forecast.
+type Forecast struct {
+	// Key identifies the series ("instance/metric").
+	Key string
+	// Start stamps the first forecast step; steps are Step apart.
+	Start time.Time
+	Step  time.Duration
+	// Mean is the point forecast; Upper the prediction-interval upper
+	// bound when the model provides one (the planner prefers Upper —
+	// capacity is sized against the plausible worst case).
+	Mean, Upper []float64
+}
+
+// at returns the forecast band value at time t, clamping outside the
+// covered range to the nearest step (a slightly stale forecast still
+// informs the plan rather than reading as zero demand).
+func (f *Forecast) at(t time.Time) float64 {
+	band := f.Mean
+	if len(f.Upper) == len(f.Mean) && len(f.Upper) > 0 {
+		band = f.Upper
+	}
+	if len(band) == 0 {
+		return math.NaN()
+	}
+	step := f.Step
+	if step <= 0 {
+		step = time.Hour
+	}
+	i := int(t.Sub(f.Start) / step)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(band) {
+		i = len(band) - 1
+	}
+	return band[i]
+}
+
+// Demand is an hourly cluster-wide demand horizon: what load the whole
+// workload will present, independent of how many instances serve it.
+type Demand struct {
+	// Start is the first step's time; steps are hourly.
+	Start time.Time
+	// Upper is the planning band (interval upper bound); Mean the point
+	// forecast.
+	Upper, Mean []float64
+}
+
+// StepAt returns step i's timestamp.
+func (d Demand) StepAt(i int) time.Time {
+	return d.Start.Add(time.Duration(i) * time.Hour)
+}
+
+// AggregateDemand folds per-instance load forecasts into a cluster
+// demand horizon: for each of the `horizon` hours after now, the sum
+// over targets of the forecast band minus the per-instance baseline.
+// The sum is what the planner sizes against — per-instance forecasts
+// describe the current topology, but their total is the workload.
+func AggregateDemand(now time.Time, horizon int, baseline float64, fcs []Forecast) Demand {
+	d := Demand{Start: now.Add(time.Hour)}
+	if horizon <= 0 || len(fcs) == 0 {
+		return d
+	}
+	d.Upper = make([]float64, horizon)
+	d.Mean = make([]float64, horizon)
+	for i := 0; i < horizon; i++ {
+		t := d.StepAt(i)
+		var up, mean float64
+		seen := false
+		for j := range fcs {
+			f := &fcs[j]
+			v := f.at(t)
+			if math.IsNaN(v) {
+				continue
+			}
+			seen = true
+			up += math.Max(0, v-baseline)
+			// Mean band: same lookup on the mean slice.
+			m := math.NaN()
+			if len(f.Mean) > 0 {
+				mf := Forecast{Start: f.Start, Step: f.Step, Mean: f.Mean}
+				m = mf.at(t)
+			}
+			if !math.IsNaN(m) {
+				mean += math.Max(0, m-baseline)
+			}
+		}
+		if !seen {
+			d.Upper[i] = math.NaN()
+			d.Mean[i] = math.NaN()
+			continue
+		}
+		d.Upper[i] = up
+		d.Mean[i] = mean
+	}
+	return d
+}
+
+// BackupInfo describes one scheduled backup job the planner may move.
+type BackupInfo struct {
+	// Index identifies the job in the cluster's configuration.
+	Index int `json:"index"`
+	// Node executes the backup.
+	Node int `json:"node"`
+	// StartHour is the hour of day the job currently starts.
+	StartHour int `json:"start_hour"`
+	// DurationHours is how long one run lasts.
+	DurationHours float64 `json:"duration_hours"`
+	// Load is the extra planning-metric load the job places on its node
+	// while running — a shock the planner understands and sizes around.
+	Load float64 `json:"load"`
+}
+
+// backupShockAt returns the largest per-node backup load scheduled in
+// the given hour of day — the known shock the fleet must absorb then.
+func backupShockAt(backups []BackupInfo, hour int) float64 {
+	var shock float64
+	for _, b := range backups {
+		span := int(math.Ceil(b.DurationHours))
+		if span < 1 {
+			span = 1
+		}
+		for k := 0; k < span; k++ {
+			if (b.StartHour+k)%24 == hour && b.Load > shock {
+				shock = b.Load
+			}
+		}
+	}
+	return shock
+}
+
+// ClusterState is the observed topology at planning time.
+type ClusterState struct {
+	// Target names the cluster (actions and alerts are keyed on it).
+	Target string
+	// Instances is the current serving instance count.
+	Instances int
+	// NodeLoad is the latest observed per-node load of the planning
+	// metric (used for rebalance detection; may be shorter than
+	// Instances when observations are missing).
+	NodeLoad []float64
+	// Baseline is the per-instance idle load of the planning metric.
+	Baseline float64
+	// Backups lists daily backup jobs the planner may reschedule.
+	Backups []BackupInfo
+}
+
+// Recommendation is the planner's current position: what the fleet
+// should look like over the policy horizon, and the actions that get it
+// there. Served on /api/v1/plan.
+type Recommendation struct {
+	At           time.Time `json:"at"`
+	Target       string    `json:"target"`
+	Instances    int       `json:"instances"`
+	Recommended  int       `json:"recommended"`
+	TargetLoad   float64   `json:"target_load"`
+	PeakForecast float64   `json:"peak_forecast"`
+	PeakAt       time.Time `json:"peak_at"`
+	ValleyAt     time.Time `json:"valley_at"`
+	// Actions lists the active recommendations this cycle (new or held
+	// from a previous cycle while still warranted).
+	Actions []Action `json:"actions"`
+}
+
+// Planner turns forecasts plus policy into capacity actions. Safe for
+// concurrent use (Plan vs the HTTP handler's reads).
+type Planner struct {
+	pol Policy
+	obs *obs.Observer
+
+	mu        sync.Mutex
+	seq       int
+	history   []Action
+	rec       Recommendation
+	recValid  bool
+	lastGrow  time.Time
+	hasGrown  bool
+	lastScale *Action // last emitted, still-active scaling recommendation
+	lastRebal *Action
+	lastBak   *Action
+}
+
+// New validates the policy, applies defaults and builds a Planner.
+func New(pol Policy, o *obs.Observer) (*Planner, error) {
+	pol = pol.withDefaults()
+	if err := pol.validate(); err != nil {
+		return nil, err
+	}
+	return &Planner{pol: pol, obs: o}, nil
+}
+
+// Policy returns the effective (defaulted) policy.
+func (p *Planner) Policy() Policy { return p.pol }
+
+// Plan runs one planning cycle at time now against the observed cluster
+// state and the demand horizon, returning the newly emitted actions (an
+// actuator should apply exactly these; recommendations held over from
+// earlier cycles are not re-returned). The current recommendation and
+// the action history are updated for the /api/v1/plan endpoint.
+func (p *Planner) Plan(now time.Time, st ClusterState, d Demand) []Action {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs.Count("planner_plans_total", 1)
+	p.obs.SetGauge("planner_last_plan_timestamp_seconds", float64(now.Unix()))
+
+	steps := len(d.Upper)
+	if steps > p.pol.HorizonHours {
+		steps = p.pol.HorizonHours
+	}
+	if steps == 0 || st.Instances <= 0 {
+		return nil
+	}
+
+	// Required instances per forecast step, plus the horizon extremes.
+	req := make([]int, steps)
+	peak, valley := math.Inf(-1), math.Inf(1)
+	peakAt, valleyAt := time.Time{}, time.Time{}
+	for i := 0; i < steps; i++ {
+		v := d.Upper[i]
+		if math.IsNaN(v) {
+			req[i] = -1 // unknown step: sized around below
+			continue
+		}
+		// A backup scheduled in this hour is a known shock: its node must
+		// still sit under the target load with the backup on top.
+		shock := backupShockAt(st.Backups, d.StepAt(i).Hour())
+		req[i] = p.pol.RequiredInstances(v, st.Baseline+shock)
+		if v > peak {
+			peak, peakAt = v, d.StepAt(i)
+		}
+		if v < valley {
+			valley, valleyAt = v, d.StepAt(i)
+		}
+	}
+
+	rec := Recommendation{
+		At: now, Target: st.Target,
+		Instances: st.Instances, Recommended: st.Instances,
+		TargetLoad: p.pol.TargetLoad(),
+		PeakAt:     peakAt, ValleyAt: valleyAt,
+	}
+	if !math.IsInf(peak, -1) {
+		rec.PeakForecast = peak
+	}
+
+	var emitted []Action
+
+	// Scaling: grow to cover the lead window (capacity ordered now
+	// arrives LeadHours later), shrink only to what the whole shrink
+	// window can spare, and never straight after a grow.
+	growNeed := p.maxReq(d, req, now, p.pol.LeadHours+1, st.Instances)
+	shrinkNeed := p.maxReq(d, req, now, p.pol.ShrinkWindowHours, st.Instances)
+	switch {
+	case growNeed > st.Instances:
+		rec.Recommended = growNeed
+		a := Action{
+			Type: ActionGrow, Target: st.Target, Metric: p.pol.Metric,
+			At: now, ExecuteAt: now.Add(time.Duration(p.pol.LeadHours) * time.Hour),
+			FromInstances: st.Instances, ToInstances: growNeed,
+			PeakForecast: rec.PeakForecast, PeakAt: peakAt,
+			Reason: fmt.Sprintf("forecast needs %d instances within %dh to hold %s ≤ %.0f",
+				growNeed, p.pol.LeadHours+1, p.pol.Metric, p.pol.TargetLoad()),
+		}
+		emitted = p.emitScale(emitted, a, &rec)
+		p.lastGrow = now
+		p.hasGrown = true
+	case shrinkNeed < st.Instances &&
+		(!p.hasGrown || now.Sub(p.lastGrow) >= time.Duration(p.pol.CooldownHours)*time.Hour):
+		rec.Recommended = shrinkNeed
+		a := Action{
+			Type: ActionShrink, Target: st.Target, Metric: p.pol.Metric,
+			At: now, ExecuteAt: now.Add(time.Duration(p.pol.LeadHours) * time.Hour),
+			FromInstances: st.Instances, ToInstances: shrinkNeed,
+			PeakForecast: rec.PeakForecast, PeakAt: peakAt,
+			Reason: fmt.Sprintf("next %dh need only %d instances at %s ≤ %.0f",
+				p.pol.ShrinkWindowHours, shrinkNeed, p.pol.Metric, p.pol.TargetLoad()),
+		}
+		emitted = p.emitScale(emitted, a, &rec)
+	default:
+		p.lastScale = nil
+	}
+
+	// Rebalance: a load-balancer skew that concentrates sessions on one
+	// node wastes the capacity the policy just paid for.
+	if a, ok := p.rebalance(now, st); ok {
+		if p.lastRebal == nil || !sameRecommendation(*p.lastRebal, a) {
+			emitted = append(emitted, p.record(a))
+			p.lastRebal = &a
+		}
+		rec.Actions = append(rec.Actions, *p.lastRebal)
+	} else {
+		p.lastRebal = nil
+	}
+
+	// Backup valley scheduling: move daily housekeeping into the hour
+	// the forecast says the cluster is quietest.
+	if a, ok := p.scheduleBackup(now, st, d, steps); ok {
+		if p.lastBak == nil || !sameRecommendation(*p.lastBak, a) {
+			emitted = append(emitted, p.record(a))
+			p.lastBak = &a
+		}
+		rec.Actions = append(rec.Actions, *p.lastBak)
+	} else {
+		p.lastBak = nil
+	}
+
+	p.rec, p.recValid = rec, true
+	p.obs.SetGauge("planner_current_instances", float64(st.Instances))
+	p.obs.SetGauge("planner_recommended_instances", float64(rec.Recommended))
+	if !math.IsInf(peak, -1) {
+		p.obs.SetGauge("planner_forecast_peak", peak)
+	}
+	return emitted
+}
+
+// emitScale records a scaling recommendation, deduplicating repeats of
+// an ignored one, and attaches the active recommendation to rec.
+func (p *Planner) emitScale(emitted []Action, a Action, rec *Recommendation) []Action {
+	if p.lastScale == nil || !sameRecommendation(*p.lastScale, a) {
+		a = p.record(a)
+		emitted = append(emitted, a)
+		p.lastScale = &a
+	}
+	rec.Actions = append(rec.Actions, *p.lastScale)
+	return emitted
+}
+
+// maxReq returns the highest required instance count over the steps
+// within `hours` of now, treating unknown steps as needing the current
+// count (never a reason to scale either way).
+func (p *Planner) maxReq(d Demand, req []int, now time.Time, hours, current int) int {
+	limit := now.Add(time.Duration(hours) * time.Hour)
+	need := p.pol.MinInstances
+	seen := false
+	for i := range req {
+		t := d.StepAt(i)
+		if t.After(limit) {
+			break
+		}
+		r := req[i]
+		if r < 0 {
+			r = current
+		}
+		if r > need {
+			need = r
+		}
+		seen = true
+	}
+	if !seen {
+		return current
+	}
+	return need
+}
+
+// rebalance recommends evening the session share when the observed
+// per-node spread exceeds the policy tolerance.
+func (p *Planner) rebalance(now time.Time, st ClusterState) (Action, bool) {
+	if len(st.NodeLoad) < 2 {
+		return Action{}, false
+	}
+	lo, hi, hot := math.Inf(1), math.Inf(-1), 0
+	for i, v := range st.NodeLoad {
+		if math.IsNaN(v) {
+			return Action{}, false
+		}
+		if v > hi {
+			hi, hot = v, i
+		}
+		if v < lo {
+			lo = v
+		}
+	}
+	if hi-lo <= p.pol.RebalanceTolerance*p.pol.TargetLoad() {
+		return Action{}, false
+	}
+	return Action{
+		Type: ActionRebalance, Target: st.Target, Metric: p.pol.Metric,
+		At: now, ExecuteAt: now, Node: hot,
+		Reason: fmt.Sprintf("node %d carries %.1f %s vs %.1f on the lightest — spread exceeds %.0f%% of target load",
+			hot, hi, p.pol.Metric, lo, p.pol.RebalanceTolerance*100),
+	}, true
+}
+
+// scheduleBackup finds the quietest forecast hour of the next day and
+// recommends moving a daily backup job into it when the saving clears
+// the policy threshold.
+func (p *Planner) scheduleBackup(now time.Time, st ClusterState, d Demand, steps int) (Action, bool) {
+	if len(st.Backups) == 0 {
+		return Action{}, false
+	}
+	window := steps
+	if window > 24 {
+		window = 24
+	}
+	// Demand by hour of day over the coming window.
+	byHour := map[int]float64{}
+	at := map[int]time.Time{}
+	for i := 0; i < window; i++ {
+		v := d.Upper[i]
+		if math.IsNaN(v) {
+			continue
+		}
+		t := d.StepAt(i)
+		h := t.Hour()
+		if old, ok := byHour[h]; !ok || v > old {
+			byHour[h] = v
+		}
+		if _, ok := at[h]; !ok {
+			at[h] = t
+		}
+	}
+	if len(byHour) == 0 {
+		return Action{}, false
+	}
+	valleyHour, valleyDemand := -1, math.Inf(1)
+	for h, v := range byHour {
+		if v < valleyDemand || (v == valleyDemand && h < valleyHour) {
+			valleyHour, valleyDemand = h, v
+		}
+	}
+	for _, b := range st.Backups {
+		cur, ok := byHour[b.StartHour]
+		if !ok || b.StartHour == valleyHour {
+			continue
+		}
+		if cur-valleyDemand <= p.pol.BackupShiftFrac*p.pol.TargetLoad() {
+			continue
+		}
+		return Action{
+			Type: ActionScheduleBackup, Target: st.Target, Metric: p.pol.Metric,
+			At: now, ExecuteAt: at[valleyHour], Node: b.Node, BackupIndex: b.Index,
+			PeakForecast: cur, PeakAt: at[b.StartHour],
+			Reason: fmt.Sprintf("backup at %02d:00 rides %.1f forecast %s; valley at %02d:00 carries %.1f",
+				b.StartHour, cur, p.pol.Metric, valleyHour, valleyDemand),
+		}, true
+	}
+	return Action{}, false
+}
+
+// record stamps an action into the history ring and counts it.
+func (p *Planner) record(a Action) Action {
+	p.seq++
+	a.Seq = p.seq
+	p.history = append(p.history, a)
+	if len(p.history) > maxHistory {
+		p.history = p.history[len(p.history)-maxHistory:]
+	}
+	p.obs.Count("planner_actions_total", 1, obs.L("type", a.Type.String()))
+	p.obs.Info("planner action", "type", a.Type.String(), "target", a.Target,
+		"to_instances", a.ToInstances, "execute_at", a.ExecuteAt.Format(time.RFC3339),
+		"reason", a.Reason)
+	return a
+}
+
+// Recommendation returns the latest planning position; ok is false
+// before the first Plan call that saw a usable horizon.
+func (p *Planner) Recommendation() (Recommendation, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec := p.rec
+	rec.Actions = append([]Action(nil), p.rec.Actions...)
+	return rec, p.recValid
+}
+
+// History returns the emitted actions, oldest first.
+func (p *Planner) History() []Action {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Action(nil), p.history...)
+}

@@ -1,0 +1,354 @@
+package planner
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var planEpoch = time.Date(2024, 3, 4, 0, 0, 0, 0, time.UTC)
+
+func testPolicy() Policy {
+	return Policy{
+		Metric: "cpu", Capacity: 100, Headroom: 0.3,
+		HorizonHours: 12, LeadHours: 2,
+		MinInstances: 1, MaxInstances: 10,
+		ShrinkWindowHours: 4, CooldownHours: 2,
+	}
+}
+
+// demandAt builds an hourly Demand starting one hour after now.
+func demandAt(now time.Time, upper ...float64) Demand {
+	return Demand{Start: now.Add(time.Hour), Upper: upper, Mean: upper}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p, err := New(Policy{}, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	pol := p.Policy()
+	if pol.Metric != "cpu" || pol.Capacity != 100 || pol.Headroom != 0.3 {
+		t.Fatalf("unexpected defaults: %+v", pol)
+	}
+	if pol.HorizonHours != 24 || pol.LeadHours != 1 || pol.MinInstances != 1 || pol.MaxInstances != 16 {
+		t.Fatalf("unexpected defaults: %+v", pol)
+	}
+	if pol.ShrinkWindowHours != 4 || pol.CooldownHours != 2 {
+		t.Fatalf("unexpected defaults: %+v", pol)
+	}
+	if got := pol.TargetLoad(); math.Abs(got-70) > 1e-9 {
+		t.Fatalf("TargetLoad = %v, want 70", got)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if _, err := New(Policy{Headroom: 1.2}, nil); err == nil {
+		t.Fatal("headroom >= 1 accepted")
+	}
+	if _, err := New(Policy{MinInstances: 5, MaxInstances: 2}, nil); err == nil {
+		t.Fatal("min > max accepted")
+	}
+}
+
+func TestRequiredInstances(t *testing.T) {
+	pol := testPolicy().withDefaults() // target load 70
+	cases := []struct {
+		demand, baseline float64
+		want             int
+	}{
+		{0, 0, 1},       // no demand -> min
+		{69, 0, 1},      // fits one instance
+		{140, 0, 2},     // exactly two instances
+		{141, 0, 3},     // spills into a third
+		{100, 20, 2},    // baseline shrinks usable capacity
+		{100, 80, 10},   // baseline >= target -> pinned to max
+		{100000, 0, 10}, // clamped to max
+	}
+	for _, c := range cases {
+		if got := pol.RequiredInstances(c.demand, c.baseline); got != c.want {
+			t.Errorf("RequiredInstances(%v, %v) = %d, want %d", c.demand, c.baseline, got, c.want)
+		}
+	}
+}
+
+func TestForecastAt(t *testing.T) {
+	f := Forecast{
+		Start: planEpoch, Step: time.Hour,
+		Mean:  []float64{10, 20, 30},
+		Upper: []float64{11, 22, 33},
+	}
+	if got := f.at(planEpoch.Add(time.Hour)); got != 22 {
+		t.Fatalf("at(+1h) = %v, want upper band 22", got)
+	}
+	// Clamped outside the covered range.
+	if got := f.at(planEpoch.Add(-5 * time.Hour)); got != 11 {
+		t.Fatalf("at(-5h) = %v, want 11", got)
+	}
+	if got := f.at(planEpoch.Add(9 * time.Hour)); got != 33 {
+		t.Fatalf("at(+9h) = %v, want 33", got)
+	}
+	empty := Forecast{Start: planEpoch, Step: time.Hour}
+	if got := empty.at(planEpoch); !math.IsNaN(got) {
+		t.Fatalf("empty forecast at() = %v, want NaN", got)
+	}
+}
+
+func TestAggregateDemand(t *testing.T) {
+	now := planEpoch
+	fcs := []Forecast{
+		{Key: "a/cpu", Start: now.Add(time.Hour), Step: time.Hour,
+			Mean: []float64{40, 50}, Upper: []float64{44, 55}},
+		{Key: "b/cpu", Start: now.Add(time.Hour), Step: time.Hour,
+			Mean: []float64{30, 20}, Upper: []float64{33, 22}},
+	}
+	d := AggregateDemand(now, 2, 10, fcs)
+	if len(d.Upper) != 2 {
+		t.Fatalf("got %d steps, want 2", len(d.Upper))
+	}
+	// Step 0: (44-10) + (33-10) = 57; step 1: (55-10) + (22-10) = 57.
+	if math.Abs(d.Upper[0]-57) > 1e-9 || math.Abs(d.Upper[1]-57) > 1e-9 {
+		t.Fatalf("Upper = %v, want [57 57]", d.Upper)
+	}
+	// Mean: (40-10)+(30-10)=50; (50-10)+(20-10)=50.
+	if math.Abs(d.Mean[0]-50) > 1e-9 || math.Abs(d.Mean[1]-50) > 1e-9 {
+		t.Fatalf("Mean = %v, want [50 50]", d.Mean)
+	}
+	// No usable forecasts -> NaN steps.
+	hole := AggregateDemand(now, 1, 0, []Forecast{{Key: "a/cpu", Start: now}})
+	if !math.IsNaN(hole.Upper[0]) {
+		t.Fatalf("empty forecasts gave %v, want NaN", hole.Upper[0])
+	}
+}
+
+func TestPlanGrowLeadAndDedupe(t *testing.T) {
+	o := obs.New(obs.Config{Metrics: true})
+	p, err := New(testPolicy(), o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch
+	st := ClusterState{Target: "db", Instances: 1, Baseline: 0}
+	// 150 CPU of demand two hours out: ceil(150/70) = 3 instances.
+	d := demandAt(now, 10, 150, 150, 10, 10, 10)
+
+	acts := p.Plan(now, st, d)
+	if len(acts) != 1 || acts[0].Type != ActionGrow {
+		t.Fatalf("got %+v, want one grow", acts)
+	}
+	if acts[0].ToInstances != 3 {
+		t.Fatalf("grow to %d, want 3", acts[0].ToInstances)
+	}
+	if want := now.Add(2 * time.Hour); !acts[0].ExecuteAt.Equal(want) {
+		t.Fatalf("ExecuteAt = %v, want now+lead %v", acts[0].ExecuteAt, want)
+	}
+
+	// Ignored recommendation: same plan next hour emits nothing new but
+	// stays the active recommendation.
+	acts = p.Plan(now.Add(time.Hour), st, demandAt(now.Add(time.Hour), 150, 150, 10, 10, 10, 10))
+	if len(acts) != 0 {
+		t.Fatalf("repeat recommendation re-emitted: %+v", acts)
+	}
+	rec, ok := p.Recommendation()
+	if !ok || rec.Recommended != 3 || len(rec.Actions) != 1 {
+		t.Fatalf("recommendation = %+v, ok=%v; want recommended 3 with 1 action", rec, ok)
+	}
+	if got := len(p.History()); got != 1 {
+		t.Fatalf("history has %d entries, want 1", got)
+	}
+
+	// A different target count is a new recommendation.
+	acts = p.Plan(now.Add(2*time.Hour), st, demandAt(now.Add(2*time.Hour), 300, 300, 10, 10, 10, 10))
+	if len(acts) != 1 || acts[0].ToInstances != 5 {
+		t.Fatalf("got %+v, want grow to 5", acts)
+	}
+
+	if got := o.Registry().CounterValue("planner_plans_total"); got != 3 {
+		t.Fatalf("planner_plans_total = %d, want 3", got)
+	}
+	if got := o.Registry().CounterValue("planner_actions_total"); got != 2 {
+		t.Fatalf("planner_actions_total = %d, want 2", got)
+	}
+	if got := o.Registry().GaugeValue("planner_recommended_instances"); got != 5 {
+		t.Fatalf("planner_recommended_instances = %v, want 5", got)
+	}
+}
+
+func TestPlanShrinkWindow(t *testing.T) {
+	p, err := New(testPolicy(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch
+	st := ClusterState{Target: "db", Instances: 5, Baseline: 0}
+	// First hour still needs 2 instances; the shrink window (4h) must not
+	// cut below it even though later hours need just 1.
+	acts := p.Plan(now, st, demandAt(now, 100, 10, 10, 10, 10, 10))
+	if len(acts) != 1 || acts[0].Type != ActionShrink {
+		t.Fatalf("got %+v, want one shrink", acts)
+	}
+	if acts[0].ToInstances != 2 {
+		t.Fatalf("shrink to %d, want window-protected 2", acts[0].ToInstances)
+	}
+}
+
+func TestPlanShrinkCooldown(t *testing.T) {
+	p, err := New(testPolicy(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch
+	// Grow first.
+	acts := p.Plan(now, ClusterState{Target: "db", Instances: 1}, demandAt(now, 150, 150, 10, 10, 10, 10))
+	if len(acts) != 1 || acts[0].Type != ActionGrow {
+		t.Fatalf("setup grow missing: %+v", acts)
+	}
+	// One hour later the forecast collapses; cooldown (2h) suppresses the
+	// shrink.
+	low := demandAt(now.Add(time.Hour), 10, 10, 10, 10, 10, 10)
+	acts = p.Plan(now.Add(time.Hour), ClusterState{Target: "db", Instances: 3}, low)
+	if len(acts) != 0 {
+		t.Fatalf("shrink emitted inside cooldown: %+v", acts)
+	}
+	// After the cooldown the shrink goes out.
+	low = demandAt(now.Add(2*time.Hour), 10, 10, 10, 10, 10, 10)
+	acts = p.Plan(now.Add(2*time.Hour), ClusterState{Target: "db", Instances: 3}, low)
+	if len(acts) != 1 || acts[0].Type != ActionShrink || acts[0].ToInstances != 1 {
+		t.Fatalf("got %+v, want shrink to 1 after cooldown", acts)
+	}
+}
+
+func TestPlanBackupShockSizing(t *testing.T) {
+	p, err := New(testPolicy(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch // midnight
+	st := ClusterState{
+		Target: "db", Instances: 2, Baseline: 0,
+		// 30 CPU of backup load in hour 2 (within the lead window).
+		Backups: []BackupInfo{{Index: 0, Node: 0, StartHour: 2, DurationHours: 1, Load: 30}},
+	}
+	// 100 CPU of demand at hour 2: without the shock ceil(100/70) = 2, with
+	// it ceil(100/40) = 3. (A valley move may ride along; only the sizing
+	// is under test.)
+	acts := p.Plan(now, st, demandAt(now, 10, 100, 10, 10, 10, 10))
+	var grow *Action
+	for i := range acts {
+		if acts[i].Type == ActionGrow {
+			grow = &acts[i]
+		}
+	}
+	if grow == nil || grow.ToInstances != 3 {
+		t.Fatalf("got %+v, want grow to 3 sized around the backup shock", acts)
+	}
+}
+
+func TestPlanRebalance(t *testing.T) {
+	p, err := New(testPolicy(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch
+	// Flat demand that needs exactly the current 2 instances, so scaling
+	// stays quiet and only rebalance decisions surface.
+	flat := demandAt(now, 100, 100, 100, 100, 100, 100)
+	rebalances := func(acts []Action) []Action {
+		var out []Action
+		for _, a := range acts {
+			if a.Type == ActionRebalance {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	// Spread 60 > 0.25 * 70 = 17.5 -> rebalance the hot node (index 0).
+	st := ClusterState{Target: "db", Instances: 2, NodeLoad: []float64{80, 20}}
+	acts := rebalances(p.Plan(now, st, flat))
+	if len(acts) != 1 || acts[0].Node != 0 {
+		t.Fatalf("got %+v, want rebalance of node 0", acts)
+	}
+	// Same skew next hour: held, not re-emitted.
+	acts = rebalances(p.Plan(now.Add(time.Hour), st, flat))
+	if len(acts) != 0 {
+		t.Fatalf("rebalance re-emitted: %+v", acts)
+	}
+	// Balanced load clears it; a later skew re-emits.
+	even := ClusterState{Target: "db", Instances: 2, NodeLoad: []float64{50, 50}}
+	if acts = rebalances(p.Plan(now.Add(2*time.Hour), even, flat)); len(acts) != 0 {
+		t.Fatalf("balanced cluster produced %+v", acts)
+	}
+	acts = rebalances(p.Plan(now.Add(3*time.Hour), st, flat))
+	if len(acts) != 1 {
+		t.Fatalf("got %+v, want rebalance after re-skew", acts)
+	}
+}
+
+func TestPlanScheduleBackupValley(t *testing.T) {
+	p, err := New(testPolicy(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch // midnight
+	st := ClusterState{
+		Target: "db", Instances: 2,
+		// Backup currently at 03:00, which the forecast says is busy.
+		Backups: []BackupInfo{{Index: 0, Node: 1, StartHour: 3, DurationHours: 1, Load: 15}},
+	}
+	// Steps cover hours 1..6; hour 5 is the valley.
+	d := demandAt(now, 60, 60, 80, 60, 5, 60)
+	acts := p.Plan(now, st, d)
+	var bak *Action
+	for i := range acts {
+		if acts[i].Type == ActionScheduleBackup {
+			bak = &acts[i]
+		}
+	}
+	if bak == nil {
+		t.Fatalf("no schedule_backup in %+v", acts)
+	}
+	if bak.ExecuteAt.Hour() != 5 || bak.BackupIndex != 0 {
+		t.Fatalf("backup moved to hour %d (job %d), want hour 5 (job 0)", bak.ExecuteAt.Hour(), bak.BackupIndex)
+	}
+	// A saving below BackupShiftFrac * target load stays put.
+	p2, _ := New(testPolicy(), nil)
+	flat := demandAt(now, 60, 60, 60, 60, 59, 60)
+	for _, a := range p2.Plan(now, st, flat) {
+		if a.Type == ActionScheduleBackup {
+			t.Fatalf("marginal saving still moved the backup: %+v", a)
+		}
+	}
+}
+
+func TestBackupShockAt(t *testing.T) {
+	backups := []BackupInfo{
+		{StartHour: 23, DurationHours: 2, Load: 10}, // spans 23 and 0
+		{StartHour: 4, DurationHours: 0.5, Load: 25},
+	}
+	if got := backupShockAt(backups, 0); got != 10 {
+		t.Fatalf("hour 0 shock = %v, want wraparound 10", got)
+	}
+	if got := backupShockAt(backups, 4); got != 25 {
+		t.Fatalf("hour 4 shock = %v, want 25", got)
+	}
+	if got := backupShockAt(backups, 12); got != 0 {
+		t.Fatalf("hour 12 shock = %v, want 0", got)
+	}
+}
+
+func TestPlanUnknownStepsNeutral(t *testing.T) {
+	p, err := New(testPolicy(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	now := planEpoch
+	d := Demand{Start: now.Add(time.Hour), Upper: []float64{math.NaN(), math.NaN(), math.NaN()}}
+	d.Mean = d.Upper
+	// Unknown demand must not scale a 4-instance fleet either way.
+	acts := p.Plan(now, ClusterState{Target: "db", Instances: 4}, d)
+	if len(acts) != 0 {
+		t.Fatalf("unknown forecast produced %+v", acts)
+	}
+}

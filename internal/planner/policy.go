@@ -1,0 +1,127 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy is the headroom policy: how much of each instance's capacity
+// the planner is allowed to commit, how far ahead it looks, and the
+// guard rails on the instance count. The zero value is unusable — build
+// one and pass it through New, which applies the documented defaults.
+type Policy struct {
+	// Metric is the planning metric — the suffix of the "target/metric"
+	// forecast keys the planner sizes against ("" → "cpu").
+	Metric string `json:"metric"`
+	// Capacity is one instance's capacity in the metric's unit (0 → 100,
+	// i.e. CPU percent).
+	Capacity float64 `json:"capacity"`
+	// Headroom is the fraction of capacity kept free: the planner sizes
+	// the fleet so the forecast per-instance load stays at or below
+	// (1-Headroom)*Capacity (0 → 0.3).
+	Headroom float64 `json:"headroom"`
+	// HorizonHours is how far ahead the planner looks (0 → 24, capped by
+	// the forecasts it is given).
+	HorizonHours int `json:"horizon_hours"`
+	// LeadHours is the provisioning delay: a grow issued now becomes
+	// serving capacity LeadHours later, so the planner must cover the
+	// demand of the next LeadHours+1 hours when it decides (0 → 1).
+	LeadHours int `json:"lead_hours"`
+	// MinInstances / MaxInstances bound the recommended count
+	// (0 → 1 and 16).
+	MinInstances int `json:"min_instances"`
+	MaxInstances int `json:"max_instances"`
+	// ShrinkWindowHours is the look-ahead guard on shrinks: the planner
+	// never shrinks below what any of the next ShrinkWindowHours hours
+	// needs (0 → 4). This is the forecast-side counterpart of a reactive
+	// scaler's settle delay — it looks forward instead of backward.
+	ShrinkWindowHours int `json:"shrink_window_hours"`
+	// CooldownHours suppresses a shrink this soon after a grow, so a
+	// momentary forecast dip cannot bounce the fleet (0 → 2).
+	CooldownHours int `json:"cooldown_hours"`
+	// RebalanceTolerance triggers a rebalance recommendation when the
+	// observed per-node load spread (max-min) exceeds this fraction of
+	// the target load (0 → 0.25).
+	RebalanceTolerance float64 `json:"rebalance_tolerance"`
+	// BackupShiftFrac is the minimum forecast-demand saving, as a
+	// fraction of the target load, before the planner recommends moving
+	// a backup job into a forecast valley (0 → 0.1).
+	BackupShiftFrac float64 `json:"backup_shift_frac"`
+}
+
+// withDefaults fills the documented defaults.
+func (p Policy) withDefaults() Policy {
+	if p.Metric == "" {
+		p.Metric = "cpu"
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = 100
+	}
+	if p.Headroom <= 0 {
+		p.Headroom = 0.3
+	}
+	if p.HorizonHours <= 0 {
+		p.HorizonHours = 24
+	}
+	if p.LeadHours <= 0 {
+		p.LeadHours = 1
+	}
+	if p.MinInstances <= 0 {
+		p.MinInstances = 1
+	}
+	if p.MaxInstances <= 0 {
+		p.MaxInstances = 16
+	}
+	if p.ShrinkWindowHours <= 0 {
+		p.ShrinkWindowHours = 4
+	}
+	if p.CooldownHours <= 0 {
+		p.CooldownHours = 2
+	}
+	if p.RebalanceTolerance <= 0 {
+		p.RebalanceTolerance = 0.25
+	}
+	if p.BackupShiftFrac <= 0 {
+		p.BackupShiftFrac = 0.1
+	}
+	return p
+}
+
+// validate rejects a policy no fleet size can satisfy.
+func (p Policy) validate() error {
+	if p.Headroom >= 1 {
+		return fmt.Errorf("planner: headroom %.2f leaves no usable capacity (want [0,1))", p.Headroom)
+	}
+	if p.MinInstances > p.MaxInstances {
+		return fmt.Errorf("planner: min instances %d > max %d", p.MinInstances, p.MaxInstances)
+	}
+	return nil
+}
+
+// TargetLoad is the per-instance load ceiling the policy plans to:
+// capacity minus headroom.
+func (p Policy) TargetLoad() float64 {
+	return (1 - p.Headroom) * p.Capacity
+}
+
+// RequiredInstances returns the smallest instance count that serves
+// `demand` with every instance at or below the target load, given the
+// per-instance baseline, clamped into [MinInstances, MaxInstances].
+func (p Policy) RequiredInstances(demand, baseline float64) int {
+	usable := p.TargetLoad() - baseline
+	n := p.MinInstances
+	if usable > 0 && demand > 0 {
+		n = int(math.Ceil(demand / usable))
+	} else if demand > 0 {
+		// No instance has usable capacity under this policy; pin to the
+		// ceiling rather than divide by a non-positive headroom.
+		n = p.MaxInstances
+	}
+	if n < p.MinInstances {
+		n = p.MinInstances
+	}
+	if n > p.MaxInstances {
+		n = p.MaxInstances
+	}
+	return n
+}

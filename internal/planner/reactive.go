@@ -1,0 +1,99 @@
+package planner
+
+import (
+	"math"
+)
+
+// ReactiveConfig tunes the baseline autoscaler the planner is evaluated
+// against: a target-tracking threshold scaler of the kind cloud
+// autoscalers ship by default. It sizes the fleet with the same formula
+// as the planner's policy — ceil(demand / usable-capacity) — but from
+// the demand it observes *now* rather than a forecast, grows as soon as
+// utilisation is above target, and shrinks only after SettleHours
+// consecutive low observations (the backward-looking flap guard every
+// reactive scaler needs, and the hours the planner saves).
+type ReactiveConfig struct {
+	// TargetLoad is the per-instance load the scaler steers to (use the
+	// policy's TargetLoad for a like-for-like comparison).
+	TargetLoad float64
+	// Baseline is the per-instance idle load.
+	Baseline float64
+	// Min / Max bound the instance count.
+	Min, Max int
+	// SettleHours is how many consecutive hours the observed need must
+	// stay below the current count before a shrink (0 → 3).
+	SettleHours int
+}
+
+// Reactive is the baseline controller. Not safe for concurrent use.
+type Reactive struct {
+	cfg    ReactiveConfig
+	lowRun int
+	// lowNeed tracks the highest need seen during the current low run, so
+	// a settle-complete shrink lands on what the run actually required.
+	lowNeed int
+}
+
+// NewReactive builds the baseline controller.
+func NewReactive(cfg ReactiveConfig) *Reactive {
+	if cfg.SettleHours <= 0 {
+		cfg.SettleHours = 3
+	}
+	if cfg.Min <= 0 {
+		cfg.Min = 1
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 16
+	}
+	return &Reactive{cfg: cfg}
+}
+
+// need sizes the fleet for an observed demand.
+func (r *Reactive) need(demand float64) int {
+	usable := r.cfg.TargetLoad - r.cfg.Baseline
+	n := r.cfg.Min
+	if usable > 0 && demand > 0 {
+		n = int(math.Ceil(demand / usable))
+	} else if demand > 0 {
+		n = r.cfg.Max
+	}
+	if n < r.cfg.Min {
+		n = r.cfg.Min
+	}
+	if n > r.cfg.Max {
+		n = r.cfg.Max
+	}
+	return n
+}
+
+// Step observes the current per-node loads with `current` instances and
+// returns the instance count to provision next (taking effect after the
+// actuation lead, like a planner action). Demand is estimated from the
+// observations: the sum of per-node load above baseline.
+func (r *Reactive) Step(nodeLoad []float64, current int) int {
+	var demand float64
+	for _, v := range nodeLoad {
+		if !math.IsNaN(v) {
+			demand += math.Max(0, v-r.cfg.Baseline)
+		}
+	}
+	need := r.need(demand)
+	if need > current {
+		r.lowRun, r.lowNeed = 0, 0
+		return need
+	}
+	if need < current {
+		r.lowRun++
+		if need > r.lowNeed {
+			r.lowNeed = need
+		}
+		if r.lowRun >= r.cfg.SettleHours {
+			n := r.lowNeed
+			r.lowRun, r.lowNeed = 0, 0
+			return n
+		}
+		return current
+	}
+	r.lowRun, r.lowNeed = 0, 0
+	return current
+}
