@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint-metrics bench bench-baseline bench-check bench-baseline-store bench-check-store tables figures examples clean
+.PHONY: all build vet test test-short race lint-metrics bench bench-baseline bench-check bench-baseline-store bench-check-store bench-baseline-refit bench-check-refit tables figures examples clean
 
 all: build vet lint-metrics test
 
@@ -62,6 +62,25 @@ bench-check-store:
 	$(GO) test -run '^$$' -bench '$(STORE_BENCH_GATE)' -benchmem -benchtime 100x -count 1 ./internal/metricstore/ > bench_store_output.txt
 	$(GO) run ./cmd/benchcheck -baseline BENCH_PR8.json bench_store_output.txt
 
+# Incremental-refit tiers gated by BENCH_PR10.json: cold grid search vs
+# warm-started shrunken grid vs O(1) state advance, same series and
+# candidate pool. The -ratio assertions pin the tentpole's speedups —
+# warm <= 0.2x cold, advance <= 0.01x cold — and hold on any machine
+# because both sides of each ratio come from the same run.
+REFIT_BENCH_GATE = ^BenchmarkRefit(Cold|Warm|Advance)$$
+REFIT_RATIOS = -ratio 'BenchmarkRefitWarm/BenchmarkRefitCold<=0.2' \
+	-ratio 'BenchmarkRefitAdvance/BenchmarkRefitCold<=0.01'
+
+bench-baseline-refit:
+	$(GO) test -run '^$$' -bench '$(REFIT_BENCH_GATE)' -benchmem -benchtime 3x -count 3 . > bench_refit_output.txt
+	$(GO) run ./cmd/benchcheck -update -baseline BENCH_PR10.json \
+		-note "incremental-refit tier baseline; regenerate with \`make bench-baseline-refit\`, compare with \`make bench-check-refit\`" \
+		$(REFIT_RATIOS) bench_refit_output.txt
+
+bench-check-refit:
+	$(GO) test -run '^$$' -bench '$(REFIT_BENCH_GATE)' -benchmem -benchtime 1x -count 1 . > bench_refit_output.txt
+	$(GO) run ./cmd/benchcheck -baseline BENCH_PR10.json $(REFIT_RATIOS) bench_refit_output.txt
+
 # Full-size reproduction of the evaluation tables (42 days, Table 1 splits).
 tables:
 	$(GO) run ./cmd/benchtables -table 2a
@@ -85,4 +104,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt bench_store_output.txt
+	rm -f test_output.txt bench_output.txt bench_store_output.txt bench_refit_output.txt

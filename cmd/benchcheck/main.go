@@ -46,6 +46,74 @@ type Baseline struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
+// ratioSpec is one -ratio assertion: measured ns/op of Num divided by
+// measured ns/op of Den must not exceed Max. Unlike the baseline factors,
+// a ratio compares two benchmarks from the same run on the same machine,
+// so it is stable across hardware and can be gated tightly (e.g. a warm
+// refit must cost at most 0.2x a cold one).
+type ratioSpec struct {
+	Num, Den string
+	Max      float64
+}
+
+// ratioFlags collects repeated -ratio 'NameA/NameB<=X' flags.
+type ratioFlags []ratioSpec
+
+func (r *ratioFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, s := range *r {
+		parts[i] = fmt.Sprintf("%s/%s<=%g", s.Num, s.Den, s.Max)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *ratioFlags) Set(v string) error {
+	names, max, ok := strings.Cut(v, "<=")
+	if !ok {
+		return fmt.Errorf("ratio %q: want NameA/NameB<=X", v)
+	}
+	num, den, ok := strings.Cut(names, "/")
+	if !ok || num == "" || den == "" {
+		return fmt.Errorf("ratio %q: want NameA/NameB<=X", v)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(max), 64)
+	if err != nil || x <= 0 {
+		return fmt.Errorf("ratio %q: bad bound %q", v, max)
+	}
+	*r = append(*r, ratioSpec{Num: strings.TrimSpace(num), Den: strings.TrimSpace(den), Max: x})
+	return nil
+}
+
+// checkRatios asserts every -ratio bound over the measured ns/op numbers,
+// reporting each verdict; it returns the number of violations. Ratios are
+// enforced in compare AND update modes — a baseline refresh must not bless
+// numbers that break the relative-cost contract.
+func checkRatios(measured map[string]Entry, ratios ratioFlags) int {
+	failures := 0
+	for _, r := range ratios {
+		num, okN := measured[r.Num]
+		den, okD := measured[r.Den]
+		if !okN || !okD {
+			fmt.Printf("  FAIL  ratio %s/%s: benchmark not measured\n", r.Num, r.Den)
+			failures++
+			continue
+		}
+		if den.NsOp <= 0 {
+			fmt.Printf("  FAIL  ratio %s/%s: denominator ns/op is zero\n", r.Num, r.Den)
+			failures++
+			continue
+		}
+		got := num.NsOp / den.NsOp
+		verdict := "ok"
+		if got > r.Max {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("  %-5s ratio %s/%s = %.4f (max %g)\n", verdict, r.Num, r.Den, got, r.Max)
+	}
+	return failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_PR5.json", "baseline JSON path")
 	update := flag.Bool("update", false, "rewrite the baseline from the measured numbers")
@@ -53,6 +121,8 @@ func main() {
 	bytesFactor := flag.Float64("max-bytes-factor", 1.5, "fail when bytes/op exceeds baseline by this factor")
 	nsFactor := flag.Float64("max-ns-factor", 8, "fail when ns/op exceeds baseline by this factor")
 	note := flag.String("note", "fit hot-path baseline; regenerate with `make bench-baseline`, compare with `make bench-check`", "note written into the baseline with -update")
+	var ratios ratioFlags
+	flag.Var(&ratios, "ratio", "assert measured ns/op ratio 'NameA/NameB<=X' (repeatable; enforced in compare and update modes)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -73,6 +143,10 @@ func main() {
 	}
 
 	if *update {
+		if n := checkRatios(measured, ratios); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %d ratio assertion(s) violated; baseline not written\n", n)
+			os.Exit(1)
+		}
 		doc := Baseline{
 			Note:       *note,
 			Benchmarks: measured,
@@ -128,6 +202,7 @@ func main() {
 			failures++
 		}
 	}
+	failures += checkRatios(measured, ratios)
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed past the gate (allocs x%.2f, bytes x%.2f, ns x%.2f)\n",
 			failures, *allocsFactor, *bytesFactor, *nsFactor)

@@ -1,0 +1,228 @@
+package arima
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// genSeries builds a deterministic hourly-ish series: daily seasonality,
+// gentle trend and bounded pseudo-noise — no RNG so the property holds
+// bit-for-bit run to run.
+func genSeries(n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 50 + 0.02*float64(i) +
+			8*math.Sin(2*math.Pi*float64(i%24)/24) +
+			1.3*math.Sin(float64(i)*1.7) + 0.7*math.Cos(float64(i)*0.39)
+	}
+	return y
+}
+
+// genExog builds deterministic regressor columns over absolute indices
+// [0, n): a daily pulse and a slow sine.
+func genExog(n int) [][]float64 {
+	pulse := make([]float64, n)
+	slow := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%24 == 3 {
+			pulse[i] = 1
+		}
+		slow[i] = math.Sin(2 * math.Pi * float64(i) / 168)
+	}
+	return [][]float64{pulse, slow}
+}
+
+// TestAdvanceMatchesRebase is the incremental-state property test: folding
+// k new points into a fitted model with Advance must reproduce — to within
+// numerical identity — the model obtained by replaying the frozen
+// parameters over the extended series from scratch (Rebase), and the two
+// must forecast identically.
+func TestAdvanceMatchesRebase(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		name string
+		spec Spec
+		exog bool
+	}{
+		{"arima_111", Spec{P: 1, D: 1, Q: 1}, false},
+		{"arma_21", Spec{P: 2, D: 0, Q: 1}, false},
+		{"sarima_101_010_24", Spec{P: 1, D: 0, Q: 1, SD: 1, S: 24}, false},
+		{"sarimax_110_exog", Spec{P: 1, D: 1, Q: 0}, true},
+	}
+	const trainN, k, h = 240, 24, 12
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full := genSeries(trainN + k)
+			var exogFull [][]float64
+			var exogTrain, exogNew, exogFuture [][]float64
+			if tc.exog {
+				exogFull = genExog(trainN + k + h)
+				exogTrain = make([][]float64, len(exogFull))
+				exogNew = make([][]float64, len(exogFull))
+				exogFuture = make([][]float64, len(exogFull))
+				for j, col := range exogFull {
+					exogTrain[j] = col[:trainN]
+					exogNew[j] = col[trainN : trainN+k]
+					exogFuture[j] = col[trainN+k:]
+				}
+			}
+			m, err := Fit(tc.spec, full[:trainN], exogTrain, FitOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var exogExt [][]float64
+			if tc.exog {
+				exogExt = make([][]float64, len(exogFull))
+				for j, col := range exogFull {
+					exogExt[j] = col[:trainN+k]
+				}
+			}
+			ref, err := m.Rebase(full, exogExt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Advance(full[trainN:], exogNew); err != nil {
+				t.Fatal(err)
+			}
+
+			if d := math.Abs(m.Sigma2 - ref.Sigma2); d > tol {
+				t.Errorf("Sigma2 diverged by %g (advance %g, rebase %g)", d, m.Sigma2, ref.Sigma2)
+			}
+			if d := math.Abs(m.AIC - ref.AIC); d > tol {
+				t.Errorf("AIC diverged by %g", d)
+			}
+			if len(m.Residuals) != len(ref.Residuals) {
+				t.Fatalf("residual length %d vs %d", len(m.Residuals), len(ref.Residuals))
+			}
+			for i := range m.Residuals {
+				if d := math.Abs(m.Residuals[i] - ref.Residuals[i]); d > tol {
+					t.Fatalf("residual %d diverged by %g", i, d)
+				}
+			}
+
+			fa, err := m.Forecast(h, exogFuture, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, err := ref.Forecast(h, exogFuture, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range fa.Mean {
+				if d := math.Abs(fa.Mean[i] - fr.Mean[i]); d > tol {
+					t.Errorf("forecast mean %d diverged by %g", i, d)
+				}
+				if d := math.Abs(fa.SE[i] - fr.SE[i]); d > tol {
+					t.Errorf("forecast SE %d diverged by %g", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestAdvanceRepeatedChunksMatchOneShot checks that advancing in several
+// small chunks lands on the same state as one big Advance.
+func TestAdvanceRepeatedChunksMatchOneShot(t *testing.T) {
+	const trainN, k = 200, 24
+	full := genSeries(trainN + k)
+	spec := Spec{P: 1, D: 1, Q: 1}
+	a, err := Fit(spec, full[:trainN], nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(spec, full[:trainN], nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(full[trainN:], nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := trainN; i < trainN+k; i += 6 {
+		if err := b.Advance(full[i:i+6], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Sigma2 != b.Sigma2 || a.LogLik != b.LogLik {
+		t.Fatalf("chunked advance diverged: Sigma2 %g vs %g", a.Sigma2, b.Sigma2)
+	}
+	fa, _ := a.Forecast(6, nil, 0.95)
+	fb, _ := b.Forecast(6, nil, 0.95)
+	for i := range fa.Mean {
+		if fa.Mean[i] != fb.Mean[i] {
+			t.Fatalf("forecast %d: %g vs %g", i, fa.Mean[i], fb.Mean[i])
+		}
+	}
+}
+
+// TestAdvanceRejectsBadInput covers the validation edges.
+func TestAdvanceRejectsBadInput(t *testing.T) {
+	y := genSeries(120)
+	m, err := Fit(Spec{P: 1, D: 1, Q: 0}, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(nil, nil); err == nil {
+		t.Error("empty advance accepted")
+	}
+	if err := m.Advance([]float64{math.NaN()}, nil); err == nil {
+		t.Error("NaN point accepted")
+	}
+	if err := m.Advance([]float64{1}, [][]float64{{1}}); err == nil {
+		t.Error("mismatched exog accepted")
+	}
+}
+
+// TestWarmStartFallsBackToCold: an unusable warm vector must not poison
+// the fit — it falls back to the cold simplex, converges to the cold
+// solution, and counts refit_warm_fallbacks_total.
+func TestWarmStartFallsBackToCold(t *testing.T) {
+	y := genSeries(200)
+	spec := Spec{P: 1, D: 1, Q: 1}
+	cold, err := Fit(spec, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, warm := range [][]float64{
+		{math.NaN(), 0.2}, // non-finite
+		{0.1},             // wrong length
+		{1e9, -1e9},       // absurd start that scores worse
+	} {
+		o := obs.New(obs.Config{Metrics: true})
+		m, err := Fit(spec, y, nil, FitOptions{WarmStart: warm, Obs: o})
+		if err != nil {
+			t.Fatalf("warm %v: %v", warm, err)
+		}
+		if math.Abs(m.Sigma2-cold.Sigma2) > 1e-6 {
+			t.Errorf("warm %v: Sigma2 %g, cold %g — fallback did not recover the cold fit", warm, m.Sigma2, cold.Sigma2)
+		}
+		if n := o.Registry().CounterValue("refit_warm_fallbacks_total"); n < 1 {
+			t.Errorf("warm %v: refit_warm_fallbacks_total = %d, want >= 1", warm, n)
+		}
+	}
+}
+
+// TestWarmStartFromOptVector: seeding with the previous fit's own solution
+// must reproduce that solution (the optimiser starts at the optimum) with
+// far fewer objective evaluations and no fallback.
+func TestWarmStartFromOptVector(t *testing.T) {
+	y := genSeries(240)
+	spec := Spec{P: 1, D: 1, Q: 1}
+	cold, err := Fit(spec, y, nil, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Config{Metrics: true})
+	warm, err := Fit(spec, y, nil, FitOptions{WarmStart: cold.OptVector(), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.Sigma2-cold.Sigma2) > 1e-8 {
+		t.Errorf("warm refit Sigma2 %g, cold %g", warm.Sigma2, cold.Sigma2)
+	}
+	if n := o.Registry().CounterValue("refit_warm_fallbacks_total"); n != 0 {
+		t.Errorf("refit_warm_fallbacks_total = %d, want 0", n)
+	}
+}

@@ -45,10 +45,22 @@ type Model struct {
 	exog [][]float64
 	// w is the differenced regression-error series the ARMA part models.
 	w []float64
+	// css is the conditional sum of squares over the fitted residuals,
+	// kept so Advance can extend it without re-summing the whole series.
+	css float64
+	// optX is the optimiser-space parameter vector the fit converged to,
+	// in the packing [intercept?][φ×p][θ×q][Φ×P][Θ×Q][β×r]; nil for pure
+	// differencing models. It seeds warm-started refits.
+	optX []float64
 
 	// Converged reports whether the optimiser met its tolerances.
 	Converged bool
 }
+
+// OptVector returns a copy of the optimiser-space parameter vector the fit
+// converged to (nil for pure differencing models). Feeding it back through
+// FitOptions.WarmStart seeds the next refit from this model's solution.
+func (m *Model) OptVector() []float64 { return clone(m.optX) }
 
 // FitMethod selects the estimation objective.
 type FitMethod int
@@ -90,6 +102,11 @@ type FitOptions struct {
 	// regressors the warm-start series is β-adjusted first) and is
 	// treated as read-only.
 	PrediffedY []float64
+	// WarmStart optionally seeds the optimiser from a previous fit's
+	// OptVector. A vector of the wrong length or with non-finite entries
+	// falls back to the cold simplex (counted as refit_warm_fallbacks_total),
+	// as does a warm result that scores worse than the cold start point.
+	WarmStart []float64
 }
 
 // errTooShort is returned when the series cannot support the model order.
@@ -246,20 +263,28 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 	if opt.Ctx != nil && opt.Ctx.Err() != nil {
 		return nil, fmt.Errorf("arima: fit aborted: %w", opt.Ctx.Err())
 	}
-	var result optimize.Result
-	if nParams == 0 {
-		// Pure differencing model (e.g. (0,1,0)): nothing to optimise.
-		result = optimize.Result{X: nil, F: objective(nil), Converged: true, Evals: 1}
-	} else {
-		result = optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
-			MaxIter: opt.MaxIter,
-			TolF:    opt.TolF,
-			Abort:   optimize.ContextAbort(opt.Ctx),
-		})
-	}
 	family := "ARIMA"
 	if spec.IsSeasonal() {
 		family = "SARIMAX"
+	}
+	nmOpts := optimize.NelderMeadOptions{
+		MaxIter: opt.MaxIter,
+		TolF:    opt.TolF,
+		Abort:   optimize.ContextAbort(opt.Ctx),
+	}
+	var result optimize.Result
+	switch {
+	case nParams == 0:
+		// Pure differencing model (e.g. (0,1,0)): nothing to optimise.
+		result = optimize.Result{X: nil, F: objective(nil), Converged: true, Evals: 1}
+	case opt.WarmStart != nil:
+		var warmOK bool
+		result, warmOK = optimize.NelderMeadWarm(objective, x0, opt.WarmStart, nmOpts)
+		if !warmOK {
+			opt.Obs.Count("refit_warm_fallbacks_total", 1, obs.L("family", family))
+		}
+	default:
+		result = optimize.NelderMead(objective, x0, nmOpts)
 	}
 	opt.Obs.Count("fit_objective_evals_total", int64(result.Evals), obs.L("family", family))
 	if result.Aborted {
@@ -313,6 +338,8 @@ func fit(spec Spec, y []float64, exog [][]float64, opt FitOptions) (*Model, erro
 		Residuals: resid,
 		y:         clone(y),
 		w:         clone(w),
+		css:       css,
+		optX:      clone(result.X),
 		Converged: result.Converged,
 	}
 	if len(exog) > 0 {

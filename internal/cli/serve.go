@@ -60,6 +60,8 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	within := fs.Int("within", 24, "alert when a breach is forecast within this many hours")
 	pendingTicks := fs.Int("pending-ticks", 2, "consecutive breaching evaluations before an alert fires")
 	resolveTicks := fs.Int("resolve-ticks", 2, "consecutive clear evaluations before a firing alert resolves")
+	coldEvery := fs.Int("cold-refit-every", 24, "force every Nth refit per target to run the full cold grid search; "+
+		"other refits warm-start from the stored champion and shrink the candidate grid by prior scores")
 	shiftAfter := fs.Int("shift-after", 0, "inject a level shift after this many replayed hours (0 = off; drift demo)")
 	shiftHours := fs.Int("shift-hours", 12, "how long the injected level shift lasts")
 	shiftFactor := fs.Float64("shift-factor", 1.5, "multiplier applied to actuals during the injected shift")
@@ -111,6 +113,9 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	if *storeDir != "" && !*ingestOn {
 		return fmt.Errorf("serve: -store-dir requires -ingest (the simulated replay rebuilds its history deterministically and needs no WAL)")
 	}
+	if *coldEvery <= 0 {
+		return fmt.Errorf("serve: -cold-refit-every must be positive (the periodic cold refit is the escape hatch that re-opens the full candidate grid; got %d)", *coldEvery)
+	}
 	if *of.listen == "" {
 		*of.listen = "127.0.0.1:8080"
 	}
@@ -159,8 +164,10 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 	var repoPtr atomic.Pointer[metricstore.Store]
 	trainWindow := time.Duration(*days) * 24 * time.Hour
 	// refit re-learns a champion from the freshest repository window; the
-	// replay loop calls it synchronously via the monitor.
-	refit := func(rctx context.Context, key string) (*core.Result, error) {
+	// replay loop calls it synchronously via the monitor. A warm request
+	// seeds the engine with the stored champion's parameters and prior
+	// candidate scores; with nothing stored the run simply goes cold.
+	refit := func(rctx context.Context, key string, warm bool) (*core.Result, error) {
 		i := strings.LastIndexByte(key, '/')
 		if i < 0 {
 			return nil, fmt.Errorf("serve: malformed key %q", key)
@@ -181,10 +188,16 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := core.NewEngine(core.Options{
+		engOpts := core.Options{
 			Technique: tech, Horizon: *horizon, MaxCandidates: *maxCand,
 			FitTimeout: *fitTimeout, Obs: o,
-		})
+		}
+		if warm {
+			if sm, _ := store.Peek(key); sm != nil && sm.Result != nil {
+				engOpts.Warm = core.WarmFromResult(sm.Result)
+			}
+		}
+		eng, err := core.NewEngine(engOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -194,16 +207,63 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return res, err
 	}
+	// advance rolls a horizon-exhausted champion forward instead of
+	// refitting: the hours since the forecast origin fold into the live
+	// model's state and the forecast regenerates from the new origin. Any
+	// gap (missing samples, no live model) returns an error and the
+	// monitor falls back to a real refit.
+	advance := func(actx context.Context, key string, at time.Time) (*core.Result, error) {
+		_ = actx
+		sm, _ := store.Peek(key)
+		if sm == nil || sm.Result == nil {
+			return nil, fmt.Errorf("serve: no stored model for %q", key)
+		}
+		if sm.Result.Live == nil || sm.Result.Forecast == nil {
+			return nil, fmt.Errorf("serve: stored model for %q has no live state", key)
+		}
+		i := strings.LastIndexByte(key, '/')
+		if i < 0 {
+			return nil, fmt.Errorf("serve: malformed key %q", key)
+		}
+		k := metricstore.Key{Target: key[:i], Metric: key[i+1:]}
+		fc := sm.Result.Forecast
+		step := fc.Freq.Step()
+		// The observations to fold in: every completed bucket from the
+		// forecast origin through the hour that just exhausted it.
+		ser, err := repo.Series(k, fc.Freq, fc.Start, at.Add(step))
+		if err != nil {
+			return nil, err
+		}
+		if ser.Len() == 0 {
+			return nil, fmt.Errorf("serve: no observations to advance %q over", key)
+		}
+		for _, v := range ser.Values {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("serve: gap in %q since forecast origin", key)
+			}
+		}
+		res, err := sm.Result.Advanced(ser.Values)
+		if err != nil {
+			return nil, err
+		}
+		if !store.ReplaceResult(key, res) {
+			return nil, fmt.Errorf("serve: stored model for %q vanished mid-advance", key)
+		}
+		snapshotForecast(repo, k, res, time.Unix(simClock.Load(), 0).UTC())
+		return res, nil
+	}
 
 	mon, err := monitor.New(monitor.Config{
-		Store:        store,
-		Window:       *window,
-		Rules:        rules,
-		PendingTicks: *pendingTicks,
-		ResolveTicks: *resolveTicks,
-		Calibration:  monitor.CalibrationConfig{Window: *calWindow},
-		Drift:        monitor.DriftConfig{Disabled: !*driftOn, Delta: *phDelta, Lambda: *phLambda},
-		Refit:        refit,
+		Store:          store,
+		Window:         *window,
+		Rules:          rules,
+		PendingTicks:   *pendingTicks,
+		ResolveTicks:   *resolveTicks,
+		Calibration:    monitor.CalibrationConfig{Window: *calWindow},
+		Drift:          monitor.DriftConfig{Disabled: !*driftOn, Delta: *phDelta, Lambda: *phLambda},
+		Refit:          refit,
+		Advance:        advance,
+		ColdRefitEvery: *coldEvery,
 		Inventory: func() []string {
 			var keys []string
 			if r := repoPtr.Load(); r != nil {
@@ -371,7 +431,7 @@ func CapplanServe(ctx context.Context, args []string, stdout io.Writer) error {
 			if !ok || coveredHours(f, l) < *selfTrain {
 				continue
 			}
-			res, err := refit(tctx, key)
+			res, err := refit(tctx, key, false)
 			if err != nil {
 				// Early self series are often near-constant; keep scraping
 				// and try again next hour.

@@ -265,6 +265,18 @@ func TestServeStoreDirRequiresIngest(t *testing.T) {
 	}
 }
 
+func TestServeColdRefitEveryMustBePositive(t *testing.T) {
+	var out bytes.Buffer
+	for _, bad := range []string{"0", "-3"} {
+		err := Capplan(context.Background(), []string{
+			"serve", "-cold-refit-every", bad, "-listen", "127.0.0.1:0",
+		}, &out)
+		if err == nil || !strings.Contains(err.Error(), "-cold-refit-every must be positive") {
+			t.Fatalf("-cold-refit-every %s: err = %v, want must-be-positive", bad, err)
+		}
+	}
+}
+
 func TestServeWalFlagsRequireStoreDir(t *testing.T) {
 	var out bytes.Buffer
 	err := Capplan(context.Background(), []string{

@@ -86,6 +86,12 @@ type Options struct {
 	KnownShockPhases []int
 	// Analyze overrides analysis options.
 	Analyze AnalyzeOptions
+	// Warm carries a previous run's champion parameters and candidate
+	// scores into this run: the incumbent seeds a perturbed Nelder-Mead
+	// simplex and the grid shrinks to the top scorers plus an exploration
+	// band (see WarmStart). nil — the default — runs the full cold path,
+	// byte-identical to seed behaviour.
+	Warm *WarmStart
 	// FitTimeout bounds each candidate fit's wall time (0 = no limit).
 	// A candidate that exceeds it is scored as a timed-out failure —
 	// visible in fit_errors_total{cause="timeout"} and on its fit span —
@@ -177,6 +183,13 @@ type Result struct {
 	// Elapsed is the total wall time; ModelsEvaluated the grid size.
 	Elapsed         time.Duration
 	ModelsEvaluated int
+	// WarmStarted reports whether warm-start options (Options.Warm) were
+	// in effect for this run — the monitor's refit_mode label reads it.
+	WarmStarted bool
+	// Live is the champion refitted on the full series, retained with its
+	// regressor design so new observations can advance the model state in
+	// place (Result.Advanced) without an optimiser call.
+	Live *LiveModel
 }
 
 // ChampionFamily names the champion's model family ("SARIMAX", "HES",
@@ -369,7 +382,9 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 		}
 	}
 
-	// Stage 4: enumerate candidates for the chosen branch.
+	// Stage 4: enumerate candidates for the chosen branch, then — on a
+	// warm refit — shrink the grid to the previous run's top scorers plus
+	// the incumbent and a small exploration band.
 	sp = run.Child("build-candidates")
 	cands := e.buildCandidates(train, an)
 	sp.Set("candidates", len(cands))
@@ -379,6 +394,16 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 		sp.End()
 		run.Fail(err)
 		return nil, err
+	}
+	if e.opt.Warm != nil {
+		kept, skipped := shrinkCandidates(cands, e.opt.Warm)
+		if skipped > 0 {
+			cands = kept
+			sp.Set("grid_skipped", skipped)
+			o.Count("refit_grid_skipped_total", int64(skipped))
+			o.Debug("candidate grid shrunk by prior scores", "series", s.Name,
+				"kept", len(cands), "skipped", skipped)
+		}
 	}
 	sp.End()
 
@@ -438,7 +463,7 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 		run.Fail(err)
 		return nil, err
 	}
-	fullFC, se, lower, upper, diag, err := e.fullForecast(ctx, champion, work.Values, an, rc, horizon)
+	ff, err := e.fullForecast(ctx, champion, work.Values, an, rc, horizon)
 	if err != nil {
 		err = fmt.Errorf("forecast: champion production forecast: %w", err)
 		sp.Fail(err)
@@ -485,13 +510,15 @@ func (e *Engine) Run(ctx context.Context, s *timeseries.Series) (*Result, error)
 		TestLen:         test.Len(),
 		Elapsed:         time.Since(began),
 		ModelsEvaluated: len(results),
-		Diagnostics:     diag,
+		Diagnostics:     ff.diag,
 		Baselines:       baselines,
 		BeatsBaselines:  beats,
+		WarmStarted:     e.opt.Warm != nil,
+		Live:            ff.live,
 		Forecast: &Prediction{
 			Start: work.End(),
 			Freq:  work.Freq,
-			Mean:  fullFC, SE: se, Lower: lower, Upper: upper,
+			Mean:  ff.mean, SE: ff.se, Lower: ff.lower, Upper: ff.upper,
 			Level: e.opt.Level,
 		},
 	}
@@ -739,12 +766,23 @@ func tbatsCandidates(periods []int) []tbats.Config {
 	return out
 }
 
+// warmVec returns the incumbent's optimiser-space seed when warm options
+// are set and the candidate is the incumbent champion, nil otherwise. The
+// vector is read-only for the optimiser, so concurrent fits may share it.
+func (e *Engine) warmVec(label string) []float64 {
+	w := e.opt.Warm
+	if w == nil || w.ChampionLabel != label || len(w.Params) == 0 {
+		return nil
+	}
+	return w.Params
+}
+
 // fitScore fits one candidate on train and forecasts the test window.
 // ctx reaches the family optimisers, carrying cancellation and the
 // per-candidate fit deadline.
 func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float64, an *Analysis, rc *runCache, h int) ([]float64, float64, error) {
 	if c.tbatsCfg != nil {
-		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
+		m, err := tbats.Fit(*c.tbatsCfg, train, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs, WarmStart: e.warmVec(c.Label)})
 		if err != nil {
 			return nil, math.NaN(), err
 		}
@@ -755,7 +793,7 @@ func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float6
 		return fc.Mean, m.AIC, nil
 	}
 	if c.isETS {
-		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period, Ctx: ctx, Obs: e.opt.Obs})
+		m, err := ets.Fit(c.etsKind, train, ets.FitOptions{Period: an.Period, Ctx: ctx, Obs: e.opt.Obs, WarmStart: e.warmVec(c.Label)})
 		if err != nil {
 			return nil, math.NaN(), err
 		}
@@ -777,6 +815,7 @@ func (e *Engine) fitScore(ctx context.Context, c CandidateResult, train []float6
 	defer rc.release(ws)
 	m, err := arima.Fit(c.cand.Spec, train, regs.SliceTrain(len(train)), arima.FitOptions{
 		Ctx: ctx, Obs: e.opt.Obs, Workspace: ws, PrediffedY: prediff,
+		WarmStart: e.warmVec(c.Label),
 	})
 	if err != nil {
 		return nil, math.NaN(), err
@@ -815,45 +854,63 @@ func (e *Engine) refitForecast(ctx context.Context, c CandidateResult, train []f
 	return fc, err
 }
 
+// fullFit bundles the production forecast of the full-series champion
+// refit together with the fitted model it came from, retained as the
+// run's LiveModel.
+type fullFit struct {
+	mean, se, lower, upper []float64
+	diag                   *arima.Diagnostics
+	live                   *LiveModel
+}
+
 // fullForecast refits the champion on the whole series and produces the
-// production forecast with error bars.
-func (e *Engine) fullForecast(ctx context.Context, c CandidateResult, full []float64, an *Analysis, rc *runCache, h int) (mean, se, lower, upper []float64, diag *arima.Diagnostics, err error) {
+// production forecast with error bars. The fitted model is kept alive in
+// the returned LiveModel so later observations can advance its state
+// without refitting.
+func (e *Engine) fullForecast(ctx context.Context, c CandidateResult, full []float64, an *Analysis, rc *runCache, h int) (*fullFit, error) {
+	live := &LiveModel{family: candidateFamily(&c), level: e.opt.Level, n: len(full)}
 	if c.tbatsCfg != nil {
-		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs})
+		m, ferr := tbats.Fit(*c.tbatsCfg, full, tbats.FitOptions{Ctx: ctx, Obs: e.opt.Obs, WarmStart: e.warmVec(c.Label)})
 		if ferr != nil {
-			return nil, nil, nil, nil, nil, ferr
+			return nil, ferr
 		}
 		fc, ferr := m.Forecast(h, e.opt.Level)
 		if ferr != nil {
-			return nil, nil, nil, nil, nil, ferr
+			return nil, ferr
 		}
-		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
+		live.tbats = m
+		return &fullFit{mean: fc.Mean, se: fc.SE, lower: fc.Lower, upper: fc.Upper, live: live}, nil
 	}
 	if c.isETS {
-		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period, Ctx: ctx, Obs: e.opt.Obs})
+		m, ferr := ets.Fit(c.etsKind, full, ets.FitOptions{Period: an.Period, Ctx: ctx, Obs: e.opt.Obs, WarmStart: e.warmVec(c.Label)})
 		if ferr != nil {
-			return nil, nil, nil, nil, nil, ferr
+			return nil, ferr
 		}
 		fc, ferr := m.Forecast(h, e.opt.Level)
 		if ferr != nil {
-			return nil, nil, nil, nil, nil, ferr
+			return nil, ferr
 		}
-		return fc.Mean, fc.SE, fc.Lower, fc.Upper, nil, nil
+		live.ets = m
+		return &fullFit{mean: fc.Mean, se: fc.SE, lower: fc.Lower, upper: fc.Upper, live: live}, nil
 	}
 	regs, ferr := rc.regsFor(e, c, an, len(full))
 	if ferr != nil {
-		return nil, nil, nil, nil, nil, ferr
+		return nil, ferr
 	}
 	ws := rc.workspace()
 	defer rc.release(ws)
-	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{Ctx: ctx, Obs: e.opt.Obs, Workspace: ws})
+	m, ferr := arima.Fit(c.cand.Spec, full, regs.SliceTrain(len(full)), arima.FitOptions{
+		Ctx: ctx, Obs: e.opt.Obs, Workspace: ws, WarmStart: e.warmVec(c.Label),
+	})
 	if ferr != nil {
-		return nil, nil, nil, nil, nil, ferr
+		return nil, ferr
 	}
 	fc, ferr := m.Forecast(h, regs.Future(len(full), h), e.opt.Level)
 	if ferr != nil {
-		return nil, nil, nil, nil, nil, ferr
+		return nil, ferr
 	}
 	d := m.Diagnose()
-	return fc.Mean, fc.SE, fc.Lower, fc.Upper, &d, nil
+	live.arima = m
+	live.regs = regs
+	return &fullFit{mean: fc.Mean, se: fc.SE, lower: fc.Lower, upper: fc.Upper, diag: &d, live: live}, nil
 }

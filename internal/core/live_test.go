@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+func TestShrinkCandidates(t *testing.T) {
+	cands := []CandidateResult{
+		{Label: "a"}, {Label: "b"}, {Label: "c"}, {Label: "d"}, {Label: "e"}, {Label: "f"},
+	}
+	w := &WarmStart{
+		ChampionLabel: "d",
+		PriorScores:   map[string]float64{"a": 3, "b": 1, "c": 2, "d": 5},
+		TopK:          2, Explore: 1,
+	}
+	kept, skipped := shrinkCandidates(cands, w)
+	var labels []string
+	for _, c := range kept {
+		labels = append(labels, c.Label)
+	}
+	// Top-2 by score: b (1), c (2); incumbent d; first unscored e.
+	want := []string{"b", "c", "d", "e"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("kept = %v, want %v", labels, want)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+
+	// No prior scores → passthrough.
+	kept, skipped = shrinkCandidates(cands, &WarmStart{ChampionLabel: "a"})
+	if len(kept) != len(cands) || skipped != 0 {
+		t.Fatalf("no-scores shrink = %d kept, %d skipped", len(kept), skipped)
+	}
+	// Scores that match nothing → passthrough.
+	kept, skipped = shrinkCandidates(cands, &WarmStart{PriorScores: map[string]float64{"zz": 1}})
+	if len(kept) != len(cands) || skipped != 0 {
+		t.Fatalf("unmatched-scores shrink = %d kept, %d skipped", len(kept), skipped)
+	}
+}
+
+func TestWarmFromResult(t *testing.T) {
+	if WarmFromResult(nil) != nil {
+		t.Fatal("nil result should have no warm start")
+	}
+	r := &Result{Champion: CandidateResult{Label: "x"}}
+	if WarmFromResult(r) != nil {
+		t.Fatal("result with no live model and no scored candidates should have no warm start")
+	}
+	r.Candidates = []CandidateResult{
+		{Label: "x", Score: metrics.Score{RMSE: 1.5}},
+		{Label: "bad", Err: context.Canceled},
+		{Label: "nan", Score: metrics.Score{RMSE: math.NaN()}},
+	}
+	w := WarmFromResult(r)
+	if w == nil || w.ChampionLabel != "x" {
+		t.Fatalf("warm = %+v", w)
+	}
+	if len(w.PriorScores) != 1 || w.PriorScores["x"] != 1.5 {
+		t.Fatalf("prior scores = %v (errored and NaN candidates must be dropped)", w.PriorScores)
+	}
+}
+
+// TestWarmRunShrinksGrid: a warm Run seeded from a cold run's result must
+// evaluate fewer candidates, mark the result WarmStarted, count the
+// skipped grid entries, and still produce a finite production forecast.
+func TestWarmRunShrinksGrid(t *testing.T) {
+	ser := seasonalTrending(7)
+	cold, err := mustEngine(t, Options{Technique: TechniqueSARIMAX, MaxCandidates: 8}).Run(context.Background(), ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarted {
+		t.Fatal("cold run reported WarmStarted")
+	}
+	if cold.Live == nil {
+		t.Fatal("cold run carries no live model")
+	}
+	if got := cold.Live.Len(); got != ser.Len() {
+		t.Fatalf("live model length %d, want %d", got, ser.Len())
+	}
+
+	o := obs.New(obs.Config{Metrics: true})
+	warmEng := mustEngine(t, Options{
+		Technique: TechniqueSARIMAX, MaxCandidates: 8, Obs: o,
+		Warm: WarmFromResult(cold),
+	})
+	warm, err := warmEng.Run(context.Background(), ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("warm run not marked WarmStarted")
+	}
+	if warm.ModelsEvaluated >= cold.ModelsEvaluated {
+		t.Fatalf("warm evaluated %d models, cold %d — grid did not shrink",
+			warm.ModelsEvaluated, cold.ModelsEvaluated)
+	}
+	if n := o.Registry().CounterValue("refit_grid_skipped_total"); n < 1 {
+		t.Fatalf("refit_grid_skipped_total = %d, want >= 1", n)
+	}
+	if warm.Forecast == nil || len(warm.Forecast.Mean) != len(cold.Forecast.Mean) {
+		t.Fatal("warm run forecast missing or truncated")
+	}
+	for _, v := range warm.Forecast.Mean {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("warm forecast not finite")
+		}
+	}
+	// The shrunken grid still contains the incumbent, so the warm champion
+	// can never score worse than a refit of the incumbent alone.
+	if warm.TestScore.RMSE > cold.TestScore.RMSE*1.5 {
+		t.Fatalf("warm champion RMSE %g far worse than cold %g", warm.TestScore.RMSE, cold.TestScore.RMSE)
+	}
+}
+
+// TestColdRunByteIdentical: with Warm nil the engine must behave exactly
+// as the seed did — two cold runs over the same series produce deeply
+// equal champions and forecasts. This is the forced-cold escape hatch's
+// correctness contract (-cold-refit-every).
+func TestColdRunByteIdentical(t *testing.T) {
+	ser := seasonalTrending(11)
+	a, err := mustEngine(t, Options{Technique: TechniqueSARIMAX, MaxCandidates: 6, Workers: 2}).Run(context.Background(), ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mustEngine(t, Options{Technique: TechniqueSARIMAX, MaxCandidates: 6, Workers: 2}).Run(context.Background(), ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Champion.Label != b.Champion.Label {
+		t.Fatalf("champions differ: %q vs %q", a.Champion.Label, b.Champion.Label)
+	}
+	if !reflect.DeepEqual(a.Forecast, b.Forecast) {
+		t.Fatal("cold runs produced different forecasts")
+	}
+	if !reflect.DeepEqual(a.TestForecast, b.TestForecast) {
+		t.Fatal("cold runs produced different hold-out forecasts")
+	}
+}
+
+// TestResultAdvanced: rolling a result forward shifts the forecast origin
+// by the advanced points and keeps the horizon length; the live model's
+// absolute length grows.
+func TestResultAdvanced(t *testing.T) {
+	ser := seasonalTrending(3)
+	res, err := mustEngine(t, Options{Technique: TechniqueHES, MaxCandidates: 4}).Run(context.Background(), ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live == nil || res.Forecast == nil {
+		t.Fatal("run carries no live model or forecast")
+	}
+	h := len(res.Forecast.Mean)
+	next := make([]float64, 6)
+	for i := range next {
+		next[i] = res.Forecast.Mean[i] // feed the forecast back as actuals
+	}
+	r2, err := res.Advanced(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStart := res.Forecast.Start.Add(6 * res.Forecast.Freq.Step())
+	if !r2.Forecast.Start.Equal(wantStart) {
+		t.Fatalf("advanced forecast starts %v, want %v", r2.Forecast.Start, wantStart)
+	}
+	if len(r2.Forecast.Mean) != h {
+		t.Fatalf("advanced forecast horizon %d, want %d", len(r2.Forecast.Mean), h)
+	}
+	for _, v := range r2.Forecast.Mean {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("advanced forecast not finite")
+		}
+	}
+	if got := r2.Live.Len(); got != ser.Len()+6 {
+		t.Fatalf("live length %d, want %d", got, ser.Len()+6)
+	}
+	// The champion bookkeeping rides along untouched.
+	if r2.Champion.Label != res.Champion.Label {
+		t.Fatal("advance changed the champion")
+	}
+
+	// Error paths: no live model / no forecast.
+	bare := &Result{Forecast: res.Forecast}
+	if _, err := bare.Advanced(next); err == nil {
+		t.Error("advance without a live model accepted")
+	}
+	noFC := &Result{Live: res.Live}
+	if _, err := noFC.Advanced(next); err == nil {
+		t.Error("advance without a forecast accepted")
+	}
+}
+
+func mustEngine(t *testing.T, opt Options) *Engine {
+	t.Helper()
+	e, err := NewEngine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

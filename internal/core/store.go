@@ -106,6 +106,26 @@ func (s *ModelStore) Put(key string, res *Result) {
 	o.Count("modelstore_puts_total", 1)
 }
 
+// ReplaceResult swaps the stored result for key in place while preserving
+// the fit timestamp, selection score and invalidation bookkeeping — the
+// advance path's store update: the champion did not change and no fit ran,
+// only its state and forecast rolled forward, so age-based staleness must
+// keep counting from the original fit. Returns false when the key is not
+// stored (callers then fall back to a full Put via refit).
+func (s *ModelStore) ReplaceResult(key string, res *Result) bool {
+	s.mu.Lock()
+	sm, ok := s.models[key]
+	if ok {
+		sm.Result = res
+	}
+	o := s.obs
+	s.mu.Unlock()
+	if ok {
+		o.Count("modelstore_advances_total", 1)
+	}
+	return ok
+}
+
 // Get returns the stored champion and whether it is still usable. A stale
 // or missing model returns usable=false, telling the caller to re-run the
 // engine.

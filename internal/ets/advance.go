@@ -1,0 +1,105 @@
+package ets
+
+import (
+	"fmt"
+	"math"
+)
+
+// kParams is the parameter count used in the AIC, matching fit().
+func (m *Model) kParams() float64 {
+	nPar := 1
+	if m.Method.hasTrend() {
+		nPar++
+	}
+	if m.Method.hasSeason() {
+		nPar++
+	}
+	if m.Method.damped() {
+		nPar++
+	}
+	k := float64(nPar + 2) // + initial level, sigma2 (approximation)
+	if m.Method.hasTrend() {
+		k++
+	}
+	if m.Method.hasSeason() {
+		k += float64(m.Period)
+	}
+	return k
+}
+
+// refreshStats recomputes Sigma2 and AIC from the accumulated SSE.
+func (m *Model) refreshStats() {
+	m.Sigma2 = m.SSE / float64(m.n)
+	ll := -0.5 * float64(m.n) * (math.Log(2*math.Pi*m.Sigma2) + 1)
+	m.AIC = -2*ll + 2*m.kParams()
+}
+
+// Advance folds newly observed points into the smoothing recursion in
+// place without re-estimating any parameter: the level/trend/seasonal
+// states continue exactly where the fit stopped, so the cost is O(1) per
+// point regardless of the training length. The update reproduces, step for
+// step, what a fixed-parameter pass over the concatenated series computes
+// (see Rebase), so Forecast after Advance behaves exactly as if the model
+// had been refitted with frozen coefficients.
+func (m *Model) Advance(points []float64) error {
+	if len(points) == 0 {
+		return fmt.Errorf("ets: Advance needs at least one point")
+	}
+	for i, v := range points {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ets: Advance point %d is not finite", i)
+		}
+	}
+	hasSeason := m.Method.hasSeason()
+	for _, obs := range points {
+		var seas float64
+		if hasSeason {
+			seas = m.Season[m.n%m.Period]
+		}
+		pred := m.Level + m.Phi*m.Trend + seas
+		err := obs - pred
+		m.Fitted = append(m.Fitted, pred)
+		m.Residuals = append(m.Residuals, err)
+		m.SSE += err * err
+		newLevel := m.Level + m.Phi*m.Trend + m.Alpha*err
+		newTrend := m.Phi*m.Trend + m.Beta*err
+		m.Level, m.Trend = newLevel, newTrend
+		if hasSeason {
+			m.Season[m.n%m.Period] += m.Gamma * err
+		}
+		m.n++
+	}
+	m.refreshStats()
+	return nil
+}
+
+// Rebase applies the model's frozen smoothing parameters to a full
+// replacement series (typically the training series plus newly observed
+// points) and returns a new model with freshly computed state. It is the
+// from-scratch reference implementation Advance is checked against: the
+// initial states are re-derived from the series prefix (identical when the
+// prefix is unchanged) and the recursion replays end to end with the same
+// α, β, γ, φ.
+func (m *Model) Rebase(y []float64) (*Model, error) {
+	n := len(y)
+	if m.Method.hasSeason() {
+		if n < 2*m.Period+3 {
+			return nil, fmt.Errorf("%w: %v with period %d needs >= %d observations, have %d",
+				errShort, m.Method, m.Period, 2*m.Period+3, n)
+		}
+	} else if n < 5 {
+		return nil, fmt.Errorf("%w: need >= 5 observations, have %d", errShort, n)
+	}
+	l0, b0, s0 := initialState(m.Method, y, m.Period)
+	sse, level, trend, season, fitted, resid := run(m.Method, y, m.Period,
+		m.Alpha, m.Beta, m.Gamma, m.Phi, l0, b0, s0, true, nil)
+	out := &Model{
+		Method: m.Method, Period: m.Period,
+		Alpha: m.Alpha, Beta: m.Beta, Gamma: m.Gamma, Phi: m.Phi,
+		Level: level, Trend: trend, Season: season,
+		SSE: sse, Fitted: fitted, Residuals: resid, n: n,
+		optX: m.OptVector(),
+	}
+	out.refreshStats()
+	return out, nil
+}

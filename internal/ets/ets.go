@@ -81,6 +81,19 @@ type Model struct {
 	Fitted, Residuals []float64
 
 	n int
+	// optX is the optimiser-space (logit-transformed) parameter vector the
+	// fit converged to; it seeds warm-started refits.
+	optX []float64
+}
+
+// OptVector returns a copy of the optimiser-space parameter vector the fit
+// converged to. Feeding it back through FitOptions.WarmStart seeds the next
+// refit from this model's solution.
+func (m *Model) OptVector() []float64 {
+	if m.optX == nil {
+		return nil
+	}
+	return append([]float64(nil), m.optX...)
 }
 
 // FitOptions tunes estimation.
@@ -96,6 +109,10 @@ type FitOptions struct {
 	Ctx context.Context
 	// Obs receives fit counters and debug logs (nil disables).
 	Obs *obs.Observer
+	// WarmStart optionally seeds the optimiser from a previous fit's
+	// OptVector; unusable or losing warm vectors fall back to the cold
+	// simplex (counted as refit_warm_fallbacks_total).
+	WarmStart []float64
 }
 
 var errShort = errors.New("ets: series too short")
@@ -195,10 +212,20 @@ func fit(method Method, y []float64, opt FitOptions) (*Model, error) {
 	if method.damped() {
 		x0[i] = logit(0.8)
 	}
-	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+	nmOpts := optimize.NelderMeadOptions{
 		MaxIter: opt.MaxIter,
 		Abort:   optimize.ContextAbort(opt.Ctx),
-	})
+	}
+	var res optimize.Result
+	if opt.WarmStart != nil {
+		var warmOK bool
+		res, warmOK = optimize.NelderMeadWarm(objective, x0, opt.WarmStart, nmOpts)
+		if !warmOK {
+			opt.Obs.Count("refit_warm_fallbacks_total", 1, obs.L("family", "HES"))
+		}
+	} else {
+		res = optimize.NelderMead(objective, x0, nmOpts)
+	}
 	opt.Obs.Count("fit_objective_evals_total", int64(res.Evals), obs.L("family", "HES"))
 	if res.Aborted {
 		return nil, fmt.Errorf("ets: fit aborted: %w", optimize.AbortCause(opt.Ctx))
@@ -221,6 +248,7 @@ func fit(method Method, y []float64, opt FitOptions) (*Model, error) {
 		Level: level, Trend: trend, Season: season,
 		SSE: sse, Sigma2: sigma2, AIC: -2*ll + 2*k,
 		Fitted: fitted, Residuals: resid, n: n,
+		optX: append([]float64(nil), res.X...),
 	}
 	return m, nil
 }

@@ -60,7 +60,7 @@ func TestDriftRefitPreemptsRMSERefit(t *testing.T) {
 		mon, err := New(Config{
 			Store: store, Window: 24, MinPoints: 3,
 			Drift: DriftConfig{Disabled: driftDisabled},
-			Refit: func(ctx context.Context, k string) (*core.Result, error) {
+			Refit: func(ctx context.Context, k string, warm bool) (*core.Result, error) {
 				// The refitted champion has learned the shifted regime, so
 				// the replay records only the *first* trigger.
 				return storedResultWithBand(now, 111, 5, 5, 72), nil
@@ -122,7 +122,7 @@ func TestStationarySeriesCalibratedAndSilent(t *testing.T) {
 	refits := 0
 	mon, err := New(Config{
 		Store: store, Window: 24, MinPoints: 3,
-		Refit: func(context.Context, string) (*core.Result, error) {
+		Refit: func(context.Context, string, bool) (*core.Result, error) {
 			refits++
 			return storedResultWithBand(now, 100, 5, 5, 200), nil
 		},

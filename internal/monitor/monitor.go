@@ -26,8 +26,19 @@ import (
 
 // RefitFunc re-learns the champion for a key, typically by re-running
 // the engine over the freshest repository window. ctx carries the
-// serve loop's shutdown signal into the refit's candidate fits.
-type RefitFunc func(ctx context.Context, key string) (*core.Result, error)
+// serve loop's shutdown signal into the refit's candidate fits. warm
+// asks the implementation to seed the run from the stored champion's
+// parameters and prior candidate scores (core.WarmFromResult); a cold
+// request (or one the implementation cannot honour — no stored model)
+// runs the full grid.
+type RefitFunc func(ctx context.Context, key string, warm bool) (*core.Result, error)
+
+// AdvanceFunc rolls a stored champion's filter state forward over the
+// observations accumulated since its forecast origin and regenerates the
+// forecast from time `at`, without running any optimiser (the
+// horizon-exhaustion fast path, core.Result.Advanced). An error tells the
+// monitor to fall back to a real refit.
+type AdvanceFunc func(ctx context.Context, key string, at time.Time) (*core.Result, error)
 
 // Config assembles a Monitor.
 type Config struct {
@@ -45,6 +56,13 @@ type Config struct {
 	// Refit re-learns an invalidated or horizon-exhausted champion; nil
 	// disables automatic refits (the store still marks models stale).
 	Refit RefitFunc
+	// Advance rolls a horizon-exhausted champion's state forward instead
+	// of refitting it; nil (or an Advance error) falls back to Refit.
+	Advance AdvanceFunc
+	// ColdRefitEvery forces every Nth refit per key to run the full cold
+	// grid as the correctness escape hatch for warm-started refits
+	// (0 → 24; negative → never force, warm always requested).
+	ColdRefitEvery int
 	// Inventory lists every key the planner intends to model, so the
 	// targets endpoint can show not-yet-trained ("warming") targets
 	// alongside those with stored champions. nil limits the endpoint to
@@ -70,11 +88,14 @@ type Monitor struct {
 	cal       *Calibrator
 	drift     *DriftDetector
 	refit     RefitFunc
+	advance   AdvanceFunc
+	coldEvery int
 	inventory func() []string
 	obs       *obs.Observer
 
-	mu     sync.Mutex
-	refits map[string]RefitRecord
+	mu       sync.Mutex
+	refits   map[string]RefitRecord
+	refitSeq map[string]int
 }
 
 // New validates cfg and builds a Monitor.
@@ -82,15 +103,24 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("monitor: nil model store")
 	}
+	coldEvery := cfg.ColdRefitEvery
+	if coldEvery == 0 {
+		coldEvery = 24
+	} else if coldEvery < 0 {
+		coldEvery = 0 // never force a cold run
+	}
 	m := &Monitor{
 		store:     cfg.Store,
 		eval:      NewEvaluator(cfg.Store, cfg.Window, cfg.MinPoints, cfg.Obs),
 		alerter:   NewAlerter(cfg.Rules, cfg.PendingTicks, cfg.ResolveTicks, cfg.Obs),
 		cal:       NewCalibrator(cfg.Calibration, cfg.Obs),
 		refit:     cfg.Refit,
+		advance:   cfg.Advance,
+		coldEvery: coldEvery,
 		inventory: cfg.Inventory,
 		obs:       cfg.Obs,
 		refits:    make(map[string]RefitRecord),
+		refitSeq:  make(map[string]int),
 	}
 	if !cfg.Drift.Disabled {
 		m.drift = NewDriftDetector(cfg.Drift, cfg.Obs)
@@ -124,7 +154,14 @@ func (m *Monitor) ObserveActual(ctx context.Context, key string, at time.Time, a
 	}
 	switch {
 	case v.beyondHorizon:
-		m.triggerRefit(ctx, key, "horizon")
+		// Horizon exhaustion does not mean the champion is wrong — only
+		// that its forecast ran out. Roll the stored model's state forward
+		// over the observations since the forecast origin (O(1) per point,
+		// no optimiser) and fall back to a real refit only when that is
+		// impossible.
+		if !m.tryAdvance(ctx, key, at) {
+			m.triggerRefit(ctx, key, "horizon")
+		}
 	case v.matched && !v.usable:
 		reason := "stale"
 		if sm, _ := m.store.Get(key); sm != nil && sm.Invalidated {
@@ -167,10 +204,16 @@ func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 		m.obs.Debug("refit skipped: shutting down", "key", key, "reason", reason)
 		return
 	}
+	warm := m.nextRefitWarm(key)
+	mode := "cold"
+	if warm {
+		mode = "warm"
+	}
 	sp := m.obs.StartSpanFrom(ctx, "monitor.refit")
 	defer sp.End()
 	sp.Set("key", key)
 	sp.Set("reason", reason)
+	sp.Set("mode", mode)
 	traceID := ""
 	if tsc := sp.Context(); !tsc.IsZero() {
 		traceID = tsc.Trace.String()
@@ -179,9 +222,18 @@ func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}
 	began := time.Now()
-	res, err := m.refit(ctx, key)
+	res, err := m.refit(ctx, key, warm)
+	if res != nil {
+		// The implementation may have run cold despite a warm request
+		// (e.g. nothing stored to warm-start from) — report what happened.
+		mode = "cold"
+		if res.WarmStarted {
+			mode = "warm"
+		}
+		sp.Set("mode", mode)
+	}
 	rec := RefitRecord{
-		Key: key, Reason: reason, TraceID: traceID,
+		Key: key, Reason: reason, Mode: mode, TraceID: traceID,
 		At: m.store.Now(), DurationMS: float64(time.Since(began)) / float64(time.Millisecond),
 	}
 	if err != nil {
@@ -201,11 +253,68 @@ func (m *Monitor) triggerRefit(ctx context.Context, key, reason string) {
 	// is a property of the interval stream across champion generations.
 	m.drift.Reset(key)
 	sp.Set("champion", res.Champion.Label)
-	m.obs.Count("monitor_refits_total", 1, obs.L("reason", reason))
-	m.obs.ObserveDurationTraced("monitor_refit_seconds", time.Since(began), traceID)
-	m.obs.Info("champion refitted", "key", key, "reason", reason,
+	m.obs.Count("monitor_refits_total", 1, obs.L("reason", reason), obs.L("refit_mode", mode))
+	m.obs.ObserveDurationTraced("monitor_refit_seconds", time.Since(began), traceID, obs.L("refit_mode", mode))
+	m.obs.Info("champion refitted", "key", key, "reason", reason, "mode", mode,
 		"champion", res.Champion.Label, "rmse", res.TestScore.RMSE,
 		"dur", time.Since(began).Round(time.Millisecond), "trace", traceID)
+}
+
+// nextRefitWarm advances the per-key refit sequence and decides whether
+// this refit may warm-start: every coldEvery-th refit is forced cold as
+// the correctness escape hatch (score-guided grid shrinking never sees a
+// candidate the previous run skipped, so a periodic full grid re-opens
+// the search space).
+func (m *Monitor) nextRefitWarm(key string) bool {
+	m.mu.Lock()
+	m.refitSeq[key]++
+	seq := m.refitSeq[key]
+	m.mu.Unlock()
+	if m.coldEvery > 0 && seq%m.coldEvery == 0 {
+		return false
+	}
+	return true
+}
+
+// tryAdvance rolls the stored champion forward for a horizon-exhausted
+// key. It reports whether the advance succeeded; any failure (no advance
+// hook, shutdown, no live model, a gap in the series) makes the caller
+// fall back to a full refit.
+func (m *Monitor) tryAdvance(ctx context.Context, key string, at time.Time) bool {
+	if m.advance == nil || ctx.Err() != nil {
+		return false
+	}
+	sp := m.obs.StartSpanFrom(ctx, "monitor.advance")
+	defer sp.End()
+	sp.Set("key", key)
+	traceID := ""
+	if tsc := sp.Context(); !tsc.IsZero() {
+		traceID = tsc.Trace.String()
+	}
+	ctx = obs.ContextWithSpan(ctx, sp)
+	began := time.Now()
+	res, err := m.advance(ctx, key, at)
+	if err != nil {
+		sp.Fail(err)
+		m.obs.Count("monitor_advance_errors_total", 1, obs.L("key", key))
+		m.obs.Debug("advance failed, falling back to refit", "key", key, "err", err)
+		return false
+	}
+	rec := RefitRecord{
+		Key: key, Reason: "horizon", Mode: "advance", TraceID: traceID,
+		At: m.store.Now(), DurationMS: float64(time.Since(began)) / float64(time.Millisecond),
+		Champion: res.Champion.Label,
+	}
+	m.recordRefit(rec)
+	// The champion did not change: the rolling accuracy window and the
+	// drift accumulator keep scoring the same model across the roll.
+	sp.Set("champion", res.Champion.Label)
+	m.obs.Count("monitor_refits_total", 1, obs.L("reason", "horizon"), obs.L("refit_mode", "advance"))
+	m.obs.ObserveDurationTraced("monitor_refit_seconds", time.Since(began), traceID, obs.L("refit_mode", "advance"))
+	m.obs.Info("champion advanced", "key", key,
+		"champion", res.Champion.Label,
+		"dur", time.Since(began).Round(time.Millisecond), "trace", traceID)
+	return true
 }
 
 // recordRefit remembers the latest refit outcome per key for the

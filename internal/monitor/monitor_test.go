@@ -55,7 +55,7 @@ func TestMonitorDriftEndToEnd(t *testing.T) {
 	// Refits re-learn from the freshest 96 hours so the champion tracks
 	// regime changes quickly.
 	refits := 0
-	refit := func(context.Context, string) (*core.Result, error) {
+	refit := func(_ context.Context, _ string, _ bool) (*core.Result, error) {
 		refits++
 		n, w := len(actuals), 96
 		if n < w {
@@ -194,7 +194,7 @@ func TestMonitorRefitErrorCounted(t *testing.T) {
 	store.Put("db1/cpu", storedResult(t0, 100, 2))
 	mon, err := New(Config{
 		Store: store, Window: 6, MinPoints: 3, Obs: o,
-		Refit: func(context.Context, string) (*core.Result, error) {
+		Refit: func(context.Context, string, bool) (*core.Result, error) {
 			return nil, errRefit
 		},
 	})

@@ -1,0 +1,202 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestHorizonExhaustionAdvances: an observation past the stored forecast
+// horizon must take the O(1) advance path — no refit — and record the
+// roll with Mode "advance" on the targets payload.
+func TestHorizonExhaustionAdvances(t *testing.T) {
+	const key = "db1/cpu"
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	o := obs.New(obs.Config{Metrics: true})
+	store := core.NewModelStore(core.StalePolicy{MaxAge: 30 * 24 * time.Hour})
+	store.SetObserver(o)
+	store.Put(key, storedResult(t0, 100, 2))
+
+	advances, refits := 0, 0
+	mon, err := New(Config{
+		Store: store, Window: 6, MinPoints: 3, Obs: o,
+		Refit: func(context.Context, string, bool) (*core.Result, error) {
+			refits++
+			return storedResult(t0.Add(30*time.Hour), 100, 2), nil
+		},
+		Advance: func(_ context.Context, k string, at time.Time) (*core.Result, error) {
+			advances++
+			if k != key {
+				t.Errorf("advance key = %q", k)
+			}
+			return storedResult(at, 100, 2), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hour 30 sits past the 24-step forecast: horizon exhausted.
+	mon.ObserveActual(context.Background(), key, t0.Add(30*time.Hour), 100)
+	if advances != 1 || refits != 0 {
+		t.Fatalf("advances = %d, refits = %d; want 1, 0", advances, refits)
+	}
+	rec, ok := mon.LastRefit(key)
+	if !ok || rec.Mode != "advance" || rec.Reason != "horizon" {
+		t.Fatalf("last refit = %+v, want mode advance, reason horizon", rec)
+	}
+	if rec.Error != "" {
+		t.Fatalf("advance record carries error: %+v", rec)
+	}
+	if n := o.Registry().CounterValue("monitor_refits_total"); n != 1 {
+		t.Fatalf("monitor_refits_total = %d, want 1", n)
+	}
+}
+
+// TestAdvanceErrorFallsBackToRefit: an advance failure (gap in the
+// series, no live model) must count the error and fall back to a full
+// refit under the "horizon" reason.
+func TestAdvanceErrorFallsBackToRefit(t *testing.T) {
+	const key = "db1/cpu"
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	o := obs.New(obs.Config{Metrics: true})
+	store := core.NewModelStore(core.StalePolicy{MaxAge: 30 * 24 * time.Hour})
+	store.Put(key, storedResult(t0, 100, 2))
+
+	refits := 0
+	var refitWarm bool
+	mon, err := New(Config{
+		Store: store, Window: 6, MinPoints: 3, Obs: o,
+		Refit: func(_ context.Context, _ string, warm bool) (*core.Result, error) {
+			refits++
+			refitWarm = warm
+			return storedResult(t0.Add(30*time.Hour), 100, 2), nil
+		},
+		Advance: func(context.Context, string, time.Time) (*core.Result, error) {
+			return nil, errors.New("gap in series")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.ObserveActual(context.Background(), key, t0.Add(30*time.Hour), 100)
+	if refits != 1 {
+		t.Fatalf("refits = %d, want 1 (fallback)", refits)
+	}
+	if !refitWarm {
+		t.Fatal("first refit was not warm-requested (seq 1 with default cold cadence)")
+	}
+	if n := o.Registry().CounterValue("monitor_advance_errors_total"); n != 1 {
+		t.Fatalf("monitor_advance_errors_total = %d, want 1", n)
+	}
+	rec, ok := mon.LastRefit(key)
+	if !ok || rec.Reason != "horizon" {
+		t.Fatalf("last refit = %+v, want reason horizon", rec)
+	}
+	// The stub result never set WarmStarted, so the effective mode the
+	// record reports is cold even though warm was requested.
+	if rec.Mode != "cold" {
+		t.Fatalf("mode = %q, want cold (stub ran cold)", rec.Mode)
+	}
+}
+
+// TestColdRefitCadence: with ColdRefitEvery=2 the per-key refit sequence
+// must alternate warm, cold, warm, cold — and with ColdRefitEvery=1 every
+// refit is forced cold, the byte-identical escape hatch.
+func TestColdRefitCadence(t *testing.T) {
+	const key = "db1/cpu"
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(every int) (*Monitor, *[]bool) {
+		store := core.NewModelStore(core.StalePolicy{MaxAge: 30 * 24 * time.Hour})
+		store.Put(key, storedResult(t0, 100, 2))
+		var warms []bool
+		mon, err := New(Config{
+			Store: store, ColdRefitEvery: every,
+			Refit: func(_ context.Context, _ string, warm bool) (*core.Result, error) {
+				warms = append(warms, warm)
+				res := storedResult(t0, 100, 2)
+				res.WarmStarted = warm
+				return res, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mon, &warms
+	}
+
+	mon, warms := mk(2)
+	for i := 0; i < 4; i++ {
+		mon.triggerRefit(context.Background(), key, "test")
+	}
+	want := []bool{true, false, true, false}
+	for i, w := range want {
+		if (*warms)[i] != w {
+			t.Fatalf("every=2: refit %d warm = %v, want %v (%v)", i, (*warms)[i], w, *warms)
+		}
+	}
+	if rec, _ := mon.LastRefit(key); rec.Mode != "cold" {
+		t.Fatalf("4th refit mode = %q, want cold", rec.Mode)
+	}
+
+	mon, warms = mk(1)
+	for i := 0; i < 3; i++ {
+		mon.triggerRefit(context.Background(), key, "test")
+	}
+	for i, w := range *warms {
+		if w {
+			t.Fatalf("every=1: refit %d warm-requested; forced-cold cadence broken", i)
+		}
+	}
+	if rec, _ := mon.LastRefit(key); rec.Mode != "cold" {
+		t.Fatalf("forced-cold mode = %q", rec.Mode)
+	}
+
+	// Negative cadence: never force cold.
+	mon, warms = mk(-1)
+	for i := 0; i < 30; i++ {
+		mon.triggerRefit(context.Background(), key, "test")
+	}
+	for i, w := range *warms {
+		if !w {
+			t.Fatalf("every=-1: refit %d not warm-requested", i)
+		}
+	}
+	if rec, _ := mon.LastRefit(key); rec.Mode != "warm" {
+		t.Fatalf("warm refit mode = %q", rec.Mode)
+	}
+}
+
+// TestRefitModeReportsWhatRan: when the implementation honours a warm
+// request the record and metric carry refit_mode="warm"; the counter is
+// labelled so the drift smoke can grep for warm refits.
+func TestRefitModeReportsWhatRan(t *testing.T) {
+	const key = "db1/cpu"
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	o := obs.New(obs.Config{Metrics: true})
+	store := core.NewModelStore(core.StalePolicy{MaxAge: 30 * 24 * time.Hour})
+	store.Put(key, storedResult(t0, 100, 2))
+	mon, err := New(Config{
+		Store: store, Obs: o,
+		Refit: func(_ context.Context, _ string, warm bool) (*core.Result, error) {
+			res := storedResult(t0, 100, 2)
+			res.WarmStarted = warm
+			return res, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.triggerRefit(context.Background(), key, "degraded")
+	rec, ok := mon.LastRefit(key)
+	if !ok || rec.Mode != "warm" {
+		t.Fatalf("last refit = %+v, want mode warm", rec)
+	}
+	if n := o.Registry().CounterValue("monitor_refits_total"); n != 1 {
+		t.Fatalf("monitor_refits_total = %d, want 1", n)
+	}
+}

@@ -15,8 +15,12 @@ const TargetsPath = "/api/v1/targets"
 // including the trace ID of the pipeline run that triggered it, so a
 // "why did this model change?" question resolves to a concrete trace.
 type RefitRecord struct {
-	Key        string    `json:"key"`
-	Reason     string    `json:"reason"`
+	Key    string `json:"key"`
+	Reason string `json:"reason"`
+	// Mode is how the champion was refreshed: "cold" (full grid, cold
+	// simplex), "warm" (warm-started optimiser over a shrunken grid) or
+	// "advance" (state roll-forward, no optimiser at all).
+	Mode       string    `json:"mode,omitempty"`
 	TraceID    string    `json:"trace_id,omitempty"`
 	At         time.Time `json:"at"`
 	DurationMS float64   `json:"duration_ms"`

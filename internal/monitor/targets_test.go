@@ -22,7 +22,7 @@ func TestTargetsEndpoint(t *testing.T) {
 	refitted := 0
 	m, err := New(Config{
 		Store: store,
-		Refit: func(ctx context.Context, key string) (*core.Result, error) {
+		Refit: func(ctx context.Context, key string, warm bool) (*core.Result, error) {
 			refitted++
 			if obs.TraceIDFromContext(ctx) == "" {
 				t.Error("refit ctx carries no trace")

@@ -1,0 +1,64 @@
+package optimize
+
+import "math"
+
+// WarmStep is the initial simplex edge used when restarting Nelder-Mead
+// from an incumbent parameter vector. The cold default (0.1) explores a
+// broad neighbourhood; a warm start trusts the incumbent and only needs a
+// perturbed simplex tight enough to polish it.
+const WarmStep = 0.05
+
+// WarmUsable reports whether warm can seed a restart for a problem whose
+// cold start point is x0: same dimension, every coordinate finite.
+func WarmUsable(warm, x0 []float64) bool {
+	if len(warm) == 0 || len(warm) != len(x0) {
+		return false
+	}
+	for _, v := range warm {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// NelderMeadWarm minimises f seeded from the incumbent vector warm, falling
+// back to the cold start x0 when the warm start is unusable or loses to it.
+// The boolean return reports whether the warm seed carried the day; callers
+// use it to count fallbacks.
+//
+// The warm path builds a tight perturbed simplex (WarmStep) around the
+// incumbent. Its result is kept only if it is finite and no worse than the
+// objective at the cold start point; otherwise a full cold search runs and
+// the better of the two results is returned.
+func NelderMeadWarm(f Objective, x0, warm []float64, opt NelderMeadOptions) (Result, bool) {
+	if !WarmUsable(warm, x0) {
+		return NelderMead(f, x0, opt), false
+	}
+	wopt := opt
+	if wopt.Step <= 0 {
+		wopt.Step = WarmStep
+	}
+	wres := NelderMead(f, warm, wopt)
+	if wres.Aborted {
+		// Cancellation: don't spend a second search, report what we have.
+		return wres, true
+	}
+	f0 := f(x0)
+	if math.IsNaN(f0) {
+		f0 = math.Inf(1)
+	}
+	wres.Evals++
+	if !math.IsNaN(wres.F) && !math.IsInf(wres.F, 0) && wres.F <= f0 {
+		return wres, true
+	}
+	cres := NelderMead(f, x0, opt)
+	cres.Evals += wres.Evals
+	if wres.F < cres.F {
+		// Warm beat the full cold search after all, but it lost to the
+		// cold start point above, so still report a fallback.
+		wres.Evals = cres.Evals
+		return wres, false
+	}
+	return cres, false
+}

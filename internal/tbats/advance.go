@@ -1,0 +1,136 @@
+package tbats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// warmLen is the burn-in length excluded from the SSE, matching fit().
+func (m *Model) warmLen() int {
+	warm := 0
+	for _, p := range m.Config.Periods {
+		if p > warm {
+			warm = p
+		}
+	}
+	if warm < 10 {
+		warm = 10
+	}
+	return warm
+}
+
+// refreshStats recomputes Sigma2 and AIC from the accumulated SSE.
+func (m *Model) refreshStats() {
+	neff := m.n - m.warmLen()
+	if neff < 1 {
+		neff = 1
+	}
+	m.Sigma2 = m.SSE / float64(neff)
+	if m.Sigma2 <= 0 {
+		m.Sigma2 = 1e-12
+	}
+	k := m.numParams()
+	ll := -0.5 * float64(neff) * (math.Log(2*math.Pi*m.Sigma2) + 1)
+	m.AIC = -2*ll + 2*float64(k)
+}
+
+// transform maps new observations onto the model's working scale using the
+// Box-Cox parameters frozen at fit time (identity when Box-Cox is off).
+func (m *Model) transform(points []float64) ([]float64, error) {
+	work := append([]float64(nil), points...)
+	if !m.Config.UseBoxCox {
+		return work, nil
+	}
+	for i := range work {
+		work[i] += m.Shift
+	}
+	tf, err := timeseries.BoxCox(work, m.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("tbats: Box-Cox failed on new points: %w", err)
+	}
+	return tf, nil
+}
+
+// Advance folds newly observed points into the recursion state in place
+// without re-estimating any parameter: level, trend, the trigonometric
+// seasonal states and the ARMA ring buffers continue exactly where the fit
+// stopped, so the cost is O(1) per point regardless of the training
+// length. The update reproduces, step for step, what a fixed-parameter
+// pass over the concatenated series computes (see Rebase), so Forecast
+// after Advance behaves exactly as if the model had been refitted with
+// frozen coefficients. Box-Cox parameters are frozen at their fit-time
+// values.
+func (m *Model) Advance(points []float64) error {
+	if len(points) == 0 {
+		return fmt.Errorf("tbats: Advance needs at least one point")
+	}
+	for i, v := range points {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tbats: Advance point %d is not finite", i)
+		}
+	}
+	work, err := m.transform(points)
+	if err != nil {
+		return err
+	}
+	cfg := m.Config
+	st := &state{level: m.level, trend: m.trend, seas: m.seas, seasS: m.seasS, d: m.dHist, e: m.eHist}
+	for i, obs := range work {
+		pred, e := step(cfg, st, m.Alpha, m.Beta, m.Phi, m.Gamma1, m.Gamma2, m.ARPhi, m.MATheta, obs)
+		// Every new point sits beyond the burn-in window (fit enforces
+		// n >= 2·maxPeriod+10 > warm), so each innovation counts.
+		m.SSE += e * e
+		fit := m.invTransform(pred)
+		m.Fitted = append(m.Fitted, fit)
+		m.Residuals = append(m.Residuals, points[i]-fit)
+	}
+	m.level, m.trend = st.level, st.trend
+	m.seas, m.seasS = st.seas, st.seasS
+	m.dHist, m.eHist = st.d, st.e
+	m.n += len(points)
+	m.refreshStats()
+	return nil
+}
+
+// Rebase applies the model's frozen parameters to a full replacement
+// series (typically the training series plus newly observed points) and
+// returns a new model with freshly computed state. It is the from-scratch
+// reference implementation Advance is checked against: the initial states
+// re-derive from the series prefix (identical when the prefix is
+// unchanged), Box-Cox parameters stay frozen, and the recursion replays
+// end to end with the same coefficients.
+func (m *Model) Rebase(y []float64) (*Model, error) {
+	cfg := m.Config
+	maxPeriod := 0
+	for _, p := range cfg.Periods {
+		if p > maxPeriod {
+			maxPeriod = p
+		}
+	}
+	minN := 2*maxPeriod + 10
+	if minN < 20 {
+		minN = 20
+	}
+	if len(y) < minN {
+		return nil, fmt.Errorf("tbats: need >= %d observations, have %d", minN, len(y))
+	}
+	work, err := m.transform(y)
+	if err != nil {
+		return nil, err
+	}
+	l0, b0 := initLevelTrend(work, cfg)
+	out := &Model{
+		Config: cfg, Lambda: m.Lambda, Shift: m.Shift,
+		Alpha: m.Alpha, Beta: m.Beta, Phi: m.Phi,
+		Gamma1:  append([]float64(nil), m.Gamma1...),
+		Gamma2:  append([]float64(nil), m.Gamma2...),
+		ARPhi:   append([]float64(nil), m.ARPhi...),
+		MATheta: append([]float64(nil), m.MATheta...),
+		n:       len(y),
+		optX:    m.OptVector(),
+	}
+	out.finalPass(work, y, l0, b0, out.warmLen())
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package tbats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// genSeries builds a deterministic daily-seasonal series with bounded
+// pseudo-noise — no RNG, so the property holds bit-for-bit run to run.
+func genSeries(n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 50 + 0.03*float64(i) +
+			8*math.Sin(2*math.Pi*float64(i%24)/24) +
+			1.1*math.Sin(float64(i)*1.7)
+	}
+	return y
+}
+
+// TestAdvanceMatchesRebase: folding k new points into a fitted TBATS model
+// with Advance must land on the same state — and the same forecasts — as
+// replaying the frozen parameters over the extended series (Rebase). The
+// training length stays >= 2·maxPeriod so the Rebase initial states derive
+// from the unchanged prefix.
+func TestAdvanceMatchesRebase(t *testing.T) {
+	const tol = 1e-9
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"seasonal", Config{Periods: []int{24}, Harmonics: []int{3}}},
+		{"trend_arma", Config{Periods: []int{24}, Harmonics: []int{2}, UseTrend: true, ARMAP: 1, ARMAQ: 1}},
+		{"damped", Config{Periods: []int{24}, Harmonics: []int{2}, UseTrend: true, UseDamping: true}},
+	}
+	const trainN, k, h = 168, 24, 12
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			full := genSeries(trainN + k)
+			m, err := Fit(tc.cfg, full[:trainN], FitOptions{MaxIter: 150})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := m.Rebase(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Advance(full[trainN:]); err != nil {
+				t.Fatal(err)
+			}
+
+			if d := math.Abs(m.level - ref.level); d > tol {
+				t.Errorf("level diverged by %g", d)
+			}
+			if d := math.Abs(m.trend - ref.trend); d > tol {
+				t.Errorf("trend diverged by %g", d)
+			}
+			if d := math.Abs(m.Sigma2 - ref.Sigma2); d > tol {
+				t.Errorf("Sigma2 diverged by %g (advance %g, rebase %g)", d, m.Sigma2, ref.Sigma2)
+			}
+			if d := math.Abs(m.AIC - ref.AIC); d > tol {
+				t.Errorf("AIC diverged by %g", d)
+			}
+
+			fa, err := m.Forecast(h, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, err := ref.Forecast(h, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range fa.Mean {
+				if d := math.Abs(fa.Mean[i] - fr.Mean[i]); d > tol {
+					t.Errorf("forecast mean %d diverged by %g", i, d)
+				}
+				if d := math.Abs(fa.SE[i] - fr.SE[i]); d > tol {
+					t.Errorf("forecast SE %d diverged by %g", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestAdvanceChunksMatchOneShot: chunked advances equal one big advance.
+func TestAdvanceChunksMatchOneShot(t *testing.T) {
+	const trainN, k = 168, 24
+	full := genSeries(trainN + k)
+	cfg := Config{Periods: []int{24}, Harmonics: []int{2}, UseTrend: true}
+	a, err := Fit(cfg, full[:trainN], FitOptions{MaxIter: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(cfg, full[:trainN], FitOptions{MaxIter: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(full[trainN:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := trainN; i < trainN+k; i += 8 {
+		if err := b.Advance(full[i : i+8]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.level != b.level || a.trend != b.trend || a.SSE != b.SSE {
+		t.Fatalf("chunked advance diverged: level %g vs %g", a.level, b.level)
+	}
+}
+
+// TestAdvanceRejectsBadInput covers the validation edges.
+func TestAdvanceRejectsBadInput(t *testing.T) {
+	m, err := Fit(Config{Periods: []int{24}, Harmonics: []int{2}}, genSeries(120), FitOptions{MaxIter: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(nil); err == nil {
+		t.Error("empty advance accepted")
+	}
+	if err := m.Advance([]float64{math.NaN()}); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+// TestWarmStartFallsBackToCold: an unusable warm vector falls back to the
+// cold simplex and counts refit_warm_fallbacks_total.
+func TestWarmStartFallsBackToCold(t *testing.T) {
+	y := genSeries(168)
+	cfg := Config{Periods: []int{24}, Harmonics: []int{2}, UseTrend: true}
+	cold, err := Fit(cfg, y, FitOptions{MaxIter: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]float64, len(cold.OptVector()))
+	for i := range bad {
+		bad[i] = math.Inf(1)
+	}
+	for _, warm := range [][]float64{bad, {0.5}} {
+		o := obs.New(obs.Config{Metrics: true})
+		m, err := Fit(cfg, y, FitOptions{MaxIter: 150, WarmStart: warm, Obs: o})
+		if err != nil {
+			t.Fatalf("warm %v: %v", warm, err)
+		}
+		if math.Abs(m.SSE-cold.SSE) > 1e-6 {
+			t.Errorf("warm %v: SSE %g, cold %g — fallback did not recover the cold fit", warm, m.SSE, cold.SSE)
+		}
+		if c := o.Registry().CounterValue("refit_warm_fallbacks_total"); c < 1 {
+			t.Errorf("warm %v: refit_warm_fallbacks_total = %d, want >= 1", warm, c)
+		}
+	}
+}
+
+// TestWarmStartFromOptVector: re-seeding from the previous solution must
+// reproduce it without a fallback.
+func TestWarmStartFromOptVector(t *testing.T) {
+	y := genSeries(168)
+	cfg := Config{Periods: []int{24}, Harmonics: []int{2}, UseTrend: true}
+	cold, err := Fit(cfg, y, FitOptions{MaxIter: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.Config{Metrics: true})
+	warm, err := Fit(cfg, y, FitOptions{MaxIter: 150, WarmStart: cold.OptVector(), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warm.SSE-cold.SSE) > 1e-6 {
+		t.Errorf("warm refit SSE %g, cold %g", warm.SSE, cold.SSE)
+	}
+	if c := o.Registry().CounterValue("refit_warm_fallbacks_total"); c != 0 {
+		t.Errorf("refit_warm_fallbacks_total = %d, want 0", c)
+	}
+}

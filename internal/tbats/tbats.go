@@ -123,6 +123,19 @@ type Model struct {
 	Residuals []float64
 
 	n int
+	// optX is the optimiser-space parameter vector the fit converged to;
+	// it seeds warm-started refits.
+	optX []float64
+}
+
+// OptVector returns a copy of the optimiser-space parameter vector the fit
+// converged to. Feeding it back through FitOptions.WarmStart seeds the next
+// refit from this model's solution.
+func (m *Model) OptVector() []float64 {
+	if m.optX == nil {
+		return nil
+	}
+	return append([]float64(nil), m.optX...)
 }
 
 // FitOptions tunes estimation.
@@ -135,6 +148,10 @@ type FitOptions struct {
 	Ctx context.Context
 	// Obs receives fit counters and debug logs (nil disables).
 	Obs *obs.Observer
+	// WarmStart optionally seeds the optimiser from a previous fit's
+	// OptVector; unusable or losing warm vectors fall back to the cold
+	// simplex (counted as refit_warm_fallbacks_total).
+	WarmStart []float64
 }
 
 // state bundles the recursion state so fitting and forecasting share code.
@@ -308,10 +325,20 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 	if maxIter == 0 {
 		maxIter = 150 * nPar
 	}
-	res := optimize.NelderMead(objective, x0, optimize.NelderMeadOptions{
+	nmOpts := optimize.NelderMeadOptions{
 		MaxIter: maxIter,
 		Abort:   optimize.ContextAbort(opt.Ctx),
-	})
+	}
+	var res optimize.Result
+	if opt.WarmStart != nil {
+		var warmOK bool
+		res, warmOK = optimize.NelderMeadWarm(objective, x0, opt.WarmStart, nmOpts)
+		if !warmOK {
+			opt.Obs.Count("refit_warm_fallbacks_total", 1, obs.L("family", "TBATS"))
+		}
+	} else {
+		res = optimize.NelderMead(objective, x0, nmOpts)
+	}
 	opt.Obs.Count("fit_objective_evals_total", int64(res.Evals), obs.L("family", "TBATS"))
 	if res.Aborted {
 		return nil, fmt.Errorf("tbats: fit aborted: %w", optimize.AbortCause(opt.Ctx))
@@ -322,7 +349,7 @@ func fit(cfg Config, y []float64, opt FitOptions) (*Model, error) {
 		Config: cfg, Lambda: lambda, Shift: shift,
 		Alpha: alpha, Beta: beta, Phi: phi,
 		Gamma1: g1, Gamma2: g2, ARPhi: ar, MATheta: ma,
-		n: n,
+		n: n, optX: append([]float64(nil), res.X...),
 	}
 	// Final pass: record states, fitted values and residuals.
 	m.finalPass(work, y, l0, b0, warm)

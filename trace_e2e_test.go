@@ -117,7 +117,7 @@ func TestTraceFollowsBatchAcrossProcesses(t *testing.T) {
 	refitTrace := "unset"
 	mon, err := monitor.New(monitor.Config{
 		Store: store,
-		Refit: func(ctx context.Context, key string) (*core.Result, error) {
+		Refit: func(ctx context.Context, key string, warm bool) (*core.Result, error) {
 			refitTrace = obs.TraceIDFromContext(ctx)
 			return stub(), nil
 		},
